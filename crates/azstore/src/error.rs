@@ -1,0 +1,74 @@
+//! The storage error taxonomy.
+//!
+//! Mirrors the error classes a 2009/2010 Windows Azure storage client
+//! surfaced, which is exactly the vocabulary Table 2 of the paper uses
+//! for ModisAzure's failure breakdown ("Operation timeout", "Server
+//! busy", "Corrupt blob read", "Blob read fail", "Blob already exists",
+//! "Non-existent source blob", …).
+
+use std::fmt;
+
+/// Errors returned by the simulated storage services.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The operation did not complete within the client-side timeout
+    /// (maps to the paper's "Operation timeout" / the table-insert
+    /// "timeout exceptions from the server" at high concurrency).
+    Timeout,
+    /// The service shed load (HTTP 503 in real Azure); the client SDK
+    /// retries these with backoff before surfacing them.
+    ServerBusy,
+    /// The addressed container/blob/table/queue/entity does not exist.
+    NotFound,
+    /// Create-style operation hit an existing object ("Blob already
+    /// exists" — ModisAzure's second-most-common non-success outcome).
+    AlreadyExists,
+    /// Payload failed verification after download ("Corrupt blob read").
+    CorruptRead,
+    /// Read failed mid-transfer ("Blob read fail").
+    ReadFailed,
+    /// Transport-level connection failure ("Connection failure").
+    ConnectionFailed,
+    /// Unclassified server-side error ("Internal storage client error").
+    Internal,
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StorageError::Timeout => "operation timeout",
+            StorageError::ServerBusy => "server busy",
+            StorageError::NotFound => "not found",
+            StorageError::AlreadyExists => "already exists",
+            StorageError::CorruptRead => "corrupt blob read",
+            StorageError::ReadFailed => "blob read fail",
+            StorageError::ConnectionFailed => "connection failure",
+            StorageError::Internal => "internal storage error",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Shorthand result for storage operations.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_are_stable() {
+        // ModisAzure telemetry keys off these strings; keep them fixed.
+        assert_eq!(StorageError::Timeout.to_string(), "operation timeout");
+        assert_eq!(StorageError::CorruptRead.to_string(), "corrupt blob read");
+        assert_eq!(StorageError::AlreadyExists.to_string(), "already exists");
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(StorageError::ServerBusy, StorageError::ServerBusy);
+        assert_ne!(StorageError::ServerBusy, StorageError::Timeout);
+    }
+}

@@ -1,0 +1,55 @@
+//! # azstore — a simulated Windows Azure storage stamp
+//!
+//! The storage substrate of the reproduction of *Early observations on
+//! the performance of Windows Azure* (HPDC'10). One
+//! [`StorageStamp`] hosts the three services the paper benchmarks:
+//!
+//! * [`blob`] — containers/blobs with fluid-flow payload transfers
+//!   through calibrated pipes (Fig 1's bandwidth-vs-concurrency curves);
+//! * [`table`] — schemaless entities with key-only indexing, per-entity
+//!   and per-partition write latches (Fig 2's Insert/Query/Update/Delete
+//!   scaling and the 64 kB timeout cliff);
+//! * [`queue`] — visibility-timeout message queues with replica-sync
+//!   mutation costs (Fig 3's Add/Peek/Receive scaling and §5.2's retry
+//!   semantics).
+//!
+//! Each VM gets clients via [`StorageStamp::attach_client`], which also
+//! instantiates the VM's storage-bandwidth throttle (13 MB/s for a 2009
+//! small instance). All calibration constants live in [`calib`] with the
+//! paper sentence they come from; [`stamp::FaultProfile`] switches the
+//! Table 2 reliability injection on for application studies.
+//!
+//! ## Example
+//! ```
+//! use simcore::prelude::*;
+//! use azstore::{StampConfig, StorageStamp};
+//!
+//! let sim = Sim::new(42);
+//! let stamp = StorageStamp::standalone(&sim, StampConfig::default());
+//! stamp.blob_service().seed("data", "input", 50.0e6); // a 50 MB blob
+//! let client = stamp.attach_small_client();
+//! let h = sim.spawn(async move {
+//!     client.blob.get("data", "input").await.unwrap()
+//! });
+//! sim.run();
+//! let dl = h.try_take().unwrap();
+//! // A lone small instance downloads at ~13 MB/s.
+//! assert!(dl.rate_bps() > 10.0e6);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod blob;
+pub mod calib;
+pub mod error;
+pub mod queue;
+pub mod stamp;
+pub mod station;
+pub mod table;
+
+pub use blob::{BlobClient, BlobService, DownloadStats};
+pub use error::{Result, StorageError};
+pub use queue::{Message, PopReceipt, QueueClient, QueueService, ReceivedMessage};
+pub use stamp::{FaultProfile, StampConfig, StorageAccountClient, StorageStamp};
+pub use table::{Entity, PropValue, TableClient, TableService};
+

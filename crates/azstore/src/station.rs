@@ -1,0 +1,302 @@
+//! Service-station building blocks shared by the three storage services.
+//!
+//! Two mechanisms generate every concurrency curve in the paper's
+//! storage figures:
+//!
+//! * [`LoadedStation`] — processor-sharing style service whose per-request
+//!   time grows linearly with the number of requests in flight
+//!   (`s = (base + load·n) · jitter`). Models CPU/cache/IO pressure on
+//!   front-end and partition servers: per-client rates decline with
+//!   concurrency while aggregate throughput keeps rising toward an
+//!   asymptote — the Insert/Query/Peek behaviour ("we have not hit the
+//!   maximum server throughput").
+//!
+//! * [`ContendedLatch`] — an exclusive latch whose hold time inflates
+//!   with the number of waiters (`hold = h0 · (1 + waiters/scale) ·
+//!   jitter`) and which sheds load (ServerBusy) beyond a queue limit.
+//!   Models per-entity write latches and queue-head synchronization:
+//!   aggregate throughput peaks at a specific concurrency and *declines*
+//!   beyond it — the Update@8, Delete@128, Add/Receive@64 behaviour.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use simcore::prelude::*;
+
+use crate::error::{Result, StorageError};
+
+/// Multiplicative lognormal jitter around 1.0.
+pub(crate) fn jitter(rng: &mut SimRng, sigma: f64) -> f64 {
+    LogNormal::with_mean(1.0, sigma).sample(rng)
+}
+
+/// Decrements a shared counter on drop. Service futures are raced
+/// against client timeouts and may be dropped at any await point; the
+/// in-flight/waiter counts must unwind regardless (cancel-safety).
+struct CountGuard {
+    counter: Rc<Cell<usize>>,
+}
+
+impl CountGuard {
+    fn enter(counter: &Rc<Cell<usize>>) -> Self {
+        counter.set(counter.get() + 1);
+        CountGuard {
+            counter: Rc::clone(counter),
+        }
+    }
+}
+
+impl Drop for CountGuard {
+    fn drop(&mut self) {
+        self.counter.set(self.counter.get() - 1);
+    }
+}
+
+/// Load-dependent service station (see module docs).
+pub struct LoadedStation {
+    sim: Sim,
+    base_s: f64,
+    load_s: f64,
+    jitter_sigma: f64,
+    in_flight: Rc<Cell<usize>>,
+    served: Cell<u64>,
+}
+
+impl LoadedStation {
+    /// Station with fixed cost `base_s` plus `load_s` per in-flight
+    /// request, jittered lognormally.
+    pub fn new(sim: &Sim, base_s: f64, load_s: f64, jitter_sigma: f64) -> Self {
+        LoadedStation {
+            sim: sim.clone(),
+            base_s,
+            load_s,
+            jitter_sigma,
+            in_flight: Rc::new(Cell::new(0)),
+            served: Cell::new(0),
+        }
+    }
+
+    /// Requests currently in service.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.get()
+    }
+
+    /// Total requests served.
+    pub fn served(&self) -> u64 {
+        self.served.get()
+    }
+
+    /// Serve one request with an extra fixed cost `extra_s` (payload
+    /// transfer, scan length, …). Returns the service time spent.
+    /// Cancel-safe: dropping the future mid-service unwinds the
+    /// in-flight count.
+    pub async fn serve(&self, extra_s: f64, rng: &mut SimRng) -> SimDuration {
+        let guard = CountGuard::enter(&self.in_flight);
+        let n = self.in_flight.get();
+        let s = (self.base_s + self.load_s * n as f64 + extra_s)
+            * jitter(rng, self.jitter_sigma);
+        let d = SimDuration::from_secs_f64(s);
+        self.sim.delay(d).await;
+        drop(guard);
+        self.served.set(self.served.get() + 1);
+        d
+    }
+}
+
+/// Exclusive latch with contention-inflated hold and load shedding.
+pub struct ContendedLatch {
+    sim: Sim,
+    latch: Semaphore,
+    hold_s: f64,
+    hold_nscale: f64,
+    jitter_sigma: f64,
+    busy_queue_limit: usize,
+    waiters: Rc<Cell<usize>>,
+    held_total: Cell<u64>,
+    shed_total: Cell<u64>,
+}
+
+impl ContendedLatch {
+    /// `hold_s` base hold, inflating by `1 + waiters/hold_nscale`;
+    /// requests arriving when more than `busy_queue_limit` are already
+    /// queued are rejected with [`StorageError::ServerBusy`].
+    pub fn new(
+        sim: &Sim,
+        hold_s: f64,
+        hold_nscale: f64,
+        jitter_sigma: f64,
+        busy_queue_limit: usize,
+    ) -> Self {
+        ContendedLatch {
+            sim: sim.clone(),
+            latch: Semaphore::new(1),
+            hold_s,
+            hold_nscale,
+            jitter_sigma,
+            busy_queue_limit,
+            waiters: Rc::new(Cell::new(0)),
+            held_total: Cell::new(0),
+            shed_total: Cell::new(0),
+        }
+    }
+
+    /// Current queue length (including the holder).
+    pub fn contention(&self) -> usize {
+        self.waiters.get()
+    }
+
+    /// Total successful holds.
+    pub fn held_total(&self) -> u64 {
+        self.held_total.get()
+    }
+
+    /// Total requests shed with ServerBusy.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_total.get()
+    }
+
+    /// Acquire the latch, hold it for the (contention-dependent) commit
+    /// time scaled by `hold_factor` (entity-size scaling), release.
+    /// Cancel-safe: dropping the future at any point releases both the
+    /// waiter slot and (if held) the latch.
+    pub async fn commit(&self, hold_factor: f64, rng: &mut SimRng) -> Result<()> {
+        if self.waiters.get() > self.busy_queue_limit {
+            self.shed_total.set(self.shed_total.get() + 1);
+            return Err(StorageError::ServerBusy);
+        }
+        let guard = CountGuard::enter(&self.waiters);
+        let permit = self.latch.acquire().await;
+        // Hold time reflects the contention observed while committing.
+        let n = self.waiters.get() as f64;
+        let hold = self.hold_s
+            * hold_factor
+            * (1.0 + n / self.hold_nscale)
+            * jitter(rng, self.jitter_sigma);
+        self.sim.delay(SimDuration::from_secs_f64(hold)).await;
+        drop(permit);
+        drop(guard);
+        self.held_total.set(self.held_total.get() + 1);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    #[test]
+    fn loaded_station_single_request_takes_base_time() {
+        let sim = Sim::new(1);
+        let st = Rc::new(LoadedStation::new(&sim, 0.010, 0.001, 0.0));
+        let s = sim.clone();
+        let stc = Rc::clone(&st);
+        let h = sim.spawn(async move {
+            let mut rng = s.rng("t");
+            stc.serve(0.0, &mut rng).await.as_secs_f64()
+        });
+        sim.run();
+        let t = h.try_take().unwrap();
+        // base + load*1, no jitter.
+        assert!((t - 0.011).abs() < 1e-9, "t={t}");
+        assert_eq!(st.served(), 1);
+    }
+
+    #[test]
+    fn loaded_station_inflates_under_concurrency() {
+        // 50 concurrent requests must each take noticeably longer than a
+        // lone request, and the station must track in-flight correctly.
+        let sim = Sim::new(2);
+        let st = Rc::new(LoadedStation::new(&sim, 0.010, 0.001, 0.0));
+        let times: Rc<RefCell<Vec<f64>>> = Rc::default();
+        for i in 0..50 {
+            let (s, stc, tm) = (sim.clone(), Rc::clone(&st), times.clone());
+            sim.spawn(async move {
+                let mut rng = s.rng(&format!("c{i}"));
+                let d = stc.serve(0.0, &mut rng).await;
+                tm.borrow_mut().push(d.as_secs_f64());
+            });
+        }
+        sim.run();
+        let times = times.borrow();
+        let max = times.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max > 0.010 + 0.001 * 40.0, "max={max}");
+        assert_eq!(st.in_flight(), 0);
+        assert_eq!(st.served(), 50);
+    }
+
+    #[test]
+    fn latch_serializes_commits() {
+        let sim = Sim::new(3);
+        let latch = Rc::new(ContendedLatch::new(&sim, 0.005, 1e12, 0.0, 1000));
+        let done = Rc::new(Cell::new(0u32));
+        for i in 0..10 {
+            let (s, l, d) = (sim.clone(), Rc::clone(&latch), done.clone());
+            sim.spawn(async move {
+                let mut rng = s.rng(&format!("c{i}"));
+                l.commit(1.0, &mut rng).await.unwrap();
+                d.set(d.get() + 1);
+            });
+        }
+        sim.run();
+        assert_eq!(done.get(), 10);
+        // 10 serialized 5 ms holds -> at least 50 ms elapsed.
+        assert!(sim.now().as_secs_f64() >= 0.050 - 1e-9);
+        assert_eq!(latch.held_total(), 10);
+        assert_eq!(latch.shed_total(), 0);
+    }
+
+    #[test]
+    fn latch_hold_inflates_with_contention() {
+        // With hold_nscale small, heavy contention slows each commit, so
+        // total time for N commits grows superlinearly vs. uncontended.
+        let run = |n_clients: usize| {
+            let sim = Sim::new(4);
+            let latch = Rc::new(ContendedLatch::new(&sim, 0.005, 10.0, 0.0, 1000));
+            for i in 0..n_clients {
+                let (s, l) = (sim.clone(), Rc::clone(&latch));
+                sim.spawn(async move {
+                    let mut rng = s.rng(&format!("c{i}"));
+                    l.commit(1.0, &mut rng).await.unwrap();
+                });
+            }
+            sim.run();
+            sim.now().as_secs_f64() / n_clients as f64
+        };
+        let per_commit_2 = run(2);
+        let per_commit_40 = run(40);
+        assert!(
+            per_commit_40 > per_commit_2 * 1.5,
+            "contention did not inflate holds: {per_commit_2} vs {per_commit_40}"
+        );
+    }
+
+    #[test]
+    fn latch_sheds_load_beyond_queue_limit() {
+        let sim = Sim::new(5);
+        let latch = Rc::new(ContendedLatch::new(&sim, 0.010, 1e12, 0.0, 5));
+        let outcomes: Rc<RefCell<Vec<bool>>> = Rc::default();
+        for i in 0..20 {
+            let (s, l, o) = (sim.clone(), Rc::clone(&latch), outcomes.clone());
+            sim.spawn(async move {
+                let mut rng = s.rng(&format!("c{i}"));
+                let ok = l.commit(1.0, &mut rng).await.is_ok();
+                o.borrow_mut().push(ok);
+            });
+        }
+        sim.run();
+        let ok = outcomes.borrow().iter().filter(|&&b| b).count();
+        let shed = outcomes.borrow().iter().filter(|&&b| !b).count();
+        assert!(ok >= 5, "ok={ok}");
+        assert!(shed > 0, "expected load shedding");
+        assert_eq!(latch.shed_total() as usize, shed);
+    }
+
+    #[test]
+    fn jitter_is_mean_one() {
+        let mut rng = SimRng::from_seed(6);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| jitter(&mut rng, 0.18)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean={mean}");
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests on storage-service invariants: queue FIFO and
+//! exactly-once-per-receipt semantics, table key addressing, entity
+//! size accounting.
+
+use proptest::prelude::*;
+
+use azstore::{Entity, PropValue, StampConfig, StorageStamp};
+use simcore::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Whatever interleaving of add/receive+delete a single client
+    /// performs, messages come out in insertion order and each exactly
+    /// once.
+    #[test]
+    fn queue_is_fifo_exactly_once(ops in prop::collection::vec(prop::bool::ANY, 1..60)) {
+        let sim = Sim::new(0xF1F0);
+        let stamp = StorageStamp::standalone(&sim, StampConfig::default());
+        let client = stamp.attach_small_client();
+        let h = sim.spawn(async move {
+            let mut sent = 0u32;
+            let mut got = Vec::new();
+            for &do_add in &ops {
+                if do_add {
+                    client
+                        .queue
+                        .add("q", format!("{sent}"), 512.0)
+                        .await
+                        .unwrap();
+                    sent += 1;
+                } else if let Some(m) = client.queue.receive_default("q").await.unwrap() {
+                    client.queue.delete_message("q", m.receipt).await.unwrap();
+                    got.push(m.message.body.parse::<u32>().unwrap());
+                }
+            }
+            // Drain the rest.
+            while let Some(m) = client.queue.receive_default("q").await.unwrap() {
+                client.queue.delete_message("q", m.receipt).await.unwrap();
+                got.push(m.message.body.parse::<u32>().unwrap());
+            }
+            (sent, got)
+        });
+        sim.run();
+        let (sent, got) = h.try_take().unwrap();
+        prop_assert_eq!(got.len() as u32, sent);
+        prop_assert!(got.windows(2).all(|w| w[0] < w[1]), "out of order: {:?}", got);
+    }
+
+    /// Entity wire size grows exactly with its payload and never
+    /// undercounts the keys.
+    #[test]
+    fn entity_size_accounts_payload(
+        pk in "[a-z]{1,20}",
+        rk in "[a-z0-9]{1,20}",
+        pad in 0usize..5000,
+    ) {
+        let e = Entity::new(pk.clone(), rk.clone())
+            .with("v", PropValue::Str("x".repeat(pad)));
+        let expect = pk.len() + rk.len() + 1 + pad;
+        prop_assert!((e.size() - expect as f64).abs() < 1e-9);
+        // Adding a property strictly grows the size.
+        let bigger = e.clone().with("w", PropValue::I64(0));
+        prop_assert!(bigger.size() > e.size());
+    }
+
+    /// Inserted entities are retrievable by exactly their keys — near
+    /// misses return NotFound.
+    #[test]
+    fn table_is_key_addressed(keys in prop::collection::btree_set("[a-z]{1,6}", 1..12)) {
+        let sim = Sim::new(0x7AB);
+        let stamp = StorageStamp::standalone(&sim, StampConfig::default());
+        let client = stamp.attach_small_client();
+        let keys: Vec<String> = keys.into_iter().collect();
+        let n_keys = keys.len();
+        let h = sim.spawn(async move {
+            for k in &keys {
+                client
+                    .table
+                    .insert("t", Entity::new("p", k.clone()))
+                    .await
+                    .unwrap();
+            }
+            let mut hits = 0;
+            for k in &keys {
+                if client.table.query_point("t", "p", k).await.is_ok() {
+                    hits += 1;
+                }
+            }
+            let miss = client.table.query_point("t", "p", "@@nope@@").await;
+            (hits, miss.is_err())
+        });
+        sim.run();
+        let (hits, missed) = h.try_take().unwrap();
+        prop_assert_eq!(hits, n_keys);
+        prop_assert!(missed);
+    }
+
+    /// Blob namespace: put_new succeeds exactly once per name,
+    /// regardless of the order of attempts.
+    #[test]
+    fn blob_create_if_absent_is_exactly_once(names in prop::collection::vec(0u8..6, 2..20)) {
+        let sim = Sim::new(0xB10B);
+        let stamp = StorageStamp::standalone(&sim, StampConfig::default());
+        let client = stamp.attach_small_client();
+        let names2 = names.clone();
+        let h = sim.spawn(async move {
+            let mut created = 0usize;
+            for n in &names2 {
+                if client
+                    .blob
+                    .put_new("c", &format!("b{n}"), 100.0)
+                    .await
+                    .is_ok()
+                {
+                    created += 1;
+                }
+            }
+            created
+        });
+        sim.run();
+        let created = h.try_take().unwrap();
+        let distinct: std::collections::BTreeSet<u8> = names.into_iter().collect();
+        prop_assert_eq!(created, distinct.len());
+    }
+}

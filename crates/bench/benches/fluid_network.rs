@@ -1,0 +1,79 @@
+//! Criterion benches for the fluid-flow network — including the
+//! DESIGN.md ablation: cost of a max-min rate recomputation as a
+//! function of the number of active flows. This is the price paid for
+//! choosing fluid flows over packet simulation, and it must stay
+//! sub-millisecond at the paper's 192-client scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcnet::fluid::{max_min_rates, FlowSpec};
+use dcnet::{LinkModel, Network};
+use simcore::prelude::*;
+
+fn bench_max_min_allocation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fluid/max_min_rates");
+    for flows in [16usize, 64, 192, 512] {
+        g.bench_with_input(BenchmarkId::from_parameter(flows), &flows, |b, &flows| {
+            // A storage-like scenario: shared egress + per-flow frontend
+            // + one throttle link per client.
+            let mut models = vec![
+                LinkModel::SharedDegrading {
+                    capacity: 400.0e6,
+                    knee: 128,
+                    gamma: 0.002,
+                },
+                LinkModel::PerFlow {
+                    base: 13.0e6,
+                    beta: 34.0,
+                    exponent: 0.8,
+                },
+            ];
+            let mut specs = Vec::new();
+            for i in 0..flows {
+                models.push(LinkModel::Shared { capacity: 13.0e6 });
+                specs.push(FlowSpec {
+                    cap: f64::INFINITY,
+                    links: vec![0usize, 1, 2 + i],
+                });
+            }
+            b.iter(|| {
+                let rates = max_min_rates(&models, &specs);
+                assert_eq!(rates.len(), flows);
+                std::hint::black_box(rates);
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_transfer_churn(c: &mut Criterion) {
+    // End-to-end: many flows joining/leaving a shared pipe, which is the
+    // recompute-heavy pattern of the Fig 1 sweep.
+    let mut g = c.benchmark_group("fluid/transfer_churn");
+    for flows in [32usize, 128] {
+        g.bench_with_input(BenchmarkId::from_parameter(flows), &flows, |b, &flows| {
+            b.iter(|| {
+                let sim = Sim::new(9);
+                let net = Network::new(&sim);
+                let pipe = net.add_link("pipe", LinkModel::Shared { capacity: 1.0e8 });
+                for i in 0..flows {
+                    let n = net.clone();
+                    let s = sim.clone();
+                    sim.spawn(async move {
+                        s.delay(SimDuration::from_millis(i as u64)).await;
+                        n.transfer(&[pipe], 1.0e6, f64::INFINITY).await;
+                    });
+                }
+                sim.run();
+                assert_eq!(net.flows_completed() as usize, flows);
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_max_min_allocation, bench_transfer_churn
+);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Criterion benches for the DES kernel: raw event throughput, process
+//! spawning, channels and semaphores. These quantify the cost basis of
+//! every experiment (a full ModisAzure campaign is ~10⁸ events).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simcore::prelude::*;
+
+fn bench_timer_events(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel/timers");
+    for n in [1_000u64, 10_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let sim = Sim::new(1);
+                for i in 0..n {
+                    sim.schedule_at(
+                        SimTime::from_nanos(i * 7 % 1_000_000),
+                        |_| {},
+                    );
+                }
+                sim.run();
+                assert_eq!(sim.events_fired(), n);
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_process_ping_pong(c: &mut Criterion) {
+    c.bench_function("kernel/process_ping_pong_1k", |b| {
+        b.iter(|| {
+            let sim = Sim::new(2);
+            let (tx_a, rx_a) = channel::<u32>();
+            let (tx_b, rx_b) = channel::<u32>();
+            sim.spawn(async move {
+                for i in 0..1_000 {
+                    tx_a.send(i);
+                    rx_b.recv().await;
+                }
+            });
+            sim.spawn(async move {
+                while let Some(v) = rx_a.recv().await {
+                    tx_b.send(v);
+                }
+            });
+            sim.run();
+        });
+    });
+}
+
+fn bench_semaphore_contention(c: &mut Criterion) {
+    c.bench_function("kernel/semaphore_100x100", |b| {
+        b.iter(|| {
+            let sim = Sim::new(3);
+            let sem = Semaphore::new(4);
+            for _ in 0..100 {
+                let (s, sm) = (sim.clone(), sem.clone());
+                sim.spawn(async move {
+                    for _ in 0..100 {
+                        let _p = sm.acquire().await;
+                        s.delay(SimDuration::from_nanos(10)).await;
+                    }
+                });
+            }
+            sim.run();
+            assert_eq!(sem.acquired_total(), 10_000);
+        });
+    });
+}
+
+fn bench_spawn_throughput(c: &mut Criterion) {
+    c.bench_function("kernel/spawn_10k_tasks", |b| {
+        b.iter(|| {
+            let sim = Sim::new(4);
+            for _ in 0..10_000 {
+                let s = sim.clone();
+                sim.spawn(async move {
+                    s.delay(SimDuration::from_nanos(1)).await;
+                });
+            }
+            sim.run();
+            assert_eq!(sim.tasks_spawned(), 10_000);
+        });
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_timer_events,
+        bench_process_ping_pong,
+        bench_semaphore_contention,
+        bench_spawn_throughput
+);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Criterion benches for the storage stamp's operation fast paths:
+//! how many *simulated* storage operations per wall-clock second the
+//! reproduction sustains. The table experiment pushes ~10⁵ and the
+//! ModisAzure campaign ~10⁷ of these.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use azstore::{Entity, StampConfig, StorageStamp};
+use simcore::prelude::*;
+
+fn bench_blob_roundtrip(c: &mut Criterion) {
+    c.bench_function("storage/blob_put_get_x100", |b| {
+        b.iter(|| {
+            let sim = Sim::new(1);
+            let stamp = StorageStamp::standalone(&sim, StampConfig::default());
+            let client = stamp.attach_small_client();
+            let h = sim.spawn(async move {
+                for i in 0..100 {
+                    let name = format!("b{i}");
+                    client.blob.put("bench", &name, 1.0e5).await.unwrap();
+                    client.blob.get("bench", &name).await.unwrap();
+                }
+            });
+            sim.run();
+            h.try_take().unwrap();
+        });
+    });
+}
+
+fn bench_table_insert_query(c: &mut Criterion) {
+    c.bench_function("storage/table_insert_query_x200", |b| {
+        b.iter(|| {
+            let sim = Sim::new(2);
+            let stamp = StorageStamp::standalone(&sim, StampConfig::default());
+            let client = stamp.attach_small_client();
+            let h = sim.spawn(async move {
+                for i in 0..200 {
+                    let e = Entity::benchmark("p", &format!("r{i}"), 4);
+                    client.table.insert("t", e).await.unwrap();
+                }
+                for i in 0..200 {
+                    client
+                        .table
+                        .query_point("t", "p", &format!("r{i}"))
+                        .await
+                        .unwrap();
+                }
+            });
+            sim.run();
+            h.try_take().unwrap();
+        });
+    });
+}
+
+fn bench_queue_cycle(c: &mut Criterion) {
+    c.bench_function("storage/queue_add_recv_delete_x200", |b| {
+        b.iter(|| {
+            let sim = Sim::new(3);
+            let stamp = StorageStamp::standalone(&sim, StampConfig::default());
+            let client = stamp.attach_small_client();
+            let h = sim.spawn(async move {
+                for i in 0..200 {
+                    client.queue.add("q", format!("m{i}"), 512.0).await.unwrap();
+                }
+                for _ in 0..200 {
+                    let m = client.queue.receive_default("q").await.unwrap().unwrap();
+                    client.queue.delete_message("q", m.receipt).await.unwrap();
+                }
+            });
+            sim.run();
+            h.try_take().unwrap();
+        });
+    });
+}
+
+fn bench_concurrent_table_clients(c: &mut Criterion) {
+    // The expensive shape: many concurrent clients through the latches.
+    c.bench_function("storage/table_64clients_x20ops", |b| {
+        b.iter(|| {
+            let sim = Sim::new(4);
+            let stamp = StorageStamp::standalone(&sim, StampConfig::default());
+            for ci in 0..64 {
+                let client = stamp.attach_small_client();
+                sim.spawn(async move {
+                    for i in 0..20 {
+                        let e = Entity::benchmark("p", &format!("c{ci}-r{i}"), 4);
+                        client.table.insert("t", e).await.unwrap();
+                    }
+                });
+            }
+            sim.run();
+            assert_eq!(stamp.table_service().ops(), 64 * 20);
+        });
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_blob_roundtrip,
+        bench_table_insert_query,
+        bench_queue_cycle,
+        bench_concurrent_table_clients
+);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Regenerate Fig 2: average per-client table performance vs concurrency
+//! (paper §3.2), including the 64 kB high-concurrency timeout behaviour.
+
+use bench::{quick_mode, save};
+use cloudbench::experiments::table::{self, TableOp, TableScalingConfig};
+use simcore::report::Csv;
+
+fn main() {
+    let base = if quick_mode() {
+        TableScalingConfig::quick()
+    } else {
+        TableScalingConfig::default()
+    };
+
+    // The headline figure at 4 kB.
+    eprintln!("fig2: 4 kB sweep over {:?} clients ...", base.client_counts);
+    let result = table::run(&base);
+    println!("{}", result.render());
+
+    let mut csv = Csv::new();
+    csv.row(&[
+        "op",
+        "clients",
+        "per_client_ops_s",
+        "aggregate_ops_s",
+        "ok",
+        "timeouts",
+        "busy",
+        "clients_fully_ok",
+    ]);
+    for r in &result.rows {
+        csv.row(&[
+            r.op.to_string(),
+            r.clients.to_string(),
+            format!("{:.3}", r.per_client_ops_s),
+            format!("{:.2}", r.aggregate_ops_s),
+            r.ok.to_string(),
+            r.timeouts.to_string(),
+            r.busy.to_string(),
+            r.clients_fully_ok.to_string(),
+        ]);
+    }
+    save("fig2.csv", csv.as_str());
+
+    let mut summary = String::new();
+    summary.push_str("Paper anchors (Fig 2, shapes):\n");
+    for op in TableOp::ALL {
+        let peak = result.peak_clients(op);
+        summary.push_str(&format!("  {op}: aggregate throughput peaks at {peak} clients\n"));
+    }
+    summary.push_str(
+        "  paper: Insert/Query unsaturated at 192; Update peaks at 8; Delete peaks at 128\n",
+    );
+
+    // The 64 kB cliff (only the insert phase matters).
+    let cliff_cfg = TableScalingConfig {
+        entity_kb: 64,
+        client_counts: vec![64, 128, 192],
+        inserts_per_client: if quick_mode() { 60 } else { 500 },
+        queries_per_client: 0,
+        updates_per_client: 0,
+        ..base
+    };
+    eprintln!("fig2: 64 kB insert cliff at {:?} clients ...", cliff_cfg.client_counts);
+    let cliff = table::run(&cliff_cfg);
+    summary.push_str("\n64 kB Insert (paper: 94/128 and 89/192 clients finished cleanly):\n");
+    for clients in [64usize, 128, 192] {
+        if let Some(r) = cliff.at(TableOp::Insert, clients) {
+            summary.push_str(&format!(
+                "  {} clients: {} finished without errors, {} timeouts\n",
+                clients, r.clients_fully_ok, r.timeouts
+            ));
+        }
+    }
+    print!("{summary}");
+    save("fig2.anchors.txt", &summary);
+}

@@ -1,0 +1,41 @@
+//! Regenerate Fig 4: cumulative TCP latency between two small VMs
+//! communicating through TCP internal endpoints (paper §4.2).
+
+use bench::{print_anchors, quick_mode, save};
+use cloudbench::anchors;
+use cloudbench::experiments::tcp::{self, TcpLatencyConfig};
+use simcore::report::Csv;
+
+fn main() {
+    let cfg = if quick_mode() {
+        TcpLatencyConfig {
+            pairs: 10,
+            samples_per_pair: 200,
+            ..TcpLatencyConfig::default()
+        }
+    } else {
+        TcpLatencyConfig::default()
+    };
+    eprintln!(
+        "fig4: {} pairs x {} RTT samples ...",
+        cfg.pairs, cfg.samples_per_pair
+    );
+    let result = tcp::run_latency(&cfg);
+    println!("{}", result.render());
+
+    let mut csv = Csv::new();
+    csv.row(&["latency_ms", "cumulative_fraction"]);
+    for (v, f) in result.samples_ms.cdf().into_iter().step_by(25) {
+        csv.row(&[format!("{v:.4}"), format!("{f:.4}")]);
+    }
+    save("fig4.csv", csv.as_str());
+
+    let block = print_anchors(
+        "Paper anchors (Fig 4):",
+        &[
+            (anchors::FIG4_LE_1MS, result.fraction_at_most(1.0)),
+            (anchors::FIG4_LE_2MS, result.fraction_at_most(2.0)),
+        ],
+    );
+    save("fig4.anchors.txt", &block);
+}

@@ -1,0 +1,40 @@
+//! Regenerate Fig 5: cumulative TCP bandwidth between two small VMs
+//! sending 2 GB through TCP internal endpoints (paper §4.2).
+
+use bench::{print_anchors, quick_mode, save};
+use cloudbench::anchors;
+use cloudbench::experiments::tcp::{self, TcpBandwidthConfig};
+use simcore::report::Csv;
+
+fn main() {
+    let cfg = if quick_mode() {
+        TcpBandwidthConfig::quick()
+    } else {
+        TcpBandwidthConfig::default()
+    };
+    eprintln!(
+        "fig5: {} rounds x {} pairs x {} transfers of {:.1} GB ...",
+        cfg.rounds,
+        cfg.pairs_per_round,
+        cfg.transfers_per_pair,
+        cfg.bytes / 1.0e9
+    );
+    let result = tcp::run_bandwidth(&cfg);
+    println!("{}", result.render());
+
+    let mut csv = Csv::new();
+    csv.row(&["bandwidth_mbps", "cumulative_fraction"]);
+    for (v, f) in result.samples_mbps.cdf() {
+        csv.row(&[format!("{v:.2}"), format!("{f:.4}")]);
+    }
+    save("fig5.csv", csv.as_str());
+
+    let block = print_anchors(
+        "Paper anchors (Fig 5):",
+        &[
+            (anchors::FIG5_GE_90MBPS, result.fraction_at_least(90.0)),
+            (anchors::FIG5_LE_30MBPS, result.fraction_at_most(30.0)),
+        ],
+    );
+    save("fig5.anchors.txt", &block);
+}

@@ -1,0 +1,48 @@
+//! Regenerate Fig 7: percent of daily task executions killed by the VM
+//! execution timeout over the campaign (paper §5.2).
+
+use bench::{print_anchors, quick_mode, save};
+use cloudbench::anchors;
+use modis::{run_campaign, ModisConfig};
+use simcore::report::Csv;
+
+fn main() {
+    let cfg = if quick_mode() {
+        ModisConfig::quick()
+    } else {
+        ModisConfig::default()
+    };
+    eprintln!(
+        "fig7: {}-day campaign, {} workers ...",
+        cfg.days, cfg.workers
+    );
+    let report = run_campaign(cfg);
+    println!("{}", report.telemetry.render_fig7());
+
+    let mut csv = Csv::new();
+    csv.row(&["day", "executions", "vm_timeouts", "fraction"]);
+    for (day, total, hits, frac) in report.telemetry.daily_timeout_rows() {
+        csv.row(&[
+            day.to_string(),
+            total.to_string(),
+            hits.to_string(),
+            format!("{frac:.5}"),
+        ]);
+    }
+    save("fig7.csv", csv.as_str());
+
+    let block = print_anchors(
+        "Paper anchors (Fig 7):",
+        &[
+            (
+                anchors::TAB2_VM_TIMEOUT_RATE,
+                report.telemetry.overall_timeout_fraction(),
+            ),
+            (
+                anchors::FIG7_MAX_DAILY,
+                report.telemetry.max_daily_timeout_fraction(),
+            ),
+        ],
+    );
+    save("fig7.anchors.txt", &block);
+}

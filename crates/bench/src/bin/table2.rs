@@ -1,0 +1,44 @@
+//! Regenerate Table 2: the ModisAzure task breakdown and failure
+//! taxonomy over the Feb–Sep 2010 campaign (paper §5.2).
+//!
+//! Full scale runs ≈ 3 M task executions (a few minutes of wall time);
+//! `--quick` runs a scaled-down month.
+
+use bench::{print_anchors, quick_mode, save};
+use cloudbench::anchors;
+use modis::{run_campaign, ModisConfig};
+
+fn main() {
+    let cfg = if quick_mode() {
+        ModisConfig::quick()
+    } else {
+        ModisConfig::default()
+    };
+    eprintln!(
+        "table2: {}-day campaign, {} workers (this simulates millions of task executions) ...",
+        cfg.days, cfg.workers
+    );
+    let report = run_campaign(cfg);
+    println!("{}", report.telemetry.render_table2());
+    println!(
+        "distinct tasks: {}   executions: {}   executions/task: {:.3}  [paper: ~2.7M distinct, 3.05M executions, 1.13]",
+        report.distinct_tasks,
+        report.executions,
+        report.executions_per_task()
+    );
+    println!(
+        "campaign: {} requests, {} monitor kills, {} sim events, drained in {}",
+        report.manager.requests, report.monitor_kills, report.events, report.elapsed
+    );
+    save("table2.txt", &report.telemetry.render_table2());
+
+    let t = &report.telemetry;
+    let block = print_anchors(
+        "Paper anchors (Table 2):",
+        &[
+            (anchors::TAB2_SUCCESS_RATE, t.fraction(modis::Outcome::Success)),
+            (anchors::TAB2_VM_TIMEOUT_RATE, t.overall_timeout_fraction()),
+        ],
+    );
+    save("table2.anchors.txt", &block);
+}

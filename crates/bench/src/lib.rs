@@ -1,0 +1,90 @@
+//! Shared plumbing for the regeneration binaries: anchor comparison
+//! printing and CSV output into `results/` at the workspace root.
+//!
+//! Every binary regenerates one paper artifact:
+//!
+//! | Binary   | Artifact | Full-scale runtime (release) |
+//! |----------|----------|------------------------------|
+//! | `fig1`   | Fig 1 — blob bandwidth vs concurrency | ~1 min |
+//! | `fig2`   | Fig 2 — table ops vs concurrency | ~2 min |
+//! | `fig3`   | Fig 3 — queue ops vs concurrency | ~1 min |
+//! | `fig4`   | Fig 4 — TCP latency histogram | seconds |
+//! | `fig5`   | Fig 5 — TCP bandwidth histogram | ~1 min |
+//! | `table1` | Table 1 — VM lifecycle campaign (431 runs) | ~1 min |
+//! | `table2` | Table 2 — ModisAzure task breakdown | minutes |
+//! | `fig7`   | Fig 7 — daily VM-timeout percentages | minutes |
+//!
+//! All accept `--quick` for a scaled-down run.
+
+use std::fs;
+use std::path::PathBuf;
+
+use cloudbench::Anchor;
+
+/// True if `--quick` was passed.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Directory regeneration outputs land in (`results/` in the workspace).
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results");
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+/// Write a text artifact into `results/`.
+pub fn save(name: &str, contents: &str) {
+    let path = results_dir().join(name);
+    if fs::write(&path, contents).is_ok() {
+        println!("[saved {}]", path.display());
+    }
+}
+
+/// Render one paper-vs-measured anchor line.
+pub fn anchor_line(anchor: &Anchor, measured: f64) -> String {
+    let verdict = if anchor.matches(measured) { "OK " } else { "OFF" };
+    format!(
+        "  [{verdict}] {:<40} paper {:>10.3}  measured {:>10.3}  ({:+.1}%)",
+        anchor.name,
+        anchor.paper,
+        measured,
+        anchor.rel_err(measured) * 100.0
+    )
+}
+
+/// Print a block of anchor comparisons with a heading.
+pub fn print_anchors(title: &str, rows: &[(Anchor, f64)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    for (a, m) in rows {
+        out.push_str(&anchor_line(a, *m));
+        out.push('\n');
+    }
+    print!("{out}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchor_line_marks_hits_and_misses() {
+        let a = Anchor {
+            name: "x",
+            paper: 10.0,
+            rel_tol: 0.1,
+        };
+        assert!(anchor_line(&a, 10.5).contains("OK"));
+        assert!(anchor_line(&a, 20.0).contains("OFF"));
+    }
+
+    #[test]
+    fn results_dir_is_creatable() {
+        let d = results_dir();
+        assert!(d.ends_with("results"));
+    }
+}

@@ -1,0 +1,201 @@
+//! The paper's published anchor numbers, as data.
+//!
+//! Used by EXPERIMENTS.md generation and by the integration tests to
+//! report paper-vs-measured side by side. Each constant cites its
+//! sentence in the paper.
+
+/// An anchor: a named scalar the paper reports, with the tolerance used
+/// when we compare the reproduction against it.
+#[derive(Debug, Clone, Copy)]
+pub struct Anchor {
+    /// Short identifier (also used in EXPERIMENTS.md).
+    pub name: &'static str,
+    /// The paper's value.
+    pub paper: f64,
+    /// Relative tolerance for "reproduced" (0.15 = ±15 %).
+    pub rel_tol: f64,
+}
+
+impl Anchor {
+    /// True if `measured` lies within the anchor's tolerance.
+    pub fn matches(&self, measured: f64) -> bool {
+        if self.paper == 0.0 {
+            return measured.abs() < self.rel_tol;
+        }
+        ((measured - self.paper) / self.paper).abs() <= self.rel_tol
+    }
+
+    /// Relative error of a measurement.
+    pub fn rel_err(&self, measured: f64) -> f64 {
+        if self.paper == 0.0 {
+            measured.abs()
+        } else {
+            (measured - self.paper) / self.paper
+        }
+    }
+}
+
+/// Fig 1: single-client download bandwidth, MB/s ("approximately 13 MB/s").
+pub const FIG1_DL_1CLIENT_MBPS: Anchor = Anchor {
+    name: "fig1.download.per_client@1",
+    paper: 13.0,
+    rel_tol: 0.15,
+};
+
+/// Fig 1: per-client at 32 clients relative to 1 client ("half").
+pub const FIG1_DL_32CLIENT_RATIO: Anchor = Anchor {
+    name: "fig1.download.ratio32",
+    paper: 0.5,
+    rel_tol: 0.25,
+};
+
+/// Fig 1: peak aggregate download, MB/s ("393.4 MB/s ... 128 clients").
+pub const FIG1_DL_PEAK_MBPS: Anchor = Anchor {
+    name: "fig1.download.aggregate@128",
+    paper: 393.4,
+    rel_tol: 0.12,
+};
+
+/// Fig 1: upload per client at 64, MB/s ("∼1.25 MB/s for 64 VMs").
+pub const FIG1_UL_64CLIENT_MBPS: Anchor = Anchor {
+    name: "fig1.upload.per_client@64",
+    paper: 1.25,
+    rel_tol: 0.25,
+};
+
+/// Fig 1: upload per client at 192, MB/s ("∼0.65 MB/s for 192 VMs").
+pub const FIG1_UL_192CLIENT_MBPS: Anchor = Anchor {
+    name: "fig1.upload.per_client@192",
+    paper: 0.65,
+    rel_tol: 0.25,
+};
+
+/// Fig 1: peak aggregate upload, MB/s ("124.25 MB/s ... 192 clients").
+pub const FIG1_UL_PEAK_MBPS: Anchor = Anchor {
+    name: "fig1.upload.aggregate@192",
+    paper: 124.25,
+    rel_tol: 0.15,
+};
+
+/// Fig 3: Add service-side peak, ops/s ("peaks at 64 concurrent clients
+/// with 569").
+pub const FIG3_ADD_PEAK_OPS: Anchor = Anchor {
+    name: "fig3.add.aggregate@64",
+    paper: 569.0,
+    rel_tol: 0.20,
+};
+
+/// Fig 3: Receive service-side peak, ops/s ("... and 424 ops/s").
+pub const FIG3_RECV_PEAK_OPS: Anchor = Anchor {
+    name: "fig3.receive.aggregate@64",
+    paper: 424.0,
+    rel_tol: 0.20,
+};
+
+/// Fig 3: Peek throughput at 128 clients ("3392 ops/s").
+pub const FIG3_PEEK_128_OPS: Anchor = Anchor {
+    name: "fig3.peek.aggregate@128",
+    paper: 3392.0,
+    rel_tol: 0.15,
+};
+
+/// Fig 3: Peek throughput at 192 clients ("3878 ops/s").
+pub const FIG3_PEEK_192_OPS: Anchor = Anchor {
+    name: "fig3.peek.aggregate@192",
+    paper: 3878.0,
+    rel_tol: 0.15,
+};
+
+/// Table 1 (headline): worker small create+run, seconds (~9–10 min).
+pub const TAB1_SMALL_WORKER_STARTUP_S: Anchor = Anchor {
+    name: "table1.worker.small.create_plus_run",
+    paper: 619.0,
+    rel_tol: 0.15,
+};
+
+/// §4.1: VM startup failure rate ("2.6%").
+pub const TAB1_STARTUP_FAILURE_RATE: Anchor = Anchor {
+    name: "table1.startup_failure_rate",
+    paper: 0.026,
+    rel_tol: 0.8,
+};
+
+/// Fig 4: fraction of RTTs ≤ 1 ms ("approximately 50% of the time").
+pub const FIG4_LE_1MS: Anchor = Anchor {
+    name: "fig4.latency.fraction_le_1ms",
+    paper: 0.50,
+    rel_tol: 0.22,
+};
+
+/// Fig 4: fraction of RTTs ≤ 2 ms ("75% of the time").
+pub const FIG4_LE_2MS: Anchor = Anchor {
+    name: "fig4.latency.fraction_le_2ms",
+    paper: 0.75,
+    rel_tol: 0.15,
+};
+
+/// Fig 5: fraction of transfers ≥ 90 MB/s ("50% of the time").
+pub const FIG5_GE_90MBPS: Anchor = Anchor {
+    name: "fig5.bandwidth.fraction_ge_90",
+    paper: 0.50,
+    rel_tol: 0.35,
+};
+
+/// Fig 5: fraction ≤ 30 MB/s ("for the lower end of the sample – 15%").
+pub const FIG5_LE_30MBPS: Anchor = Anchor {
+    name: "fig5.bandwidth.fraction_le_30",
+    paper: 0.15,
+    rel_tol: 0.8,
+};
+
+/// Table 2: overall VM-execution-timeout rate ("5300 task executions ...
+/// representing 0.17%").
+pub const TAB2_VM_TIMEOUT_RATE: Anchor = Anchor {
+    name: "table2.vm_timeout_rate",
+    paper: 0.0017,
+    rel_tol: 0.9,
+};
+
+/// Fig 7: maximum daily timeout fraction ("0% to nearly 16%").
+pub const FIG7_MAX_DAILY: Anchor = Anchor {
+    name: "fig7.max_daily_timeout_fraction",
+    paper: 0.16,
+    rel_tol: 0.8,
+};
+
+/// Table 2: success rate (65.50 %).
+pub const TAB2_SUCCESS_RATE: Anchor = Anchor {
+    name: "table2.success_rate",
+    paper: 0.655,
+    rel_tol: 0.25,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_respects_tolerance() {
+        assert!(FIG1_DL_1CLIENT_MBPS.matches(12.0));
+        assert!(!FIG1_DL_1CLIENT_MBPS.matches(7.0));
+        assert!(FIG1_DL_PEAK_MBPS.matches(360.0));
+        assert!(!FIG1_DL_PEAK_MBPS.matches(200.0));
+    }
+
+    #[test]
+    fn rel_err_signs() {
+        assert!(FIG4_LE_1MS.rel_err(0.45) < 0.0);
+        assert!(FIG4_LE_1MS.rel_err(0.55) > 0.0);
+    }
+
+    #[test]
+    fn zero_paper_value_uses_absolute() {
+        let a = Anchor {
+            name: "zero",
+            paper: 0.0,
+            rel_tol: 0.1,
+        };
+        assert!(a.matches(0.05));
+        assert!(!a.matches(0.2));
+    }
+}

@@ -1,0 +1,17 @@
+//! The paper's experiments, one module per table/figure.
+//!
+//! | Module | Paper artifact | Regeneration binary |
+//! |---|---|---|
+//! | [`blob`]  | Fig 1 — blob bandwidth vs concurrency | `fig1` |
+//! | [`table`] | Fig 2 — table ops vs concurrency | `fig2` |
+//! | [`queue`] | Fig 3 — queue ops vs concurrency | `fig3` |
+//! | [`vm`]    | Table 1 — VM lifecycle times | `table1` |
+//! | [`tcp`]   | Figs 4 & 5 — TCP latency / bandwidth | `fig4`, `fig5` |
+//!
+//! (Table 2 and Fig 7 come from the `modis` crate's campaign.)
+
+pub mod blob;
+pub mod queue;
+pub mod table;
+pub mod tcp;
+pub mod vm;

@@ -1,0 +1,90 @@
+//! Sweep execution machinery.
+//!
+//! Each sweep point (a client count, a repeated run) is an independent
+//! simulation, so points parallelize perfectly across OS threads — the
+//! data-parallel idiom the HPC guides prescribe, implemented with scoped
+//! threads plus a crossbeam channel to stream results back as they
+//! complete (a `Sim` itself is single-threaded and `!Send`; only the
+//! *results* cross threads).
+
+use crossbeam::channel;
+
+/// The concurrency ladder used throughout the paper: "For all our tests
+/// we use from 1 to 192 concurrent clients" (§3).
+pub const CLIENT_COUNTS: [usize; 9] = [1, 2, 4, 8, 16, 32, 64, 128, 192];
+
+/// Run `f` over `points`, one OS thread per point (points are whole
+/// simulations; counts are small). Results come back in input order.
+pub fn parallel_sweep<T, R, F>(points: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = points.len();
+    let (tx, rx) = channel::unbounded::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for (i, p) in points.into_iter().enumerate() {
+            let tx = tx.clone();
+            let f = &f;
+            scope.spawn(move || {
+                let r = f(p);
+                // Receiver outlives all senders inside the scope.
+                let _ = tx.send((i, r));
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        while let Ok((i, r)) = rx.recv() {
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("worker thread dropped its result"))
+            .collect()
+    })
+}
+
+/// Mean of a slice (0 for empty) — tiny helper shared by experiments.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_preserves_input_order() {
+        let out = parallel_sweep(vec![5u64, 1, 4, 2], |x| {
+            // Stagger so completion order differs from input order.
+            std::thread::sleep(std::time::Duration::from_millis(x * 3));
+            x * 10
+        });
+        assert_eq!(out, vec![50, 10, 40, 20]);
+    }
+
+    #[test]
+    fn sweep_handles_empty_and_single() {
+        let empty: Vec<u32> = parallel_sweep(Vec::<u32>::new(), |x| x);
+        assert!(empty.is_empty());
+        assert_eq!(parallel_sweep(vec![7], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn client_ladder_matches_paper() {
+        assert_eq!(CLIENT_COUNTS.first(), Some(&1));
+        assert_eq!(CLIENT_COUNTS.last(), Some(&192));
+        assert!(CLIENT_COUNTS.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn mean_helper() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Topology-aware round-trip latency model.
+//!
+//! Reproduces Fig 4 of the paper ("approximately 50% of the time the
+//! latency is equal to 1 ms; 75% of the time the latency is 2 ms or
+//! better ... the most common case is to find in the datacenter latency
+//! that is similar to our LAN"). Mechanism: the RTT between two VMs is a
+//! placement-dependent base (same rack / cross rack / distant cluster)
+//! plus exponential queueing jitter plus a rare heavy-tailed congestion
+//! spike. The placement mixture and component scales are the calibrated
+//! constants; the *shape* (LAN-like mode with a long contended tail)
+//! falls out of the mechanism.
+
+use simcore::prelude::*;
+
+/// Placement classes for a VM pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairPlacement {
+    /// Same rack: sub-millisecond base.
+    SameRack,
+    /// Different rack, same cluster: one aggregation hop.
+    CrossRack,
+    /// Distant placement (different aggregation domain).
+    Distant,
+}
+
+/// Calibrated latency parameters. All times in milliseconds.
+#[derive(Debug, Clone)]
+pub struct LatencyModel {
+    /// P(pair lands in the same rack).
+    pub p_same_rack: f64,
+    /// P(pair lands cross-rack, same cluster).
+    pub p_cross_rack: f64,
+    /// Base RTT per placement class (ms).
+    pub base_same_rack_ms: f64,
+    /// Base RTT cross-rack (ms).
+    pub base_cross_rack_ms: f64,
+    /// Base RTT distant (ms).
+    pub base_distant_ms: f64,
+    /// Mean of the exponential queueing jitter per class (ms).
+    pub jitter_same_ms: f64,
+    /// Jitter mean cross-rack (ms).
+    pub jitter_cross_ms: f64,
+    /// Jitter mean distant (ms).
+    pub jitter_distant_ms: f64,
+    /// Probability any given sample hits a congestion episode.
+    pub p_spike: f64,
+    /// Pareto scale of the spike (ms).
+    pub spike_scale_ms: f64,
+    /// Pareto shape of the spike.
+    pub spike_alpha: f64,
+}
+
+impl Default for LatencyModel {
+    /// Calibration targets (paper §4.2, Fig 4): P(RTT ≤ 1 ms) ≈ 0.50,
+    /// P(RTT ≤ 2 ms) ≈ 0.75, observable tail into tens of ms.
+    fn default() -> Self {
+        LatencyModel {
+            p_same_rack: 0.55,
+            p_cross_rack: 0.33,
+            base_same_rack_ms: 0.45,
+            base_cross_rack_ms: 1.35,
+            base_distant_ms: 2.6,
+            jitter_same_ms: 0.28,
+            jitter_cross_ms: 0.55,
+            jitter_distant_ms: 1.2,
+            p_spike: 0.012,
+            spike_scale_ms: 4.0,
+            spike_alpha: 1.3,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// Sample a placement class for a fresh VM pair.
+    pub fn sample_placement(&self, rng: &mut SimRng) -> PairPlacement {
+        let u = rng.f64();
+        if u < self.p_same_rack {
+            PairPlacement::SameRack
+        } else if u < self.p_same_rack + self.p_cross_rack {
+            PairPlacement::CrossRack
+        } else {
+            PairPlacement::Distant
+        }
+    }
+
+    /// Sample one round-trip time for a pair with known placement.
+    pub fn sample_rtt(&self, placement: PairPlacement, rng: &mut SimRng) -> SimDuration {
+        let (base, jitter_mean) = match placement {
+            PairPlacement::SameRack => (self.base_same_rack_ms, self.jitter_same_ms),
+            PairPlacement::CrossRack => (self.base_cross_rack_ms, self.jitter_cross_ms),
+            PairPlacement::Distant => (self.base_distant_ms, self.jitter_distant_ms),
+        };
+        let mut ms = base + Exp::with_mean(jitter_mean).sample(rng);
+        if rng.chance(self.p_spike) {
+            ms += Pareto::new(self.spike_scale_ms, self.spike_alpha).sample(rng);
+        }
+        SimDuration::from_secs_f64(ms / 1.0e3)
+    }
+
+    /// Convenience: placement then RTT in one call (independent pairs).
+    pub fn sample_pair_rtt(&self, rng: &mut SimRng) -> SimDuration {
+        let p = self.sample_placement(rng);
+        self.sample_rtt(p, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::rng::SimRng;
+
+    fn collect(n: usize) -> Vec<f64> {
+        let m = LatencyModel::default();
+        let mut rng = SimRng::from_seed(2024);
+        (0..n)
+            .map(|_| m.sample_pair_rtt(&mut rng).as_millis_f64())
+            .collect()
+    }
+
+    #[test]
+    fn latency_is_positive_and_mostly_lan_like() {
+        let samples = collect(20_000);
+        assert!(samples.iter().all(|&v| v > 0.0));
+        let med = {
+            let mut s = samples.clone();
+            s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            s[s.len() / 2]
+        };
+        assert!(med < 1.5, "median should be LAN-like, got {med} ms");
+    }
+
+    /// The paper's Fig 4 anchors: ~50% at or below 1 ms, ~75% at or below
+    /// 2 ms.
+    #[test]
+    fn fig4_anchor_fractions() {
+        let samples = collect(50_000);
+        let n = samples.len() as f64;
+        let le1 = samples.iter().filter(|&&v| v <= 1.0).count() as f64 / n;
+        let le2 = samples.iter().filter(|&&v| v <= 2.0).count() as f64 / n;
+        assert!((le1 - 0.50).abs() < 0.07, "P(<=1ms) = {le1}");
+        assert!((le2 - 0.75).abs() < 0.07, "P(<=2ms) = {le2}");
+    }
+
+    #[test]
+    fn tail_reaches_tens_of_ms() {
+        let samples = collect(50_000);
+        let max = samples.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max > 10.0, "expected a contended tail, max={max} ms");
+    }
+
+    #[test]
+    fn placement_mixture_matches_probabilities() {
+        let m = LatencyModel::default();
+        let mut rng = SimRng::from_seed(7);
+        let mut same = 0;
+        let n = 50_000;
+        for _ in 0..n {
+            if m.sample_placement(&mut rng) == PairPlacement::SameRack {
+                same += 1;
+            }
+        }
+        let frac = same as f64 / n as f64;
+        assert!((frac - m.p_same_rack).abs() < 0.01, "frac={frac}");
+    }
+
+    #[test]
+    fn same_rack_is_stochastically_faster() {
+        let m = LatencyModel::default();
+        let mut rng = SimRng::from_seed(9);
+        let mean = |p: PairPlacement, rng: &mut SimRng| {
+            (0..5_000)
+                .map(|_| m.sample_rtt(p, rng).as_millis_f64())
+                .sum::<f64>()
+                / 5_000.0
+        };
+        let same = mean(PairPlacement::SameRack, &mut rng);
+        let cross = mean(PairPlacement::CrossRack, &mut rng);
+        let far = mean(PairPlacement::Distant, &mut rng);
+        assert!(same < cross && cross < far, "{same} {cross} {far}");
+    }
+}

@@ -1,0 +1,52 @@
+//! # fabric — simulated Windows Azure fabric controller
+//!
+//! The compute substrate of the reproduction of *Early observations on
+//! the performance of Windows Azure* (HPDC'10):
+//!
+//! * [`controller`] — deployments, web/worker roles, the four VM sizes,
+//!   the five timed lifecycle phases of the paper's Table 1, the 20-core
+//!   quota and the 2.6 % startup-failure rate;
+//! * [`host`] — the physical host pool with the lazy, deterministic
+//!   performance-variation process behind the paper's "VM task execution
+//!   timeout" phenomenon (§5.2, Fig 7);
+//! * [`calib`] — the verbatim Table 1 grid plus the decomposition that
+//!   turns it into a generative model;
+//! * [`types`] — roles, sizes, phases, statuses, errors.
+//!
+//! ## Example
+//! ```
+//! use simcore::prelude::*;
+//! use fabric::{DeploymentSpec, FabricConfig, FabricController, RoleType, VmSize};
+//!
+//! let sim = Sim::new(7);
+//! let mut cfg = FabricConfig::default();
+//! cfg.startup_failure_p = 0.0; // make the doc example deterministic
+//! let fc = FabricController::new(&sim, cfg);
+//! let h = sim.spawn(async move {
+//!     let dep = fc
+//!         .create_deployment(DeploymentSpec::paper_test(RoleType::Worker, VmSize::Small))
+//!         .await
+//!         .unwrap();
+//!     let run = dep.run().await.unwrap();
+//!     (dep.create_duration() + run.duration).as_secs_f64()
+//! });
+//! sim.run();
+//! // Observation 2: starting a small deployment takes ~10 minutes.
+//! let total_min = h.try_take().unwrap() / 60.0;
+//! assert!(total_min > 7.0 && total_min < 13.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod calib;
+pub mod controller;
+pub mod host;
+pub mod loadbalancer;
+pub mod types;
+
+pub use controller::{
+    Deployment, DeploymentSpec, FabricConfig, FabricController, Instance, PhaseReport,
+};
+pub use host::{HostPool, HostPoolConfig};
+pub use loadbalancer::{LbError, LoadBalancer, RoutedRequest};
+pub use types::{DeploymentStatus, FabricError, InstanceStatus, Phase, RoleType, VmSize};

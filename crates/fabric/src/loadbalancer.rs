@@ -1,0 +1,316 @@
+//! The load balancer in front of web roles.
+//!
+//! "Azure 'web role' instances are connected to the outside world
+//! through a load-balancer and run Microsoft's Internet Information
+//! Services (IIS)" (§3). The LB explains two observable behaviours the
+//! reproduction needs: web instances take longer to become *servable*
+//! (LB registration after boot), and web suspends take ~90 s vs ~40 s
+//! for workers (Table 1) because the LB drains in-flight connections
+//! before instances stop.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use simcore::prelude::*;
+
+/// Why a request could not be routed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LbError {
+    /// No backend is in rotation (HTTP 503 territory).
+    NoHealthyBackend,
+    /// The LB is draining and refuses new connections.
+    Draining,
+}
+
+impl std::fmt::Display for LbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LbError::NoHealthyBackend => write!(f, "no healthy backend"),
+            LbError::Draining => write!(f, "load balancer draining"),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BackendState {
+    InRotation,
+    OutOfRotation,
+}
+
+struct LbState {
+    backends: RefCell<Vec<(usize, BackendState)>>,
+    rr: Cell<usize>,
+    draining: Cell<bool>,
+    in_flight: Cell<usize>,
+    drained: Signal,
+    routed_total: Cell<u64>,
+    rejected_total: Cell<u64>,
+}
+
+/// Round-robin load balancer over a web deployment's instances.
+#[derive(Clone)]
+pub struct LoadBalancer {
+    st: Rc<LbState>,
+}
+
+impl Default for LoadBalancer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LoadBalancer {
+    /// An empty LB (no backends in rotation).
+    pub fn new() -> Self {
+        LoadBalancer {
+            st: Rc::new(LbState {
+                backends: RefCell::new(Vec::new()),
+                rr: Cell::new(0),
+                draining: Cell::new(false),
+                in_flight: Cell::new(0),
+                drained: Signal::new(),
+                routed_total: Cell::new(0),
+                rejected_total: Cell::new(0),
+            }),
+        }
+    }
+
+    /// Put instance `idx` into rotation (idempotent).
+    pub fn attach(&self, idx: usize) {
+        let mut bs = self.st.backends.borrow_mut();
+        match bs.iter_mut().find(|(i, _)| *i == idx) {
+            Some(slot) => slot.1 = BackendState::InRotation,
+            None => bs.push((idx, BackendState::InRotation)),
+        }
+    }
+
+    /// Take instance `idx` out of rotation (health-check failure or
+    /// scale-in). In-flight requests on it are allowed to finish.
+    pub fn detach(&self, idx: usize) {
+        if let Some(slot) = self
+            .st
+            .backends
+            .borrow_mut()
+            .iter_mut()
+            .find(|(i, _)| *i == idx)
+        {
+            slot.1 = BackendState::OutOfRotation;
+        }
+    }
+
+    /// Backends currently in rotation.
+    pub fn in_rotation(&self) -> usize {
+        self.st
+            .backends
+            .borrow()
+            .iter()
+            .filter(|(_, s)| *s == BackendState::InRotation)
+            .count()
+    }
+
+    /// Requests currently being served.
+    pub fn in_flight(&self) -> usize {
+        self.st.in_flight.get()
+    }
+
+    /// Requests routed so far.
+    pub fn routed_total(&self) -> u64 {
+        self.st.routed_total.get()
+    }
+
+    /// Requests rejected so far.
+    pub fn rejected_total(&self) -> u64 {
+        self.st.rejected_total.get()
+    }
+
+    /// Pick the next backend round-robin. Fails while draining or when
+    /// nothing is in rotation.
+    pub fn route(&self) -> Result<RoutedRequest, LbError> {
+        if self.st.draining.get() {
+            self.st.rejected_total.set(self.st.rejected_total.get() + 1);
+            return Err(LbError::Draining);
+        }
+        let bs = self.st.backends.borrow();
+        let healthy: Vec<usize> = bs
+            .iter()
+            .filter(|(_, s)| *s == BackendState::InRotation)
+            .map(|(i, _)| *i)
+            .collect();
+        if healthy.is_empty() {
+            self.st.rejected_total.set(self.st.rejected_total.get() + 1);
+            return Err(LbError::NoHealthyBackend);
+        }
+        let pick = healthy[self.st.rr.get() % healthy.len()];
+        self.st.rr.set(self.st.rr.get().wrapping_add(1));
+        self.st.routed_total.set(self.st.routed_total.get() + 1);
+        self.st.in_flight.set(self.st.in_flight.get() + 1);
+        Ok(RoutedRequest {
+            lb: self.clone(),
+            backend: pick,
+            finished: false,
+        })
+    }
+
+    /// Begin draining: new requests are refused; resolves when the last
+    /// in-flight request finishes. This wait is the web-role suspend
+    /// premium of Table 1.
+    pub async fn drain(&self) {
+        self.st.draining.set(true);
+        if self.st.in_flight.get() == 0 {
+            return;
+        }
+        self.st.drained.wait().await;
+    }
+
+    /// Undo a drain (deployment resumed instead of suspended).
+    pub fn resume(&self) {
+        self.st.draining.set(false);
+    }
+
+    fn finish_one(&self) {
+        let n = self.st.in_flight.get() - 1;
+        self.st.in_flight.set(n);
+        if n == 0 && self.st.draining.get() {
+            self.st.drained.fire();
+        }
+    }
+}
+
+/// A routed request; call [`finish`](Self::finish) when served (dropping
+/// unfinished also releases the slot — connection reset).
+pub struct RoutedRequest {
+    lb: LoadBalancer,
+    backend: usize,
+    finished: bool,
+}
+
+impl RoutedRequest {
+    /// The backend instance index serving this request.
+    pub fn backend(&self) -> usize {
+        self.backend
+    }
+
+    /// Mark the request complete.
+    pub fn finish(mut self) {
+        self.finished = true;
+        self.lb.finish_one();
+    }
+}
+
+impl Drop for RoutedRequest {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.lb.finish_one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_spreads_requests_evenly() {
+        let lb = LoadBalancer::new();
+        for i in 0..4 {
+            lb.attach(i);
+        }
+        let mut counts = [0u32; 4];
+        for _ in 0..40 {
+            let r = lb.route().unwrap();
+            counts[r.backend()] += 1;
+            r.finish();
+        }
+        assert_eq!(counts, [10, 10, 10, 10]);
+        assert_eq!(lb.routed_total(), 40);
+        assert_eq!(lb.in_flight(), 0);
+    }
+
+    #[test]
+    fn detached_backends_get_no_traffic() {
+        let lb = LoadBalancer::new();
+        lb.attach(0);
+        lb.attach(1);
+        lb.detach(0);
+        for _ in 0..10 {
+            let r = lb.route().unwrap();
+            assert_eq!(r.backend(), 1);
+            r.finish();
+        }
+        lb.detach(1);
+        assert!(matches!(lb.route(), Err(LbError::NoHealthyBackend)));
+        assert_eq!(lb.in_rotation(), 0);
+    }
+
+    #[test]
+    fn attach_is_idempotent_and_reinstates() {
+        let lb = LoadBalancer::new();
+        lb.attach(3);
+        lb.attach(3);
+        assert_eq!(lb.in_rotation(), 1);
+        lb.detach(3);
+        assert_eq!(lb.in_rotation(), 0);
+        lb.attach(3);
+        assert_eq!(lb.in_rotation(), 1);
+    }
+
+    #[test]
+    fn drain_waits_for_in_flight_and_rejects_new() {
+        let sim = Sim::new(1);
+        let lb = LoadBalancer::new();
+        lb.attach(0);
+        // A slow request in flight.
+        let r = lb.route().unwrap();
+        let s = sim.clone();
+        sim.spawn(async move {
+            s.delay(SimDuration::from_secs(30)).await;
+            r.finish();
+        });
+        let lb3 = lb.clone();
+        let s2 = sim.clone();
+        let drained_at = sim.spawn(async move {
+            lb3.drain().await;
+            s2.now()
+        });
+        // New traffic during the drain is refused.
+        let (s3, lb4) = (sim.clone(), lb.clone());
+        let rejected = sim.spawn(async move {
+            s3.delay(SimDuration::from_secs(5)).await;
+            lb4.route().err()
+        });
+        sim.run();
+        assert_eq!(
+            drained_at.try_take().unwrap(),
+            SimTime::ZERO + SimDuration::from_secs(30)
+        );
+        assert_eq!(rejected.try_take().unwrap(), Some(LbError::Draining));
+    }
+
+    #[test]
+    fn dropped_request_releases_slot() {
+        let lb = LoadBalancer::new();
+        lb.attach(0);
+        {
+            let _r = lb.route().unwrap();
+            assert_eq!(lb.in_flight(), 1);
+            // dropped without finish(): connection reset
+        }
+        assert_eq!(lb.in_flight(), 0);
+    }
+
+    #[test]
+    fn immediate_drain_with_no_traffic_completes() {
+        let sim = Sim::new(2);
+        let lb = LoadBalancer::new();
+        lb.attach(0);
+        let lb2 = lb.clone();
+        let h = sim.spawn(async move {
+            lb2.drain().await;
+            true
+        });
+        sim.run();
+        assert_eq!(h.try_take(), Some(true));
+        lb.resume();
+        assert!(lb.route().is_ok());
+    }
+}

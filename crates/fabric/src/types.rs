@@ -1,0 +1,228 @@
+//! Role and VM-size vocabulary (paper §3 intro and §4.1).
+
+use std::fmt;
+
+/// The two Windows Azure role configurations. "Azure 'web role'
+/// instances are connected to the outside world through a load-balancer
+/// and run Microsoft's Internet Information Services (IIS) ... The
+/// 'worker role' instance is not connected to a load-balancer and does
+/// not run IIS" (§3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RoleType {
+    /// Behind the load balancer, runs IIS (slower start/stop).
+    Web,
+    /// Plain compute instance.
+    Worker,
+}
+
+impl RoleType {
+    /// Both roles, in the Table 1 row order.
+    pub const ALL: [RoleType; 2] = [RoleType::Worker, RoleType::Web];
+}
+
+impl fmt::Display for RoleType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RoleType::Web => "Web",
+            RoleType::Worker => "Worker",
+        })
+    }
+}
+
+/// The four 2009 VM sizes (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum VmSize {
+    /// 1 core, 100 Mbit storage allocation.
+    Small,
+    /// 2 cores.
+    Medium,
+    /// 4 cores.
+    Large,
+    /// 8 cores.
+    ExtraLarge,
+}
+
+impl VmSize {
+    /// All sizes, in the Table 1 row order.
+    pub const ALL: [VmSize; 4] = [
+        VmSize::Small,
+        VmSize::Medium,
+        VmSize::Large,
+        VmSize::ExtraLarge,
+    ];
+
+    /// CPU cores of this size.
+    pub fn cores(self) -> u32 {
+        match self {
+            VmSize::Small => 1,
+            VmSize::Medium => 2,
+            VmSize::Large => 4,
+            VmSize::ExtraLarge => 8,
+        }
+    }
+
+    /// Instances used per test deployment: "we choose the number of
+    /// instances in each deployment based on the VM size in order to
+    /// stay below the 20-core limit ... and still allowing the
+    /// deployment size to double: 4 instances for small, 2 for medium
+    /// and one for large and extra large" (§4.1).
+    pub fn test_instances(self) -> usize {
+        match self {
+            VmSize::Small => 4,
+            VmSize::Medium => 2,
+            VmSize::Large | VmSize::ExtraLarge => 1,
+        }
+    }
+
+    /// Per-VM storage bandwidth allocation (bytes/s); the small-instance
+    /// value is the paper's observed ~13 MB/s (§6.1), larger sizes scale
+    /// with cores as the platform documented.
+    pub fn storage_bps(self) -> f64 {
+        13.0e6 * self.cores() as f64
+    }
+}
+
+impl fmt::Display for VmSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            VmSize::Small => "Small",
+            VmSize::Medium => "Medium",
+            VmSize::Large => "Large",
+            VmSize::ExtraLarge => "Extra large",
+        })
+    }
+}
+
+/// Lifecycle phases timed in Table 1 (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Deploy request → deployment ready to use.
+    Create,
+    /// Run request → all instances "ready".
+    Run,
+    /// Change request doubling instances → new instances ready.
+    Add,
+    /// Ready → stopped for every instance.
+    Suspend,
+    /// Delete request → deployment removed.
+    Delete,
+}
+
+impl Phase {
+    /// All phases, in the Table 1 column order.
+    pub const ALL: [Phase; 5] = [
+        Phase::Create,
+        Phase::Run,
+        Phase::Add,
+        Phase::Suspend,
+        Phase::Delete,
+    ];
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Phase::Create => "Create",
+            Phase::Run => "Run",
+            Phase::Add => "Add",
+            Phase::Suspend => "Suspend",
+            Phase::Delete => "Delete",
+        })
+    }
+}
+
+/// Deployment lifecycle status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeploymentStatus {
+    /// Package deployed, instances stopped.
+    Created,
+    /// All instances ready.
+    Running,
+    /// Instances stopped after running.
+    Suspended,
+    /// Removed.
+    Deleted,
+}
+
+/// Individual instance status (§4.1: "the status goes from 'stopped' to
+/// 'ready'").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstanceStatus {
+    /// Not yet started.
+    Stopped,
+    /// Booting / being configured.
+    Provisioning,
+    /// Serving.
+    Ready,
+    /// Startup failed (the 2.6 % case).
+    Failed,
+}
+
+/// Errors from the fabric controller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FabricError {
+    /// The subscription's 20-core quota would be exceeded.
+    QuotaExceeded {
+        /// Cores the request needs.
+        requested: u32,
+        /// Cores still available.
+        available: u32,
+    },
+    /// An instance failed to start (paper: 2.6 % of runs).
+    StartupFailure,
+    /// Operation not valid in the current status.
+    InvalidState(&'static str),
+    /// The CTP platform did not support this action (XL Add in Table 1
+    /// is "N/A").
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for FabricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricError::QuotaExceeded {
+                requested,
+                available,
+            } => write!(f, "quota exceeded: need {requested} cores, {available} available"),
+            FabricError::StartupFailure => write!(f, "VM startup failure"),
+            FabricError::InvalidState(s) => write!(f, "invalid state: {s}"),
+            FabricError::Unsupported(s) => write!(f, "unsupported: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cores_double_up_the_ladder() {
+        assert_eq!(VmSize::Small.cores(), 1);
+        assert_eq!(VmSize::Medium.cores(), 2);
+        assert_eq!(VmSize::Large.cores(), 4);
+        assert_eq!(VmSize::ExtraLarge.cores(), 8);
+    }
+
+    #[test]
+    fn test_instances_allow_doubling_within_quota() {
+        for size in VmSize::ALL {
+            let doubled = 2 * size.test_instances() as u32 * size.cores();
+            assert!(doubled <= 20, "{size}: doubling needs {doubled} cores");
+        }
+    }
+
+    #[test]
+    fn small_storage_allocation_is_13_mbps() {
+        assert_eq!(VmSize::Small.storage_bps(), 13.0e6);
+        assert!(VmSize::ExtraLarge.storage_bps() > VmSize::Small.storage_bps());
+    }
+
+    #[test]
+    fn display_matches_paper_vocabulary() {
+        assert_eq!(VmSize::ExtraLarge.to_string(), "Extra large");
+        assert_eq!(RoleType::Worker.to_string(), "Worker");
+        assert_eq!(Phase::Suspend.to_string(), "Suspend");
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the fabric: lifecycle invariants over
+//! arbitrary (role, size) choices and host-profile consistency.
+
+use proptest::prelude::*;
+
+use fabric::{
+    DeploymentSpec, FabricConfig, FabricController, HostPool, HostPoolConfig, RoleType, VmSize,
+};
+use simcore::prelude::*;
+
+fn any_role() -> impl Strategy<Value = RoleType> {
+    prop_oneof![Just(RoleType::Worker), Just(RoleType::Web)]
+}
+
+fn any_size() -> impl Strategy<Value = VmSize> {
+    prop_oneof![
+        Just(VmSize::Small),
+        Just(VmSize::Medium),
+        Just(VmSize::Large),
+        Just(VmSize::ExtraLarge),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any successful lifecycle keeps phase durations positive, instance
+    /// readiness monotone, and returns the quota on delete.
+    #[test]
+    fn lifecycle_invariants(seed in 0u64..10_000, role in any_role(), size in any_size()) {
+        let sim = Sim::new(seed);
+        let fc = FabricController::new(
+            &sim,
+            FabricConfig {
+                startup_failure_p: 0.0,
+                ..FabricConfig::default()
+            },
+        );
+        let quota_before = fc.quota_available();
+        let fc2 = std::rc::Rc::clone(&fc);
+        let h = sim.spawn(async move {
+            let dep = fc2
+                .create_deployment(DeploymentSpec::paper_test(role, size))
+                .await
+                .unwrap();
+            let run = dep.run().await.unwrap();
+            let sus = dep.suspend().await.unwrap();
+            let del = dep.delete().await.unwrap();
+            (
+                dep.create_duration().as_secs_f64(),
+                run.duration.as_secs_f64(),
+                run.instance_ready_offsets
+                    .iter()
+                    .map(|d| d.as_secs_f64())
+                    .collect::<Vec<_>>(),
+                sus.duration.as_secs_f64(),
+                del.duration.as_secs_f64(),
+            )
+        });
+        sim.run();
+        let (create, run, offsets, suspend, delete) = h.try_take().unwrap();
+        prop_assert!(create > 0.0 && run > 0.0 && suspend > 0.0 && delete > 0.0);
+        prop_assert_eq!(offsets.len(), size.test_instances());
+        prop_assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "non-monotone: {:?}", offsets);
+        // Run completes when the last instance is ready.
+        prop_assert!((offsets.last().unwrap() - run).abs() < 1e-6);
+        prop_assert_eq!(fc.quota_available(), quota_before);
+    }
+
+    /// Host speed profiles: the factor is always in (0, 1], segments
+    /// tile time (each segment ends strictly after it starts), and the
+    /// stretch of any work is >= 1.
+    #[test]
+    fn host_profiles_are_sane(seed in 0u64..5_000, host in 0usize..4, minutes in 1u64..2000) {
+        let sim = Sim::new(seed);
+        let pool = HostPool::new(&sim, HostPoolConfig::with_variation(4));
+        let t = SimTime::ZERO + SimDuration::from_mins(minutes);
+        let (speed, until) = pool.speed_segment(host, t);
+        prop_assert!(speed > 0.0 && speed <= 1.0, "speed={speed}");
+        prop_assert!(until > t);
+        let stretch = pool.stretch_factor(host, t, SimDuration::from_mins(10));
+        prop_assert!(stretch >= 1.0 - 1e-9, "stretch={stretch}");
+        // Deterministic: asking twice gives the same answer.
+        prop_assert_eq!(pool.speed_segment(host, t), (speed, until));
+    }
+
+    /// Quota accounting: any sequence of create/delete pairs never goes
+    /// negative and always restores the initial quota.
+    #[test]
+    fn quota_is_conserved(sizes in prop::collection::vec(any_size(), 1..6)) {
+        let sim = Sim::new(77);
+        let fc = FabricController::new(
+            &sim,
+            FabricConfig {
+                startup_failure_p: 0.0,
+                ..FabricConfig::default()
+            },
+        );
+        let fc2 = std::rc::Rc::clone(&fc);
+        let h = sim.spawn(async move {
+            for size in sizes {
+                let spec = DeploymentSpec {
+                    role: RoleType::Worker,
+                    size,
+                    instances: 1,
+                    package_mb: 5.0,
+                };
+                if let Ok(dep) = fc2.create_deployment(spec).await {
+                    dep.delete().await.unwrap();
+                }
+            }
+        });
+        sim.run();
+        h.try_take().unwrap();
+        prop_assert_eq!(fc.quota_available(), 20);
+    }
+}

@@ -1,0 +1,178 @@
+//! The synthetic MODIS source catalog.
+//!
+//! "The MODIS data ... is a set of images covering the entire Earth's
+//! surface in 36 spectral bands, at multiple spatial resolutions,
+//! generated every 1–2 days. The raw data itself is available via FTP,
+//! and the size of the data for 10 years of the entire continental
+//! United States is approximately 4 TB spread across 585 K input source
+//! files" (§5.1).
+//!
+//! The catalog is a *pure function* of (tile, day, band): every consumer
+//! — the service manager deciding what to download, a download task
+//! fetching from the feed, a reprojection fetching inline after a race —
+//! sees the same band count and byte sizes, with no shared mutable
+//! state and no RNG stream coupling.
+
+use crate::calib;
+use crate::tasks::TileDay;
+
+/// Deterministic per-coordinate catalog facts.
+#[derive(Debug, Clone, Copy)]
+pub struct SourceCatalog {
+    tile_pool: usize,
+    day_pool: usize,
+}
+
+fn mix(mut x: u64) -> u64 {
+    // SplitMix64 finalizer: decorrelates neighbouring coordinates.
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl SourceCatalog {
+    /// Catalog over the given tile/day extent.
+    pub fn new(tile_pool: usize, day_pool: usize) -> Self {
+        assert!(tile_pool > 0 && day_pool > 0);
+        SourceCatalog {
+            tile_pool,
+            day_pool,
+        }
+    }
+
+    /// Catalog matching the full-scale calibration.
+    pub fn paper_scale() -> Self {
+        SourceCatalog::new(calib::TILE_POOL, calib::DAY_POOL)
+    }
+
+    /// Tiles in the grid.
+    pub fn tiles(&self) -> usize {
+        self.tile_pool
+    }
+
+    /// Days of history.
+    pub fn days(&self) -> usize {
+        self.day_pool
+    }
+
+    /// True if the coordinate exists in the catalog.
+    pub fn contains(&self, coord: TileDay) -> bool {
+        (coord.tile as usize) < self.tile_pool && (coord.day as usize) < self.day_pool
+    }
+
+    /// Number of band files acquired for this tile/day ("a typical task
+    /// requires 3–4 source data files").
+    pub fn band_count(&self, coord: TileDay) -> u32 {
+        let (lo, hi) = calib::FILES_PER_TILE_DAY;
+        let span = hi - lo + 1;
+        (lo + mix((coord.tile as u64) << 32 | coord.day as u64) % span) as u32
+    }
+
+    /// Byte size of one band file ("typically between several megabytes
+    /// and tens of megabytes"). Stable across every fetch of the file.
+    pub fn file_bytes(&self, coord: TileDay, band: u32) -> f64 {
+        let (lo, hi) = calib::SOURCE_FILE_BYTES;
+        let h = mix(((coord.tile as u64) << 40) ^ ((coord.day as u64) << 8) ^ band as u64);
+        lo + (hi - lo) * (h % 10_000) as f64 / 10_000.0
+    }
+
+    /// Total bytes of one tile/day acquisition group.
+    pub fn group_bytes(&self, coord: TileDay) -> f64 {
+        (0..self.band_count(coord))
+            .map(|b| self.file_bytes(coord, b))
+            .sum()
+    }
+
+    /// Approximate total catalog size in bytes (the paper's "4 TB"
+    /// figure, scaled to the pool extent). Sampled, not exhaustive.
+    pub fn approx_total_bytes(&self) -> f64 {
+        let mean = (calib::SOURCE_FILE_BYTES.0 + calib::SOURCE_FILE_BYTES.1) / 2.0;
+        let mean_files =
+            (calib::FILES_PER_TILE_DAY.0 + calib::FILES_PER_TILE_DAY.1) as f64 / 2.0;
+        self.tile_pool as f64 * self.day_pool as f64 * mean_files * mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(t: u32, d: u32) -> TileDay {
+        TileDay { tile: t, day: d }
+    }
+
+    #[test]
+    fn sizes_are_stable_across_lookups() {
+        let cat = SourceCatalog::paper_scale();
+        let coord = c(17, 423);
+        for band in 0..cat.band_count(coord) {
+            assert_eq!(
+                cat.file_bytes(coord, band),
+                cat.file_bytes(coord, band),
+                "file size must be a pure function"
+            );
+        }
+        assert_eq!(cat.band_count(coord), cat.band_count(coord));
+    }
+
+    #[test]
+    fn band_counts_are_in_paper_range() {
+        let cat = SourceCatalog::paper_scale();
+        let mut saw = std::collections::BTreeSet::new();
+        for t in 0..40 {
+            for d in 0..40 {
+                let n = cat.band_count(c(t, d));
+                assert!((3..=4).contains(&n), "bands={n}");
+                saw.insert(n);
+            }
+        }
+        assert_eq!(saw.len(), 2, "both 3- and 4-band groups should occur");
+    }
+
+    #[test]
+    fn file_sizes_span_the_paper_range() {
+        let cat = SourceCatalog::paper_scale();
+        let mut min = f64::INFINITY;
+        let mut max = 0.0f64;
+        for t in 0..30 {
+            for d in 0..30 {
+                let v = cat.file_bytes(c(t, d), 0);
+                min = min.min(v);
+                max = max.max(v);
+            }
+        }
+        assert!(min >= calib::SOURCE_FILE_BYTES.0);
+        assert!(max <= calib::SOURCE_FILE_BYTES.1);
+        assert!(max / min > 3.0, "sizes should vary: {min}..{max}");
+    }
+
+    #[test]
+    fn group_bytes_sums_bands() {
+        let cat = SourceCatalog::paper_scale();
+        let coord = c(5, 5);
+        let manual: f64 = (0..cat.band_count(coord))
+            .map(|b| cat.file_bytes(coord, b))
+            .sum();
+        assert_eq!(cat.group_bytes(coord), manual);
+    }
+
+    #[test]
+    fn bounds_checking() {
+        let cat = SourceCatalog::new(10, 20);
+        assert!(cat.contains(c(9, 19)));
+        assert!(!cat.contains(c(10, 19)));
+        assert!(!cat.contains(c(9, 20)));
+    }
+
+    #[test]
+    fn full_catalog_is_terabyte_scale() {
+        // The paper: ~4 TB across 585 k files for 10 years of CONUS; our
+        // pool is smaller but must still be TB-scale so transfer costs
+        // are realistic.
+        let cat = SourceCatalog::paper_scale();
+        let tb = cat.approx_total_bytes() / 1.0e12;
+        assert!(tb > 1.0 && tb < 20.0, "catalog {tb} TB");
+    }
+}

@@ -1,0 +1,146 @@
+//! The external satellite-data feed.
+//!
+//! "The raw data itself is available via FTP" (§5.1) — a shared,
+//! bandwidth-limited, flaky external service outside Azure. All workers
+//! contend on its aggregate bandwidth; individual fetch attempts fail
+//! with a fixed probability (the 2009 feeds were notoriously unreliable,
+//! which is where ModisAzure's "Download source data failed" class comes
+//! from).
+
+use std::cell::Cell;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use dcnet::{LinkId, LinkModel, Network};
+use simcore::prelude::*;
+
+use crate::calib;
+
+/// Error from one fetch attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FtpError;
+
+/// Handle to the external feed.
+#[derive(Clone)]
+pub struct FtpFeed {
+    net: Network,
+    link: LinkId,
+    fail_p: f64,
+    rng: Rc<RefCell<SimRng>>,
+    fetches_ok: Rc<Cell<u64>>,
+    fetches_failed: Rc<Cell<u64>>,
+}
+
+impl FtpFeed {
+    /// Attach the feed to `net` with the calibrated shared bandwidth.
+    pub fn new(net: &Network) -> Self {
+        let link = net.add_link(
+            "external.ftp",
+            LinkModel::Shared {
+                capacity: calib::FTP_BANDWIDTH_BPS,
+            },
+        );
+        FtpFeed {
+            net: net.clone(),
+            link,
+            fail_p: calib::FTP_FAIL_P,
+            rng: Rc::new(RefCell::new(net.sim().rng("modis.ftp"))),
+            fetches_ok: Rc::new(Cell::new(0)),
+            fetches_failed: Rc::new(Cell::new(0)),
+        }
+    }
+
+    /// Fetch `bytes` from the feed. On failure some fraction of the
+    /// bytes were transferred before the connection dropped (time is
+    /// still spent).
+    pub async fn fetch(&self, bytes: f64) -> Result<(), FtpError> {
+        let fail = {
+            let mut rng = self.rng.borrow_mut();
+            rng.chance(self.fail_p)
+        };
+        if fail {
+            let frac = self.rng.borrow_mut().range_f64(0.05, 0.9);
+            self.net
+                .transfer(&[self.link], bytes * frac, f64::INFINITY)
+                .await;
+            self.fetches_failed.set(self.fetches_failed.get() + 1);
+            Err(FtpError)
+        } else {
+            self.net.transfer(&[self.link], bytes, f64::INFINITY).await;
+            self.fetches_ok.set(self.fetches_ok.get() + 1);
+            Ok(())
+        }
+    }
+
+    /// Successful fetches so far.
+    pub fn ok_count(&self) -> u64 {
+        self.fetches_ok.get()
+    }
+
+    /// Failed fetches so far.
+    pub fn failed_count(&self) -> u64 {
+        self.fetches_failed.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fetch_takes_bandwidth_limited_time() {
+        let sim = Sim::new(1);
+        let net = Network::new(&sim);
+        let ftp = FtpFeed::new(&net);
+        let f = ftp.clone();
+        let s = sim.clone();
+        let h = sim.spawn(async move {
+            let t0 = s.now();
+            // Keep drawing until a success (flaky by design).
+            while f.fetch(60.0e6).await.is_err() {}
+            (s.now() - t0).as_secs_f64()
+        });
+        sim.run();
+        let secs = h.try_take().unwrap();
+        // At least one full 60 MB transfer over the 60 MB/s link.
+        assert!(secs >= 1.0, "secs={secs}");
+        assert!(ftp.ok_count() == 1);
+    }
+
+    #[test]
+    fn failure_rate_tracks_calibration() {
+        let sim = Sim::new(2);
+        let net = Network::new(&sim);
+        let ftp = FtpFeed::new(&net);
+        let f = ftp.clone();
+        let h = sim.spawn(async move {
+            for _ in 0..2000 {
+                let _ = f.fetch(1.0e4).await;
+            }
+        });
+        sim.run();
+        h.try_take().unwrap();
+        let rate = ftp.failed_count() as f64 / 2000.0;
+        assert!(
+            (rate - calib::FTP_FAIL_P).abs() < 0.04,
+            "observed failure rate {rate}"
+        );
+    }
+
+    #[test]
+    fn concurrent_fetches_share_the_feed() {
+        let sim = Sim::new(3);
+        let net = Network::new(&sim);
+        let ftp = FtpFeed::new(&net);
+        for _ in 0..4 {
+            let f = ftp.clone();
+            sim.spawn(async move {
+                let _ = f.fetch(30.0e6).await;
+            });
+        }
+        sim.run();
+        // 4 × 30 MB over 60 MB/s shared (some failures shorten transfers)
+        // ⇒ strictly more than one lone transfer's 0.5 s.
+        assert!(sim.now().as_secs_f64() > 0.5);
+    }
+}

@@ -1,0 +1,49 @@
+//! # modis — ModisAzure, the paper's eScience application
+//!
+//! A full reimplementation of the satellite-imagery pipeline of §5 of
+//! *Early observations on the performance of Windows Azure* (HPDC'10),
+//! running on the simulated platform (`azstore` + `fabric` + `dcnet`):
+//!
+//! * [`manager`] — web portal + service manager: requests → task DAG
+//!   (source download → reprojection → aggregation → reduction), with
+//!   blob-level reuse of sources and products;
+//! * [`worker`] — the queue-driven worker pool (≈ 200 small instances,
+//!   8 per physical host), executing tasks with the full Table 2
+//!   failure taxonomy;
+//! * [`monitor`] — the watchdog that kills executions exceeding 4× the
+//!   historical mean and requeues them (the paper's answer to the "VM
+//!   task execution timeout" phenomenon);
+//! * [`ftp`] — the flaky, bandwidth-limited external data feed;
+//! * [`telemetry`] — execution logging and the Table 2 / Fig 7
+//!   aggregations;
+//! * [`campaign`] — the end-to-end Feb–Sep 2010 campaign driver.
+//!
+//! ## Example
+//! ```no_run
+//! use modis::{run_campaign, ModisConfig};
+//!
+//! // Full scale reproduces Table 2 / Fig 7 (~3M executions, minutes of
+//! // wall time); quick() runs a scaled-down month.
+//! let report = run_campaign(ModisConfig::quick());
+//! println!("{}", report.telemetry.render_table2());
+//! println!("{}", report.telemetry.render_fig7());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod calib;
+pub mod campaign;
+pub mod catalog;
+pub mod ftp;
+pub mod manager;
+pub mod monitor;
+pub mod system;
+pub mod tasks;
+pub mod telemetry;
+pub mod worker;
+
+pub use campaign::{run_campaign, CampaignReport};
+pub use catalog::SourceCatalog;
+pub use system::{ModisConfig, ModisSystem};
+pub use tasks::{TaskKind, TaskSpec, TileDay};
+pub use telemetry::{Outcome, Telemetry};

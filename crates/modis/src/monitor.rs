@@ -1,0 +1,144 @@
+//! The task monitor (paper §5.2).
+//!
+//! "We used explicit task status monitoring by a task manager worker
+//! that was responsible for checking for task timeouts and killing slow
+//! tasks and putting the task back into the task queue to be re-run by
+//! another worker." The kill threshold is 4× the historical average
+//! completion time of the task's class ("if it was still executing after
+//! 4× of the average completion time for that task it would be cancelled
+//! and retried").
+
+use std::rc::Rc;
+
+use simcore::combinators::{select2, Either};
+use simcore::prelude::*;
+
+use crate::calib;
+use crate::system::ModisSystem;
+use crate::tasks::TaskKind;
+
+/// Expected nominal duration per task class, used until enough history
+/// accumulates (compute mean plus typical staging overhead).
+pub fn nominal_mean_s(kind: TaskKind) -> f64 {
+    match kind {
+        TaskKind::SourceDownload => 90.0,
+        TaskKind::Reprojection => calib::REPROJECTION_COMPUTE_S.0 + 40.0,
+        TaskKind::Aggregation => calib::AGGREGATION_COMPUTE_S.0 + 20.0,
+        TaskKind::Reduction => calib::REDUCTION_COMPUTE_S.0 + 30.0,
+    }
+}
+
+/// The kill threshold for a class right now.
+pub fn kill_threshold_s(sys: &ModisSystem, kind: TaskKind) -> f64 {
+    let mean = sys
+        .telemetry
+        .mean_duration(kind, calib::MONITOR_MIN_SAMPLES)
+        .unwrap_or_else(|| nominal_mean_s(kind));
+    calib::TIMEOUT_FACTOR * mean
+}
+
+/// Spawn the monitor; exits on shutdown. Returns the number of kills it
+/// issued.
+pub fn spawn_monitor(sys: &Rc<ModisSystem>) -> simcore::JoinHandle<u64> {
+    let sys = Rc::clone(sys);
+    let sim = sys.sim.clone();
+    sim.clone().spawn(async move {
+        let mut kills = 0u64;
+        loop {
+            let tick = Box::pin(sim.delay(SimDuration::from_secs_f64(calib::MONITOR_PERIOD_S)));
+            let stop = Box::pin(sys.shutdown.wait());
+            if matches!(select2(stop, tick).await, Either::Left(())) {
+                break;
+            }
+            let now = sim.now();
+            // Collect victims first; firing a kill mutates `running`
+            // from the worker side.
+            let victims: Vec<Rc<crate::system::RunningExec>> = sys
+                .running
+                .borrow()
+                .values()
+                .filter(|e| {
+                    let limit = kill_threshold_s(&sys, e.kind);
+                    (now - e.start).as_secs_f64() > limit
+                })
+                .map(Rc::clone)
+                .collect();
+            for v in victims {
+                if !v.kill.is_fired() {
+                    v.kill.fire();
+                    kills += 1;
+                }
+            }
+        }
+        kills
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::{ModisConfig, ModisSystem, RunningExec};
+    use crate::telemetry::Outcome;
+
+    #[test]
+    fn nominal_means_are_minutes_scale() {
+        for kind in TaskKind::ALL {
+            let m = nominal_mean_s(kind);
+            assert!((60.0..900.0).contains(&m), "{kind}: {m}");
+        }
+    }
+
+    #[test]
+    fn threshold_uses_history_once_available() {
+        let sim = Sim::new(1);
+        let sys = ModisSystem::new(&sim, ModisConfig::quick());
+        let before = kill_threshold_s(&sys, TaskKind::Reprojection);
+        assert!((before - 4.0 * nominal_mean_s(TaskKind::Reprojection)).abs() < 1e-9);
+        for _ in 0..calib::MONITOR_MIN_SAMPLES {
+            sys.telemetry.record_execution(
+                sim.now(),
+                TaskKind::Reprojection,
+                Outcome::Success,
+                SimDuration::from_secs(600),
+            );
+        }
+        let after = kill_threshold_s(&sys, TaskKind::Reprojection);
+        assert!((after - 2400.0).abs() < 1e-9, "after={after}");
+    }
+
+    #[test]
+    fn monitor_kills_overrunning_execution() {
+        let sim = Sim::new(2);
+        let sys = ModisSystem::new(&sim, ModisConfig::quick());
+        let exec = Rc::new(RunningExec {
+            kind: TaskKind::Reprojection,
+            start: sim.now(),
+            kill: Signal::new(),
+        });
+        sys.running.borrow_mut().insert(1, Rc::clone(&exec));
+        let kills = spawn_monitor(&sys);
+        // A fast execution inserted later must NOT be killed; its start
+        // time is taken at insertion, inside the process.
+        let fast_kill = Signal::new();
+        let (sys2, fk) = (Rc::clone(&sys), fast_kill.clone());
+        let s = sim.clone();
+        sim.spawn(async move {
+            // Let 2 hours pass: way beyond 4x for the slow one.
+            s.delay(SimDuration::from_hours(2)).await;
+            sys2.running.borrow_mut().insert(
+                2,
+                Rc::new(RunningExec {
+                    kind: TaskKind::Reduction,
+                    start: s.now(),
+                    kill: fk,
+                }),
+            );
+            s.delay(SimDuration::from_secs(120)).await;
+            sys2.shutdown.fire();
+        });
+        sim.run();
+        assert!(exec.kill.is_fired(), "overrunning exec not killed");
+        assert!(!fast_kill.is_fired(), "fresh exec wrongly killed");
+        assert_eq!(kills.try_take(), Some(1));
+    }
+}

@@ -1,0 +1,267 @@
+//! Shared ModisAzure system state: configuration, task registry,
+//! running-execution registry, and the wiring of all substrates.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use azstore::{FaultProfile, StampConfig, StorageStamp};
+use dcnet::Network;
+use fabric::{HostPool, HostPoolConfig};
+use simcore::prelude::*;
+
+use crate::calib;
+use crate::catalog::SourceCatalog;
+use crate::ftp::FtpFeed;
+use crate::tasks::{TaskId, TaskKind, TaskSpec};
+use crate::telemetry::Telemetry;
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct ModisConfig {
+    /// Worker role instances (paper: up to 200).
+    pub workers: usize,
+    /// Campaign length in days (paper: 212, Feb–Sep 2010).
+    pub days: u64,
+    /// Multiplier on the request arrival rate (1.0 = full campaign,
+    /// ≈ 3 M executions; tests use small values).
+    pub arrival_scale: f64,
+    /// Tiles per request (uniform range).
+    pub request_tiles: (u64, u64),
+    /// Days per request (uniform range).
+    pub request_days: (u64, u64),
+    /// Catalog tile pool the requests draw from.
+    pub tile_pool: usize,
+    /// Catalog day pool.
+    pub day_pool: usize,
+    /// Enable host performance variation (Fig 7's mechanism).
+    pub variation: bool,
+    /// Enable the task monitor (§5.2's watchdog). Off = the ablation:
+    /// slow executions run to completion instead of being killed at 4x.
+    pub watchdog: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ModisConfig {
+    fn default() -> Self {
+        ModisConfig {
+            workers: calib::WORKERS,
+            days: calib::CAMPAIGN_DAYS,
+            arrival_scale: 1.0,
+            request_tiles: calib::REQUEST_TILES,
+            request_days: calib::REQUEST_DAYS,
+            tile_pool: calib::TILE_POOL,
+            day_pool: calib::DAY_POOL,
+            variation: true,
+            watchdog: true,
+            seed: 0x0D15,
+        }
+    }
+}
+
+impl ModisConfig {
+    /// Scaled-down campaign for tests/examples (~tens of thousands of
+    /// executions instead of millions). The catalog shrinks with the
+    /// volume so the source-reuse ratio stays paper-like, and the seed
+    /// is chosen so the 30-day window contains one severe host-
+    /// degradation day (the full campaign expects ~2 severe days; a
+    /// random month has only a ~26 % chance of one).
+    pub fn quick() -> Self {
+        // 16 workers against the same request stream puts utilization
+        // near the full campaign's ~50-60 %, so degraded host windows
+        // actually overlap running work (with 200 workers and a 30-day
+        // sample the queue drains into long idle gaps instead).
+        ModisConfig {
+            workers: 16,
+            days: 30,
+            arrival_scale: 0.6,
+            request_tiles: (4, 16),
+            request_days: (20, 120),
+            tile_pool: 30,
+            day_pool: 200,
+            seed: 190,
+            ..ModisConfig::default()
+        }
+    }
+}
+
+/// Per-task mutable bookkeeping.
+#[derive(Debug, Clone)]
+pub struct TaskState {
+    /// What the task does.
+    pub spec: TaskSpec,
+    /// Executions so far.
+    pub attempts: u32,
+    /// Set once an execution completed the task.
+    pub completed: bool,
+}
+
+/// One running execution, tracked for the watchdog.
+pub struct RunningExec {
+    /// Task class (selects the historical mean).
+    pub kind: TaskKind,
+    /// Execution start time.
+    pub start: SimTime,
+    /// Fired by the monitor to kill the execution.
+    pub kill: Signal,
+}
+
+/// The assembled system.
+pub struct ModisSystem {
+    /// Simulation handle.
+    pub sim: Sim,
+    /// Configuration.
+    pub cfg: ModisConfig,
+    /// Storage stamp (production fault profile).
+    pub stamp: Rc<StorageStamp>,
+    /// Physical hosts under the workers.
+    pub hosts: Rc<HostPool>,
+    /// External data feed.
+    pub ftp: FtpFeed,
+    /// The source-imagery catalog (pure function of coordinates).
+    pub catalog: SourceCatalog,
+    /// Telemetry sink.
+    pub telemetry: Telemetry,
+    /// Task registry (stands in for the paper's request/task tables
+    /// at the orchestration layer; per-execution status still flows
+    /// through the real table service from the workers).
+    pub tasks: RefCell<HashMap<TaskId, TaskState>>,
+    /// Executions currently on a worker, by execution id.
+    pub running: RefCell<HashMap<u64, Rc<RunningExec>>>,
+    next_task: Cell<TaskId>,
+    next_exec: Cell<u64>,
+    /// Set when the portal stops generating requests.
+    pub manager_done: Cell<bool>,
+    /// Fired when the campaign is fully drained.
+    pub shutdown: Signal,
+}
+
+/// Name of the shared task queue.
+pub const TASK_QUEUE: &str = "modis-tasks";
+/// Name of the status table.
+pub const STATUS_TABLE: &str = "modis-status";
+/// Blob container for sources and products.
+pub const DATA_CONTAINER: &str = "modis-data";
+
+impl ModisSystem {
+    /// Assemble the system on a fresh network.
+    pub fn new(sim: &Sim, cfg: ModisConfig) -> Rc<Self> {
+        let net = Network::new(sim);
+        let stamp = StorageStamp::new(
+            sim,
+            &net,
+            StampConfig {
+                faults: FaultProfile::production(),
+                ..StampConfig::default()
+            },
+        );
+        let host_count = cfg.workers.div_ceil(calib::WORKERS_PER_HOST).max(1);
+        let hosts = HostPool::new(
+            sim,
+            if cfg.variation {
+                HostPoolConfig::with_variation(host_count)
+            } else {
+                HostPoolConfig {
+                    hosts: host_count,
+                    ..HostPoolConfig::default()
+                }
+            },
+        );
+        let ftp = FtpFeed::new(&net);
+        let catalog = SourceCatalog::new(cfg.tile_pool, cfg.day_pool);
+        Rc::new(ModisSystem {
+            sim: sim.clone(),
+            cfg,
+            stamp,
+            hosts,
+            ftp,
+            catalog,
+            telemetry: Telemetry::new(),
+            tasks: RefCell::new(HashMap::new()),
+            running: RefCell::new(HashMap::new()),
+            next_task: Cell::new(1),
+            next_exec: Cell::new(1),
+            manager_done: Cell::new(false),
+            shutdown: Signal::new(),
+        })
+    }
+
+    /// Register a distinct task; returns its id.
+    pub fn register_task(&self, spec: TaskSpec) -> TaskId {
+        let id = self.next_task.get();
+        self.next_task.set(id + 1);
+        self.tasks.borrow_mut().insert(
+            id,
+            TaskState {
+                spec,
+                attempts: 0,
+                completed: false,
+            },
+        );
+        self.telemetry.record_distinct_task();
+        id
+    }
+
+    /// Allocate an execution id.
+    pub fn next_exec_id(&self) -> u64 {
+        let id = self.next_exec.get();
+        self.next_exec.set(id + 1);
+        id
+    }
+
+    /// The host carrying worker `idx` (8 small VMs per host).
+    pub fn host_of_worker(&self, idx: usize) -> usize {
+        (idx / calib::WORKERS_PER_HOST) % self.hosts.len()
+    }
+
+    /// End of the request-generation window.
+    pub fn campaign_end(&self) -> SimTime {
+        SimTime::ZERO + SimDuration::from_days(self.cfg.days)
+    }
+
+    /// True once everything is drained: no more requests coming, no
+    /// queued or leased messages, no running executions.
+    pub fn is_drained(&self) -> bool {
+        self.manager_done.get()
+            && self.stamp.queue_service().is_empty(TASK_QUEUE)
+            && self.running.borrow().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tasks::TileDay;
+
+    #[test]
+    fn system_assembles() {
+        let sim = Sim::new(1);
+        let cfg = ModisConfig::quick();
+        let expect_hosts = cfg.workers.div_ceil(8);
+        let sys = ModisSystem::new(&sim, cfg);
+        assert_eq!(sys.hosts.len(), expect_hosts);
+        assert!(sys.is_drained() || !sys.manager_done.get());
+    }
+
+    #[test]
+    fn task_registration_counts_distinct() {
+        let sim = Sim::new(2);
+        let sys = ModisSystem::new(&sim, ModisConfig::quick());
+        let c = TileDay { tile: 1, day: 1 };
+        let a = sys.register_task(TaskSpec::SourceDownload { coord: c, files: 3 });
+        let b = sys.register_task(TaskSpec::Reduction { request: 1, coord: c });
+        assert_ne!(a, b);
+        assert_eq!(sys.telemetry.distinct_tasks(), 2);
+        assert_eq!(sys.tasks.borrow().len(), 2);
+    }
+
+    #[test]
+    fn workers_pack_8_per_host() {
+        let sim = Sim::new(3);
+        let sys = ModisSystem::new(&sim, ModisConfig::quick());
+        assert_eq!(sys.host_of_worker(0), 0);
+        assert_eq!(sys.host_of_worker(7), 0);
+        assert_eq!(sys.host_of_worker(8), 1);
+    }
+}

@@ -1,0 +1,154 @@
+//! Task vocabulary: the four ModisAzure task classes and their specs.
+
+use std::fmt;
+
+/// The four task classes of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskKind {
+    /// Fetch source imagery from the external feed into blob storage.
+    SourceDownload,
+    /// Merge/transform sources into one data sub-product ("think of a
+    /// tile in an image mosaic").
+    Reprojection,
+    /// Precursor grouping step before a reduction.
+    Aggregation,
+    /// Scientist-supplied analysis over reprojected products.
+    Reduction,
+}
+
+impl TaskKind {
+    /// All four, in the Table 2 order.
+    pub const ALL: [TaskKind; 4] = [
+        TaskKind::SourceDownload,
+        TaskKind::Aggregation,
+        TaskKind::Reprojection,
+        TaskKind::Reduction,
+    ];
+}
+
+impl fmt::Display for TaskKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TaskKind::SourceDownload => "Source download",
+            TaskKind::Aggregation => "Aggregation",
+            TaskKind::Reprojection => "Reprojection",
+            TaskKind::Reduction => "Reduction",
+        })
+    }
+}
+
+/// A tile/day coordinate in the synthetic MODIS catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TileDay {
+    /// Sinusoidal-grid tile index.
+    pub tile: u32,
+    /// Acquisition day index into the catalog history.
+    pub day: u32,
+}
+
+impl TileDay {
+    /// Blob name of the `k`-th source file of this tile/day.
+    pub fn source_blob(&self, k: u32) -> String {
+        format!("src/t{:03}/d{:04}/band{k}", self.tile, self.day)
+    }
+
+    /// Blob name of a request's reprojected product for this tile/day.
+    pub fn product_blob(&self, request: u64) -> String {
+        format!("prod/r{request:05}/t{:03}/d{:04}", self.tile, self.day)
+    }
+}
+
+/// Unique id of a distinct task.
+pub type TaskId = u64;
+
+/// What one task does.
+#[derive(Debug, Clone)]
+pub enum TaskSpec {
+    /// Download the given source files (one tile/day group).
+    SourceDownload {
+        /// Coordinate whose files to fetch.
+        coord: TileDay,
+        /// Number of band files.
+        files: u32,
+    },
+    /// Reproject one tile/day for one request.
+    Reprojection {
+        /// Owning request.
+        request: u64,
+        /// Coordinate to process.
+        coord: TileDay,
+        /// Number of band files it reads.
+        files: u32,
+    },
+    /// Group a batch of products for reduction.
+    Aggregation {
+        /// Owning request.
+        request: u64,
+        /// Batch index within the request.
+        batch: u32,
+    },
+    /// Run the scientist's reducer over one product.
+    Reduction {
+        /// Owning request.
+        request: u64,
+        /// Coordinate whose product to reduce.
+        coord: TileDay,
+    },
+}
+
+impl TaskSpec {
+    /// The task's class.
+    pub fn kind(&self) -> TaskKind {
+        match self {
+            TaskSpec::SourceDownload { .. } => TaskKind::SourceDownload,
+            TaskSpec::Reprojection { .. } => TaskKind::Reprojection,
+            TaskSpec::Aggregation { .. } => TaskKind::Aggregation,
+            TaskSpec::Reduction { .. } => TaskKind::Reduction,
+        }
+    }
+}
+
+/// A distinct task plus its retry bookkeeping.
+#[derive(Debug, Clone)]
+pub struct Task {
+    /// Unique id.
+    pub id: TaskId,
+    /// What to do.
+    pub spec: TaskSpec,
+    /// Executions so far (retries increment this).
+    pub attempts: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blob_names_are_unique_per_coordinate() {
+        let a = TileDay { tile: 1, day: 2 };
+        let b = TileDay { tile: 2, day: 1 };
+        assert_ne!(a.source_blob(0), b.source_blob(0));
+        assert_ne!(a.source_blob(0), a.source_blob(1));
+        assert_ne!(a.product_blob(7), a.product_blob(8));
+        assert_ne!(a.product_blob(7), b.product_blob(7));
+    }
+
+    #[test]
+    fn spec_kinds() {
+        let c = TileDay { tile: 0, day: 0 };
+        assert_eq!(
+            TaskSpec::SourceDownload { coord: c, files: 3 }.kind(),
+            TaskKind::SourceDownload
+        );
+        assert_eq!(
+            TaskSpec::Reduction { request: 1, coord: c }.kind(),
+            TaskKind::Reduction
+        );
+    }
+
+    #[test]
+    fn kind_display_matches_table2_labels() {
+        assert_eq!(TaskKind::SourceDownload.to_string(), "Source download");
+        assert_eq!(TaskKind::Reprojection.to_string(), "Reprojection");
+    }
+}

@@ -1,0 +1,408 @@
+//! Telemetry: the "robust logging and monitoring infrastructure" the
+//! paper recommends building early (§6.3). Every task execution is
+//! logged with its outcome class; aggregations produce Table 2 and
+//! Fig 7.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use simcore::prelude::*;
+use simcore::report::{num, pct, AsciiTable};
+
+use crate::tasks::TaskKind;
+
+/// Outcome classes — the Table 2 error taxonomy plus the user-code
+/// bucket the paper mentions but omits from the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// Task completed.
+    Success,
+    /// Unclassified failure (user code / environment), 11.30 %.
+    UnknownFailure,
+    /// Create-if-absent product write conflicted, 5.98 %.
+    BlobAlreadyExists,
+    /// Execution left no log (all source-download executions), 4.57 %.
+    UnknownNullLog,
+    /// Could not fetch source data from the external feed, 4.10 %.
+    DownloadSourceFailed,
+    /// Transport-level connection failure, 0.29 %.
+    ConnectionFailure,
+    /// Killed by the watchdog at 4× the historical mean, 0.17 %.
+    VmExecutionTimeout,
+    /// A storage operation timed out, 0.14 %.
+    OperationTimeout,
+    /// Downloaded payload failed verification, 0.10 %.
+    CorruptBlobRead,
+    /// Storage shed load, 0.04 %.
+    ServerBusy,
+    /// Read aborted mid-transfer, 0.02 %.
+    BlobReadFail,
+    /// Source blob permanently absent, 0.02 %.
+    NonExistentSourceBlob,
+    /// "Unable to read input file" (20 occurrences).
+    UnableToReadInput,
+    /// "Bad image format" (15).
+    BadImageFormat,
+    /// "Transport error" (12).
+    TransportError,
+    /// "Internal storage client error" (10).
+    InternalStorageError,
+    /// "Out of disk space" (7).
+    OutOfDiskSpace,
+    /// User-MATLAB classes the paper's Table 2 omits (≈ 7.8 %).
+    UserCodeOther,
+}
+
+impl Outcome {
+    /// All classes, in Table 2 row order (UserCodeOther last).
+    pub const ALL: [Outcome; 18] = [
+        Outcome::Success,
+        Outcome::UnknownFailure,
+        Outcome::BlobAlreadyExists,
+        Outcome::UnknownNullLog,
+        Outcome::DownloadSourceFailed,
+        Outcome::ConnectionFailure,
+        Outcome::VmExecutionTimeout,
+        Outcome::OperationTimeout,
+        Outcome::CorruptBlobRead,
+        Outcome::ServerBusy,
+        Outcome::BlobReadFail,
+        Outcome::NonExistentSourceBlob,
+        Outcome::UnableToReadInput,
+        Outcome::BadImageFormat,
+        Outcome::TransportError,
+        Outcome::InternalStorageError,
+        Outcome::OutOfDiskSpace,
+        Outcome::UserCodeOther,
+    ];
+
+    /// Paper label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Outcome::Success => "Success",
+            Outcome::UnknownFailure => "Unknown failure",
+            Outcome::BlobAlreadyExists => "Blob already exists",
+            Outcome::UnknownNullLog => "Unknown - null log",
+            Outcome::DownloadSourceFailed => "Download source data failed",
+            Outcome::ConnectionFailure => "Connection failure",
+            Outcome::VmExecutionTimeout => "VM execution timeout",
+            Outcome::OperationTimeout => "Operation timeout",
+            Outcome::CorruptBlobRead => "Corrupt blob read",
+            Outcome::ServerBusy => "Server busy",
+            Outcome::BlobReadFail => "Blob read fail",
+            Outcome::NonExistentSourceBlob => "Non-existent source blob",
+            Outcome::UnableToReadInput => "Unable to read input file",
+            Outcome::BadImageFormat => "Bad image format",
+            Outcome::TransportError => "Transport error",
+            Outcome::InternalStorageError => "Internal storage client error",
+            Outcome::OutOfDiskSpace => "Out of disk space",
+            Outcome::UserCodeOther => "(user-code classes omitted in the paper)",
+        }
+    }
+
+    /// Whether a failed execution of this class should be retried
+    /// (infrastructure-transient classes are; user-code and
+    /// bookkeeping classes are not).
+    pub fn retryable(&self) -> bool {
+        matches!(
+            self,
+            Outcome::DownloadSourceFailed
+                | Outcome::ConnectionFailure
+                | Outcome::VmExecutionTimeout
+                | Outcome::OperationTimeout
+                | Outcome::CorruptBlobRead
+                | Outcome::ServerBusy
+                | Outcome::BlobReadFail
+                | Outcome::TransportError
+                | Outcome::InternalStorageError
+                | Outcome::OutOfDiskSpace
+        )
+    }
+
+    /// Whether the execution counts as having *finished* the task (the
+    /// product is usable even though the class is logged as an error).
+    pub fn completes_task(&self) -> bool {
+        matches!(
+            self,
+            Outcome::Success | Outcome::UnknownNullLog | Outcome::BlobAlreadyExists
+        )
+    }
+}
+
+struct TelemetryState {
+    by_outcome: HashMap<Outcome, u64>,
+    by_kind: HashMap<TaskKind, u64>,
+    durations: HashMap<TaskKind, OnlineStats>,
+    daily_timeouts: DailySeries,
+    distinct_tasks: u64,
+    abandoned_tasks: u64,
+}
+
+/// Shared telemetry sink; clone freely.
+#[derive(Clone)]
+pub struct Telemetry {
+    st: Rc<RefCell<TelemetryState>>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Telemetry {
+    /// Empty sink.
+    pub fn new() -> Self {
+        Telemetry {
+            st: Rc::new(RefCell::new(TelemetryState {
+                by_outcome: HashMap::new(),
+                by_kind: HashMap::new(),
+                durations: HashMap::new(),
+                daily_timeouts: DailySeries::daily(),
+                distinct_tasks: 0,
+                abandoned_tasks: 0,
+            })),
+        }
+    }
+
+    /// Record one task execution.
+    pub fn record_execution(
+        &self,
+        at: SimTime,
+        kind: TaskKind,
+        outcome: Outcome,
+        duration: SimDuration,
+    ) {
+        let mut st = self.st.borrow_mut();
+        *st.by_outcome.entry(outcome).or_insert(0) += 1;
+        *st.by_kind.entry(kind).or_insert(0) += 1;
+        if outcome == Outcome::Success {
+            st.durations
+                .entry(kind)
+                .or_insert_with(OnlineStats::new)
+                .push(duration.as_secs_f64());
+        }
+        st.daily_timeouts
+            .record(at, outcome == Outcome::VmExecutionTimeout);
+    }
+
+    /// Register a distinct task (for the executions-vs-tasks ratio).
+    pub fn record_distinct_task(&self) {
+        self.st.borrow_mut().distinct_tasks += 1;
+    }
+
+    /// Register a task abandoned after exhausting retries.
+    pub fn record_abandoned(&self) {
+        self.st.borrow_mut().abandoned_tasks += 1;
+    }
+
+    /// Historical mean successful duration for a task kind, if enough
+    /// samples exist (used by the watchdog).
+    pub fn mean_duration(&self, kind: TaskKind, min_samples: u64) -> Option<f64> {
+        let st = self.st.borrow();
+        st.durations.get(&kind).and_then(|s| {
+            if s.count() >= min_samples {
+                Some(s.mean())
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Executions of one outcome class.
+    pub fn count(&self, outcome: Outcome) -> u64 {
+        *self.st.borrow().by_outcome.get(&outcome).unwrap_or(&0)
+    }
+
+    /// Executions of one task kind.
+    pub fn kind_count(&self, kind: TaskKind) -> u64 {
+        *self.st.borrow().by_kind.get(&kind).unwrap_or(&0)
+    }
+
+    /// Total executions.
+    pub fn total_executions(&self) -> u64 {
+        self.st.borrow().by_outcome.values().sum()
+    }
+
+    /// Distinct tasks registered.
+    pub fn distinct_tasks(&self) -> u64 {
+        self.st.borrow().distinct_tasks
+    }
+
+    /// Tasks abandoned after the retry limit.
+    pub fn abandoned_tasks(&self) -> u64 {
+        self.st.borrow().abandoned_tasks
+    }
+
+    /// Fraction of executions in one class.
+    pub fn fraction(&self, outcome: Outcome) -> f64 {
+        let total = self.total_executions();
+        if total == 0 {
+            0.0
+        } else {
+            self.count(outcome) as f64 / total as f64
+        }
+    }
+
+    /// Fig 7 rows: (day, executions, timeouts, fraction).
+    pub fn daily_timeout_rows(&self) -> Vec<(usize, u64, u64, f64)> {
+        self.st.borrow().daily_timeouts.rows()
+    }
+
+    /// Largest daily timeout fraction (the "up to ~16 %" headline).
+    pub fn max_daily_timeout_fraction(&self) -> f64 {
+        self.st.borrow().daily_timeouts.max_fraction()
+    }
+
+    /// Overall VM-timeout fraction (paper: 0.17 %).
+    pub fn overall_timeout_fraction(&self) -> f64 {
+        self.fraction(Outcome::VmExecutionTimeout)
+    }
+
+    /// Render the Table 2 reproduction.
+    pub fn render_table2(&self) -> String {
+        let total = self.total_executions().max(1);
+        let mut t = AsciiTable::new(vec![
+            "ModisAzure task classification",
+            "Task execution count",
+            "Percentage of total",
+        ])
+        .with_title("Table 2 — ModisAzure task breakdown and selected failure types");
+        for kind in TaskKind::ALL {
+            let c = self.kind_count(kind);
+            t.row(vec![
+                kind.to_string(),
+                c.to_string(),
+                pct(c as f64 / total as f64),
+            ]);
+        }
+        t.row(vec![
+            "Total task executions".to_string(),
+            total.to_string(),
+            pct(1.0),
+        ]);
+        let mut err = AsciiTable::new(vec!["Selected types of task errors", "Count", "Percentage"]);
+        let mut rows: Vec<(Outcome, u64)> = Outcome::ALL
+            .iter()
+            .map(|o| (*o, self.count(*o)))
+            .collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1));
+        for (o, c) in rows {
+            if c == 0 {
+                continue;
+            }
+            err.row(vec![
+                o.label().to_string(),
+                c.to_string(),
+                pct(c as f64 / total as f64),
+            ]);
+        }
+        format!("{}\n{}", t.render(), err.render())
+    }
+
+    /// Render the Fig 7 reproduction.
+    pub fn render_fig7(&self) -> String {
+        let mut t = AsciiTable::new(vec!["day", "executions", "vm timeouts", "% of day"])
+            .with_title("Fig 7 — percent of task executions with VM timeout over time");
+        for (day, total, hits, frac) in self.daily_timeout_rows() {
+            t.row(vec![
+                day.to_string(),
+                total.to_string(),
+                hits.to_string(),
+                num(frac * 100.0, 2),
+            ]);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_fractions() {
+        let t = Telemetry::new();
+        let d = SimDuration::from_mins(6);
+        for i in 0..10 {
+            t.record_execution(
+                SimTime::ZERO + SimDuration::from_hours(i),
+                TaskKind::Reprojection,
+                if i < 7 { Outcome::Success } else { Outcome::UnknownFailure },
+                d,
+            );
+        }
+        assert_eq!(t.total_executions(), 10);
+        assert_eq!(t.count(Outcome::Success), 7);
+        assert!((t.fraction(Outcome::UnknownFailure) - 0.3).abs() < 1e-12);
+        assert_eq!(t.kind_count(TaskKind::Reprojection), 10);
+    }
+
+    #[test]
+    fn mean_duration_needs_min_samples() {
+        let t = Telemetry::new();
+        for _ in 0..5 {
+            t.record_execution(
+                SimTime::ZERO,
+                TaskKind::Reduction,
+                Outcome::Success,
+                SimDuration::from_mins(4),
+            );
+        }
+        assert!(t.mean_duration(TaskKind::Reduction, 10).is_none());
+        assert!(t.mean_duration(TaskKind::Reduction, 5).is_some());
+        // Failures don't pollute the duration history.
+        t.record_execution(
+            SimTime::ZERO,
+            TaskKind::Reduction,
+            Outcome::VmExecutionTimeout,
+            SimDuration::from_mins(40),
+        );
+        let m = t.mean_duration(TaskKind::Reduction, 5).unwrap();
+        assert!((m - 240.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn daily_timeouts_aggregate_by_day() {
+        let t = Telemetry::new();
+        let day = SimDuration::from_days(1);
+        t.record_execution(SimTime::ZERO, TaskKind::Reprojection, Outcome::Success, day);
+        t.record_execution(
+            SimTime::ZERO + day * 3,
+            TaskKind::Reprojection,
+            Outcome::VmExecutionTimeout,
+            day,
+        );
+        let rows = t.daily_timeout_rows();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[3].3, 1.0);
+        assert_eq!(t.max_daily_timeout_fraction(), 1.0);
+        assert!((t.overall_timeout_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retryability_and_completion_classes() {
+        assert!(Outcome::VmExecutionTimeout.retryable());
+        assert!(!Outcome::UnknownFailure.retryable());
+        assert!(Outcome::BlobAlreadyExists.completes_task());
+        assert!(!Outcome::DownloadSourceFailed.completes_task());
+        assert!(Outcome::UnknownNullLog.completes_task());
+    }
+
+    #[test]
+    fn render_contains_paper_labels() {
+        let t = Telemetry::new();
+        t.record_execution(
+            SimTime::ZERO,
+            TaskKind::SourceDownload,
+            Outcome::UnknownNullLog,
+            SimDuration::from_mins(2),
+        );
+        let s = t.render_table2();
+        assert!(s.contains("Source download"));
+        assert!(s.contains("Unknown - null log"));
+        assert!(s.contains("Total task executions"));
+        assert!(t.render_fig7().contains("Fig 7"));
+    }
+}

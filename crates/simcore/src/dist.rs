@@ -1,0 +1,489 @@
+//! Probability distributions for model parameters.
+//!
+//! Implemented in-tree (the `rand_distr` crate is not in the approved
+//! offline set) with the standard textbook samplers: inverse-CDF for
+//! exponential/Pareto, Box–Muller for the normal family, inverse-CDF
+//! interpolation for empirical distributions, and cumulative-weight
+//! search for discrete mixtures.
+
+use crate::rng::SimRng;
+
+/// A samplable real-valued distribution.
+pub trait Dist {
+    /// Draw one sample.
+    fn sample(&self, rng: &mut SimRng) -> f64;
+
+    /// Theoretical mean where defined (used by tests and by model code
+    /// that needs expectations, e.g. capacity planning in the harness).
+    fn mean(&self) -> f64;
+}
+
+/// Degenerate distribution: always `value`.
+#[derive(Debug, Clone, Copy)]
+pub struct Constant(pub f64);
+
+impl Dist for Constant {
+    fn sample(&self, _rng: &mut SimRng) -> f64 {
+        self.0
+    }
+    fn mean(&self) -> f64 {
+        self.0
+    }
+}
+
+/// Uniform on `[lo, hi)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform {
+    /// Inclusive lower bound.
+    pub lo: f64,
+    /// Exclusive upper bound.
+    pub hi: f64,
+}
+
+impl Uniform {
+    /// Construct; panics if `hi < lo`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(hi >= lo, "Uniform bounds inverted: [{lo}, {hi})");
+        Uniform { lo, hi }
+    }
+}
+
+impl Dist for Uniform {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        rng.range_f64(self.lo, self.hi)
+    }
+    fn mean(&self) -> f64 {
+        (self.lo + self.hi) / 2.0
+    }
+}
+
+/// Exponential with the given mean (`rate = 1/mean`). The workhorse for
+/// inter-arrival and memoryless service times.
+#[derive(Debug, Clone, Copy)]
+pub struct Exp {
+    /// Mean of the distribution (must be positive).
+    pub mean: f64,
+}
+
+impl Exp {
+    /// Construct from the mean; panics on non-positive mean.
+    pub fn with_mean(mean: f64) -> Self {
+        assert!(mean > 0.0, "Exp mean must be positive, got {mean}");
+        Exp { mean }
+    }
+}
+
+impl Dist for Exp {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        // Inverse CDF; `1 - u` avoids ln(0) since u ∈ [0, 1).
+        let u = rng.f64();
+        -self.mean * (1.0 - u).ln()
+    }
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+}
+
+/// Normal(mu, sigma) via Box–Muller (one of the pair is discarded so the
+/// sampler stays stateless and fork-friendly).
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    /// Mean.
+    pub mu: f64,
+    /// Standard deviation (non-negative).
+    pub sigma: f64,
+}
+
+impl Normal {
+    /// Construct; panics on negative sigma.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma >= 0.0, "Normal sigma must be >= 0, got {sigma}");
+        Normal { mu, sigma }
+    }
+
+    fn standard(rng: &mut SimRng) -> f64 {
+        let u1 = (1.0 - rng.f64()).max(f64::MIN_POSITIVE);
+        let u2 = rng.f64();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+impl Dist for Normal {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.mu + self.sigma * Normal::standard(rng)
+    }
+    fn mean(&self) -> f64 {
+        self.mu
+    }
+}
+
+/// Normal truncated below at `floor` (durations must not be negative;
+/// resampling would bias the fingerprint-relevant draw count, so we clamp).
+#[derive(Debug, Clone, Copy)]
+pub struct TruncNormal {
+    /// The underlying normal.
+    pub normal: Normal,
+    /// Samples below this are clamped up to it.
+    pub floor: f64,
+}
+
+impl TruncNormal {
+    /// Normal(mu, sigma) clamped below at `floor`.
+    pub fn new(mu: f64, sigma: f64, floor: f64) -> Self {
+        TruncNormal {
+            normal: Normal::new(mu, sigma),
+            floor,
+        }
+    }
+}
+
+impl Dist for TruncNormal {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.normal.sample(rng).max(self.floor)
+    }
+    fn mean(&self) -> f64 {
+        // Approximation: exact only when truncation mass is negligible,
+        // which holds for all calibrated uses (floor ≥ ~3σ below mu).
+        self.normal.mu.max(self.floor)
+    }
+}
+
+/// LogNormal parameterized by the *target* mean and sigma of the log space.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    /// Mean of the underlying normal (log space).
+    pub mu: f64,
+    /// Sigma of the underlying normal (log space).
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// From log-space parameters directly.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma >= 0.0);
+        LogNormal { mu, sigma }
+    }
+
+    /// Construct so the distribution has the given linear-space mean and
+    /// the given log-space sigma (how heavy the right tail is).
+    pub fn with_mean(mean: f64, sigma: f64) -> Self {
+        assert!(mean > 0.0);
+        LogNormal {
+            mu: mean.ln() - sigma * sigma / 2.0,
+            sigma,
+        }
+    }
+}
+
+impl Dist for LogNormal {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        (self.mu + self.sigma * Normal::standard(rng)).exp()
+    }
+    fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+}
+
+/// Pareto (heavy tail) with scale `x_min` and shape `alpha`.
+#[derive(Debug, Clone, Copy)]
+pub struct Pareto {
+    /// Minimum value (scale).
+    pub x_min: f64,
+    /// Tail exponent; heavier tail for smaller alpha.
+    pub alpha: f64,
+}
+
+impl Pareto {
+    /// Construct; panics on non-positive parameters.
+    pub fn new(x_min: f64, alpha: f64) -> Self {
+        assert!(x_min > 0.0 && alpha > 0.0);
+        Pareto { x_min, alpha }
+    }
+}
+
+impl Dist for Pareto {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        let u = (1.0 - rng.f64()).max(f64::MIN_POSITIVE);
+        self.x_min / u.powf(1.0 / self.alpha)
+    }
+    fn mean(&self) -> f64 {
+        if self.alpha > 1.0 {
+            self.alpha * self.x_min / (self.alpha - 1.0)
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Empirical distribution given as CDF knots `(value, cum_prob)`;
+/// sampling inverts the CDF with linear interpolation between knots.
+/// This is how the paper's published histograms (Figs 4 and 5) are turned
+/// back into generators.
+#[derive(Debug, Clone)]
+pub struct Empirical {
+    knots: Vec<(f64, f64)>,
+}
+
+impl Empirical {
+    /// `knots` must be non-empty with strictly increasing values and
+    /// non-decreasing probabilities ending at 1.0.
+    pub fn from_cdf(knots: Vec<(f64, f64)>) -> Self {
+        assert!(!knots.is_empty(), "empirical CDF needs at least one knot");
+        for w in knots.windows(2) {
+            assert!(w[1].0 >= w[0].0, "CDF values must be non-decreasing");
+            assert!(w[1].1 >= w[0].1, "CDF probabilities must be non-decreasing");
+        }
+        let last = knots.last().unwrap().1;
+        assert!(
+            (last - 1.0).abs() < 1e-9,
+            "CDF must end at probability 1.0, ends at {last}"
+        );
+        Empirical { knots }
+    }
+
+    /// Build from raw samples (each sample becomes an equal-mass knot).
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        assert!(!samples.is_empty());
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = samples.len();
+        let knots = samples
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| (v, (i + 1) as f64 / n as f64))
+            .collect();
+        Empirical { knots }
+    }
+
+    /// Value at cumulative probability `p` (the quantile function).
+    pub fn quantile(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 1.0);
+        let mut prev = (self.knots[0].0, 0.0);
+        for &(v, cp) in &self.knots {
+            if p <= cp {
+                let (pv, pp) = prev;
+                if cp - pp < 1e-12 {
+                    return v;
+                }
+                let t = (p - pp) / (cp - pp);
+                return pv + t * (v - pv);
+            }
+            prev = (v, cp);
+        }
+        self.knots.last().unwrap().0
+    }
+}
+
+impl Dist for Empirical {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.quantile(rng.f64())
+    }
+    fn mean(&self) -> f64 {
+        // Trapezoid over the inverse CDF.
+        let mut mean = 0.0;
+        let mut prev = (self.knots[0].0, 0.0);
+        for &(v, cp) in &self.knots {
+            let (pv, pp) = prev;
+            mean += (cp - pp) * (v + pv) / 2.0;
+            prev = (v, cp);
+        }
+        mean
+    }
+}
+
+/// Finite mixture of component distributions with the given weights.
+pub struct Mixture {
+    components: Vec<(f64, Box<dyn Dist>)>,
+    total_weight: f64,
+}
+
+impl Mixture {
+    /// `components` are `(weight, dist)` pairs; weights need not sum to 1.
+    pub fn new(components: Vec<(f64, Box<dyn Dist>)>) -> Self {
+        assert!(!components.is_empty());
+        let total_weight = components.iter().map(|(w, _)| *w).sum::<f64>();
+        assert!(total_weight > 0.0);
+        Mixture {
+            components,
+            total_weight,
+        }
+    }
+}
+
+impl Dist for Mixture {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        let mut pick = rng.f64() * self.total_weight;
+        for (w, d) in &self.components {
+            if pick < *w {
+                return d.sample(rng);
+            }
+            pick -= w;
+        }
+        self.components.last().unwrap().1.sample(rng)
+    }
+    fn mean(&self) -> f64 {
+        self.components
+            .iter()
+            .map(|(w, d)| w / self.total_weight * d.mean())
+            .sum()
+    }
+}
+
+/// Weighted choice over `usize` indices (e.g. picking a task type by the
+/// paper's observed mix).
+#[derive(Debug, Clone)]
+pub struct Discrete {
+    cumulative: Vec<f64>,
+}
+
+impl Discrete {
+    /// `weights` must be non-empty, non-negative, not all zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty());
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            assert!(w >= 0.0, "negative weight {w}");
+            acc += w;
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "all weights zero");
+        Discrete { cumulative }
+    }
+
+    /// Draw an index with probability proportional to its weight.
+    pub fn sample_index(&self, rng: &mut SimRng) -> usize {
+        let total = *self.cumulative.last().unwrap();
+        let pick = rng.f64() * total;
+        // Linear scan: weight vectors here are tiny (≤ a dozen classes).
+        self.cumulative
+            .iter()
+            .position(|&c| pick < c)
+            .unwrap_or(self.cumulative.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_mean(d: &dyn Dist, seed: u64, n: usize) -> f64 {
+        let mut rng = SimRng::from_seed(seed);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    fn sample_std(d: &dyn Dist, seed: u64, n: usize) -> f64 {
+        let mut rng = SimRng::from_seed(seed);
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        (samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64).sqrt()
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let mut rng = SimRng::from_seed(1);
+        let d = Constant(3.5);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 3.5);
+        }
+    }
+
+    #[test]
+    fn uniform_moments() {
+        let d = Uniform::new(2.0, 6.0);
+        assert!((sample_mean(&d, 2, 50_000) - 4.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn exp_moments() {
+        let d = Exp::with_mean(5.0);
+        assert!((sample_mean(&d, 3, 100_000) - 5.0).abs() < 0.15);
+        // std of exponential equals its mean.
+        assert!((sample_std(&d, 3, 100_000) - 5.0).abs() < 0.25);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let d = Normal::new(10.0, 2.0);
+        assert!((sample_mean(&d, 4, 100_000) - 10.0).abs() < 0.05);
+        assert!((sample_std(&d, 4, 100_000) - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn trunc_normal_never_below_floor() {
+        let d = TruncNormal::new(1.0, 5.0, 0.0);
+        let mut rng = SimRng::from_seed(5);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn lognormal_hits_target_mean() {
+        let d = LogNormal::with_mean(7.0, 0.8);
+        assert!((d.mean() - 7.0).abs() < 1e-9);
+        assert!((sample_mean(&d, 6, 200_000) - 7.0).abs() < 0.25);
+    }
+
+    #[test]
+    fn pareto_respects_scale_and_mean() {
+        let d = Pareto::new(2.0, 3.0);
+        let mut rng = SimRng::from_seed(7);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) >= 2.0);
+        }
+        assert!((sample_mean(&d, 7, 200_000) - d.mean()).abs() < 0.1);
+        assert!(Pareto::new(1.0, 0.9).mean().is_infinite());
+    }
+
+    #[test]
+    fn empirical_quantiles_interpolate() {
+        // 50% of mass at <=1.0, 75% at <=2.0, rest up to 10.
+        let d = Empirical::from_cdf(vec![(0.5, 0.0), (1.0, 0.5), (2.0, 0.75), (10.0, 1.0)]);
+        assert!((d.quantile(0.5) - 1.0).abs() < 1e-9);
+        assert!((d.quantile(0.75) - 2.0).abs() < 1e-9);
+        assert!((d.quantile(0.625) - 1.5).abs() < 1e-9);
+        assert_eq!(d.quantile(1.0), 10.0);
+        // Sampled fractions track the CDF.
+        let mut rng = SimRng::from_seed(8);
+        let n = 50_000;
+        let below1 = (0..n).filter(|_| d.sample(&mut rng) <= 1.0).count() as f64 / n as f64;
+        assert!((below1 - 0.5).abs() < 0.01, "below1={below1}");
+    }
+
+    #[test]
+    fn empirical_from_samples_median() {
+        let d = Empirical::from_samples(vec![5.0, 1.0, 3.0, 2.0, 4.0]);
+        let med = d.quantile(0.5);
+        assert!((2.0..=3.5).contains(&med), "median={med}");
+    }
+
+    #[test]
+    #[should_panic(expected = "CDF must end at probability 1.0")]
+    fn empirical_rejects_bad_cdf() {
+        let _ = Empirical::from_cdf(vec![(1.0, 0.5)]);
+    }
+
+    #[test]
+    fn mixture_mean_is_weighted() {
+        let m = Mixture::new(vec![
+            (0.25, Box::new(Constant(0.0)) as Box<dyn Dist>),
+            (0.75, Box::new(Constant(4.0))),
+        ]);
+        assert!((m.mean() - 3.0).abs() < 1e-9);
+        assert!((sample_mean(&m, 9, 100_000) - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn discrete_frequencies_track_weights() {
+        let d = Discrete::new(&[1.0, 2.0, 7.0]);
+        let mut rng = SimRng::from_seed(10);
+        let mut counts = [0usize; 3];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[d.sample_index(&mut rng)] += 1;
+        }
+        assert!((counts[0] as f64 / n as f64 - 0.1).abs() < 0.01);
+        assert!((counts[1] as f64 / n as f64 - 0.2).abs() < 0.01);
+        assert!((counts[2] as f64 / n as f64 - 0.7).abs() < 0.01);
+    }
+}

@@ -1,0 +1,222 @@
+//! Deterministic per-component RNG streams.
+//!
+//! Every model component asks the simulation for a stream by label
+//! (`sim.rng("blob.frontend")`). The stream seed is derived from the
+//! simulation seed and the label, so adding a new component (or drawing a
+//! different number of samples in one component) never perturbs any other
+//! component's stream — the property that keeps calibration stable while
+//! the simulator grows.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// FNV-1a over the label bytes: cheap, stable, good enough for stream
+/// separation (streams are further mixed through SplitMix64).
+fn fnv1a(label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// SplitMix64 finalizer: turns correlated inputs into well-mixed seeds.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A seeded random stream for one simulation component.
+pub struct SimRng {
+    rng: SmallRng,
+}
+
+impl SimRng {
+    /// Derive the stream for `label` under base seed `seed`.
+    pub fn for_stream(seed: u64, label: &str) -> Self {
+        let derived = splitmix64(seed ^ splitmix64(fnv1a(label)));
+        SimRng {
+            rng: SmallRng::seed_from_u64(derived),
+        }
+    }
+
+    /// Directly from a raw seed (tests, sub-streams).
+    pub fn from_seed(seed: u64) -> Self {
+        SimRng {
+            rng: SmallRng::seed_from_u64(splitmix64(seed)),
+        }
+    }
+
+    /// Fork a child stream; the child is independent of further draws from
+    /// `self`.
+    pub fn fork(&mut self, label: &str) -> SimRng {
+        let s = self.rng.gen::<u64>();
+        SimRng::for_stream(s, label)
+    }
+
+    /// Uniform in `[0, 1)`.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Uniform in `[lo, hi)`.
+    #[inline]
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// Uniform integer in `[0, bound)`; `bound` must be nonzero.
+    #[inline]
+    pub fn u64_below(&mut self, bound: u64) -> u64 {
+        self.rng.gen_range(0..bound)
+    }
+
+    /// Uniform integer in `[lo, hi]` inclusive.
+    #[inline]
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        self.rng.gen_range(lo..=hi)
+    }
+
+    /// Uniform usize in `[0, bound)`.
+    #[inline]
+    pub fn usize_below(&mut self, bound: usize) -> usize {
+        self.rng.gen_range(0..bound)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.f64() < p
+        }
+    }
+
+    /// Raw 64 random bits.
+    #[inline]
+    pub fn bits(&mut self) -> u64 {
+        self.rng.gen()
+    }
+
+    /// Pick a uniformly random element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.usize_below(items.len())]
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.usize_below(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::for_stream(42, "blob");
+        let mut b = SimRng::for_stream(42, "blob");
+        for _ in 0..100 {
+            assert_eq!(a.bits(), b.bits());
+        }
+    }
+
+    #[test]
+    fn different_labels_decorrelate() {
+        let mut a = SimRng::for_stream(42, "blob");
+        let mut b = SimRng::for_stream(42, "table");
+        let same = (0..64).filter(|_| a.bits() == b.bits()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn different_seeds_decorrelate() {
+        let mut a = SimRng::for_stream(1, "x");
+        let mut b = SimRng::for_stream(2, "x");
+        let same = (0..64).filter(|_| a.bits() == b.bits()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn uniform_f64_in_unit_interval_with_sane_mean() {
+        let mut rng = SimRng::from_seed(7);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let v = rng.f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean={mean}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::from_seed(3);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-0.5));
+        assert!(rng.chance(1.5));
+    }
+
+    #[test]
+    fn chance_frequency_tracks_p() {
+        let mut rng = SimRng::from_seed(11);
+        let hits = (0..50_000).filter(|_| rng.chance(0.3)).count();
+        let freq = hits as f64 / 50_000.0;
+        assert!((freq - 0.3).abs() < 0.02, "freq={freq}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SimRng::from_seed(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left input unchanged");
+    }
+
+    #[test]
+    fn fork_produces_independent_stream() {
+        let mut parent1 = SimRng::from_seed(9);
+        let mut child1 = parent1.fork("c");
+        let mut parent2 = SimRng::from_seed(9);
+        let mut child2 = parent2.fork("c");
+        for _ in 0..20 {
+            assert_eq!(child1.bits(), child2.bits());
+        }
+        // Parent continues deterministically after fork too.
+        for _ in 0..20 {
+            assert_eq!(parent1.bits(), parent2.bits());
+        }
+    }
+
+    #[test]
+    fn u64_in_is_inclusive() {
+        let mut rng = SimRng::from_seed(13);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..1000 {
+            let v = rng.u64_in(3, 5);
+            assert!((3..=5).contains(&v));
+            saw_lo |= v == 3;
+            saw_hi |= v == 5;
+        }
+        assert!(saw_lo && saw_hi);
+    }
+}

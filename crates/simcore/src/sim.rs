@@ -1,0 +1,491 @@
+//! The simulation driver: virtual clock, event heap, process spawning.
+//!
+//! A [`Sim`] is a cheaply-cloneable handle (internally `Rc`) to one
+//! simulation world. Everything scheduled against it is totally ordered by
+//! `(time, sequence-number)`, so a run is a pure function of the initial
+//! seed — the basis of the determinism guarantees the higher layers
+//! (and the reproduction experiments) rely on.
+
+use std::cell::{Cell, RefCell};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+use crate::executor::Executor;
+use crate::time::{SimDuration, SimTime};
+
+/// What a fired event does.
+enum Action {
+    /// Wake a suspended task.
+    Wake(Waker),
+    /// Run an arbitrary callback against the simulation.
+    Call(Box<dyn FnOnce(&Sim)>),
+}
+
+struct EventEntry {
+    at: SimTime,
+    seq: u64,
+    cancelled: Rc<Cell<bool>>,
+    action: Action,
+}
+
+impl PartialEq for EventEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for EventEntry {}
+impl PartialOrd for EventEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EventEntry {
+    // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+    // first. seq breaks ties FIFO, which makes runs reproducible.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Handle to a scheduled event that allows cancelling it before it fires.
+///
+/// Cancellation is lazy: the heap entry stays in place and is skipped when
+/// popped. This is how in-flight network transfers get rescheduled when
+/// fair-share rates change.
+#[derive(Clone)]
+pub struct EventHandle {
+    cancelled: Rc<Cell<bool>>,
+}
+
+impl EventHandle {
+    /// Cancel the event. Idempotent; harmless after the event fired.
+    pub fn cancel(&self) {
+        self.cancelled.set(true);
+    }
+
+    /// True once [`cancel`](Self::cancel) has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.get()
+    }
+}
+
+struct SimInner {
+    now: Cell<SimTime>,
+    seq: Cell<u64>,
+    heap: RefCell<BinaryHeap<EventEntry>>,
+    exec: Executor,
+    events_fired: Cell<u64>,
+    trace_hash: Cell<u64>,
+    base_seed: u64,
+}
+
+/// A handle to one simulation world. Clone freely; all clones share state.
+#[derive(Clone)]
+pub struct Sim {
+    inner: Rc<SimInner>,
+}
+
+impl Sim {
+    /// Create a simulation whose RNG streams derive from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            inner: Rc::new(SimInner {
+                now: Cell::new(SimTime::ZERO),
+                seq: Cell::new(0),
+                heap: RefCell::new(BinaryHeap::new()),
+                exec: Executor::new(),
+                events_fired: Cell::new(0),
+                trace_hash: Cell::new(0xcbf2_9ce4_8422_2325),
+                base_seed: seed,
+            }),
+        }
+    }
+
+    /// The seed this simulation was created with.
+    pub fn seed(&self) -> u64 {
+        self.inner.base_seed
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.inner.now.get()
+    }
+
+    /// Derive a deterministic RNG stream for a named component.
+    pub fn rng(&self, label: &str) -> crate::rng::SimRng {
+        crate::rng::SimRng::for_stream(self.inner.base_seed, label)
+    }
+
+    fn next_seq(&self) -> u64 {
+        let s = self.inner.seq.get();
+        self.inner.seq.set(s + 1);
+        s
+    }
+
+    fn push_event(&self, at: SimTime, action: Action) -> EventHandle {
+        debug_assert!(
+            at >= self.now(),
+            "event scheduled in the past: {at:?} < {:?}",
+            self.now()
+        );
+        let cancelled = Rc::new(Cell::new(false));
+        self.inner.heap.borrow_mut().push(EventEntry {
+            at,
+            seq: self.next_seq(),
+            cancelled: Rc::clone(&cancelled),
+            action,
+        });
+        EventHandle { cancelled }
+    }
+
+    /// Schedule `f` to run at absolute time `at`.
+    pub fn schedule_at(&self, at: SimTime, f: impl FnOnce(&Sim) + 'static) -> EventHandle {
+        self.push_event(at, Action::Call(Box::new(f)))
+    }
+
+    /// Schedule `f` to run after `d` has elapsed.
+    pub fn schedule_in(&self, d: SimDuration, f: impl FnOnce(&Sim) + 'static) -> EventHandle {
+        self.schedule_at(self.now() + d, f)
+    }
+
+    /// Spawn a simulation process. The future runs on this simulation's
+    /// executor; its `Output` is retrievable through the returned
+    /// [`JoinHandle`].
+    pub fn spawn<F>(&self, future: F) -> JoinHandle<F::Output>
+    where
+        F: Future + 'static,
+        F::Output: 'static,
+    {
+        let state = Rc::new(JoinState {
+            result: RefCell::new(None),
+            waiters: RefCell::new(Vec::new()),
+        });
+        let st = Rc::clone(&state);
+        self.inner.exec.spawn(Box::pin(async move {
+            let out = future.await;
+            *st.result.borrow_mut() = Some(out);
+            for w in st.waiters.borrow_mut().drain(..) {
+                w.wake();
+            }
+        }));
+        JoinHandle { state }
+    }
+
+    /// Future that completes after `d` of virtual time.
+    pub fn delay(&self, d: SimDuration) -> Delay {
+        self.sleep_until(self.now() + d)
+    }
+
+    /// Future that completes at absolute virtual time `deadline` (or
+    /// immediately if the deadline has passed).
+    pub fn sleep_until(&self, deadline: SimTime) -> Delay {
+        Delay {
+            sim: self.clone(),
+            deadline,
+            event: None,
+        }
+    }
+
+    /// Wake `waker` at absolute time `at`; returns a cancellation handle.
+    /// Building block for cancellable waits (network transfer rescheduling).
+    pub fn wake_at(&self, at: SimTime, waker: Waker) -> EventHandle {
+        self.push_event(at, Action::Wake(waker))
+    }
+
+    fn fire_next(&self) -> bool {
+        loop {
+            let entry = match self.inner.heap.borrow_mut().pop() {
+                Some(e) => e,
+                None => return false,
+            };
+            if entry.cancelled.get() {
+                continue;
+            }
+            debug_assert!(entry.at >= self.now());
+            self.inner.now.set(entry.at);
+            self.inner.events_fired.set(self.inner.events_fired.get() + 1);
+            // Fold (time, seq) into the trace fingerprint (FNV-1a style);
+            // two runs with the same seed must produce identical hashes.
+            let mut h = self.inner.trace_hash.get();
+            for word in [entry.at.as_nanos(), entry.seq] {
+                h ^= word;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            self.inner.trace_hash.set(h);
+            match entry.action {
+                Action::Wake(w) => w.wake(),
+                Action::Call(f) => f(self),
+            }
+            return true;
+        }
+    }
+
+    /// Run until no ready tasks and no pending events remain.
+    pub fn run(&self) {
+        loop {
+            self.inner.exec.drain_ready();
+            if !self.fire_next() {
+                break;
+            }
+        }
+    }
+
+    /// Run until virtual time would exceed `until`; the clock finishes at
+    /// `min(until, time of last event)`. Events at exactly `until` fire.
+    pub fn run_until(&self, until: SimTime) {
+        loop {
+            self.inner.exec.drain_ready();
+            let next_at = match self.inner.heap.borrow().peek() {
+                Some(e) => e.at,
+                None => break,
+            };
+            if next_at > until {
+                break;
+            }
+            self.fire_next();
+        }
+        if self.now() < until {
+            self.inner.now.set(until);
+        }
+    }
+
+    /// Run for `d` more virtual time.
+    pub fn run_for(&self, d: SimDuration) {
+        let until = self.now() + d;
+        self.run_until(until);
+    }
+
+    /// Number of events fired so far (simulation statistic).
+    pub fn events_fired(&self) -> u64 {
+        self.inner.events_fired.get()
+    }
+
+    /// Total processes ever spawned.
+    pub fn tasks_spawned(&self) -> u64 {
+        self.inner.exec.spawned_total()
+    }
+
+    /// Processes that have not finished yet.
+    pub fn live_tasks(&self) -> usize {
+        self.inner.exec.live_tasks()
+    }
+
+    /// Order-sensitive fingerprint of every event fired so far. Equal
+    /// fingerprints across two runs certify identical schedules.
+    pub fn trace_fingerprint(&self) -> u64 {
+        self.inner.trace_hash.get()
+    }
+}
+
+/// Future returned by [`Sim::delay`] / [`Sim::sleep_until`].
+///
+/// Dropping an unfired `Delay` (e.g. losing a `select2` race) cancels
+/// its scheduled wake event, so abandoned timeouts cannot hold the
+/// simulation clock hostage.
+pub struct Delay {
+    sim: Sim,
+    deadline: SimTime,
+    event: Option<EventHandle>,
+}
+
+impl Future for Delay {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.sim.now() >= self.deadline {
+            self.event = None;
+            return Poll::Ready(());
+        }
+        if self.event.is_none() {
+            let deadline = self.deadline;
+            let handle = self.sim.wake_at(deadline, cx.waker().clone());
+            self.event = Some(handle);
+        }
+        Poll::Pending
+    }
+}
+
+impl Drop for Delay {
+    fn drop(&mut self) {
+        if let Some(ev) = &self.event {
+            ev.cancel();
+        }
+    }
+}
+
+struct JoinState<T> {
+    result: RefCell<Option<T>>,
+    waiters: RefCell<Vec<Waker>>,
+}
+
+/// Handle to a spawned process; awaiting it yields the process's output.
+///
+/// Panics if awaited after the value was already taken by another waiter.
+pub struct JoinHandle<T> {
+    state: Rc<JoinState<T>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// True once the process has finished (its result may still be pending
+    /// pickup).
+    pub fn is_finished(&self) -> bool {
+        self.state.result.borrow().is_some()
+    }
+
+    /// Take the result without awaiting, if available.
+    pub fn try_take(&self) -> Option<T> {
+        self.state.result.borrow_mut().take()
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        if let Some(v) = self.state.result.borrow_mut().take() {
+            return Poll::Ready(v);
+        }
+        self.state.waiters.borrow_mut().push(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration as D;
+
+    #[test]
+    fn clock_starts_at_zero() {
+        let sim = Sim::new(1);
+        assert_eq!(sim.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn delay_advances_clock() {
+        let sim = Sim::new(1);
+        let s = sim.clone();
+        let h = sim.spawn(async move {
+            s.delay(D::from_secs(5)).await;
+            s.now()
+        });
+        sim.run();
+        assert_eq!(h.try_take().unwrap(), SimTime::from_nanos(5_000_000_000));
+    }
+
+    #[test]
+    fn events_fire_in_time_order_with_fifo_ties() {
+        let sim = Sim::new(1);
+        let log: Rc<RefCell<Vec<&'static str>>> = Rc::default();
+        let (a, b, c, d) = (log.clone(), log.clone(), log.clone(), log.clone());
+        sim.schedule_at(SimTime::from_nanos(20), move |_| a.borrow_mut().push("t20"));
+        sim.schedule_at(SimTime::from_nanos(10), move |_| b.borrow_mut().push("t10-first"));
+        sim.schedule_at(SimTime::from_nanos(10), move |_| c.borrow_mut().push("t10-second"));
+        sim.schedule_at(SimTime::from_nanos(5), move |_| d.borrow_mut().push("t5"));
+        sim.run();
+        assert_eq!(*log.borrow(), vec!["t5", "t10-first", "t10-second", "t20"]);
+    }
+
+    #[test]
+    fn cancelled_events_do_not_fire() {
+        let sim = Sim::new(1);
+        let log: Rc<RefCell<Vec<u32>>> = Rc::default();
+        let l = log.clone();
+        let h = sim.schedule_in(D::from_secs(1), move |_| l.borrow_mut().push(1));
+        let l2 = log.clone();
+        sim.schedule_in(D::from_secs(2), move |_| l2.borrow_mut().push(2));
+        h.cancel();
+        assert!(h.is_cancelled());
+        sim.run();
+        assert_eq!(*log.borrow(), vec![2]);
+    }
+
+    #[test]
+    fn join_handle_returns_value() {
+        let sim = Sim::new(1);
+        let s = sim.clone();
+        let h = sim.spawn(async move {
+            s.delay(D::from_millis(3)).await;
+            42u32
+        });
+        let h2 = sim.spawn(async move { h.await * 2 });
+        sim.run();
+        assert_eq!(h2.try_take(), Some(84));
+    }
+
+    #[test]
+    fn nested_spawns_and_delays_interleave_correctly() {
+        let sim = Sim::new(1);
+        let log: Rc<RefCell<Vec<(u64, &'static str)>>> = Rc::default();
+        for (name, start, step) in [("a", 0u64, 10u64), ("b", 5, 10)] {
+            let s = sim.clone();
+            let l = log.clone();
+            sim.spawn(async move {
+                s.delay(D::from_nanos(start)).await;
+                for _ in 0..3 {
+                    l.borrow_mut().push((s.now().as_nanos(), name));
+                    s.delay(D::from_nanos(step)).await;
+                }
+            });
+        }
+        sim.run();
+        assert_eq!(
+            *log.borrow(),
+            vec![(0, "a"), (5, "b"), (10, "a"), (15, "b"), (20, "a"), (25, "b")]
+        );
+    }
+
+    #[test]
+    fn run_until_stops_clock_at_bound() {
+        let sim = Sim::new(1);
+        let fired = Rc::new(Cell::new(0u32));
+        let f = fired.clone();
+        sim.schedule_at(SimTime::from_nanos(100), move |_| {
+            f.set(f.get() + 1);
+        });
+        sim.run_until(SimTime::from_nanos(50));
+        assert_eq!(fired.get(), 0);
+        assert_eq!(sim.now(), SimTime::from_nanos(50));
+        sim.run_until(SimTime::from_nanos(100));
+        assert_eq!(fired.get(), 1);
+    }
+
+    #[test]
+    fn deterministic_fingerprint_across_runs() {
+        fn build_and_run() -> u64 {
+            let sim = Sim::new(99);
+            for i in 0..50u64 {
+                let s = sim.clone();
+                sim.spawn(async move {
+                    let mut rng = s.rng("proc");
+                    for _ in 0..5 {
+                        let d = D::from_nanos(rng.u64_below(1000) + i);
+                        s.delay(d).await;
+                    }
+                });
+            }
+            sim.run();
+            sim.trace_fingerprint()
+        }
+        assert_eq!(build_and_run(), build_and_run());
+    }
+
+    #[test]
+    fn counters_track_activity() {
+        let sim = Sim::new(1);
+        let s = sim.clone();
+        sim.spawn(async move {
+            s.delay(D::from_secs(1)).await;
+        });
+        assert_eq!(sim.live_tasks(), 1);
+        sim.run();
+        assert_eq!(sim.live_tasks(), 0);
+        assert_eq!(sim.tasks_spawned(), 1);
+        assert!(sim.events_fired() >= 1);
+    }
+}

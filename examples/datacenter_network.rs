@@ -1,0 +1,54 @@
+//! Instance-to-instance networking demo (paper §4.2): sample TCP RTTs
+//! and run 2 GB transfers under background tenant traffic, printing the
+//! Fig 4 / Fig 5 style distributions.
+//!
+//! Run with: `cargo run --release --example datacenter_network`
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use azure_repro::prelude::*;
+
+fn main() {
+    // --- Latency (Fig 4 flavour) ---
+    let model = LatencyModel::default();
+    let mut rng = SimRng::from_seed(42);
+    let mut samples = SampleSet::new();
+    for _ in 0..5000 {
+        samples.push(model.sample_pair_rtt(&mut rng).as_millis_f64());
+    }
+    println!("TCP RTT between small VMs (5000 samples):");
+    println!("  median {:.2} ms,  p75 {:.2} ms,  p99 {:.2} ms,  max {:.1} ms", samples.median(), samples.percentile(0.75), samples.percentile(0.99), samples.max());
+    println!(
+        "  {:.0}% <= 1 ms, {:.0}% <= 2 ms   (paper: ~50% and ~75%)\n",
+        samples.fraction_at_most(1.0) * 100.0,
+        samples.fraction_at_most(2.0) * 100.0
+    );
+
+    // --- Bandwidth under co-tenant traffic (Fig 5 flavour) ---
+    let sim = Sim::new(9);
+    let net = Network::new(&sim);
+    let topo = Rc::new(Topology::build(&net, &TopologyConfig::default()));
+    let bg = BackgroundTraffic::start(&topo, &BackgroundConfig::default());
+    let rates: Rc<RefCell<Vec<(bool, f64)>>> = Rc::default();
+    let (t, r, b, s) = (Rc::clone(&topo), rates.clone(), bg.clone(), sim.clone());
+    sim.spawn(async move {
+        s.delay(SimDuration::from_secs(10)).await;
+        let mut rng = s.rng("pairs");
+        for _ in 0..10 {
+            let (src, dst) = t.random_pair(&mut rng);
+            let stats = t.send(src, dst, 2.0e9).await;
+            r.borrow_mut()
+                .push((t.same_rack(src, dst), stats.avg_rate() / 1.0e6));
+        }
+        b.stop();
+    });
+    sim.run();
+    println!("2 GB transfers under background tenant traffic:");
+    for (same_rack, mbps) in rates.borrow().iter() {
+        let placement = if *same_rack { "same rack " } else { "cross rack" };
+        let bar = "#".repeat((mbps / 4.0).round() as usize);
+        println!("  {placement} {mbps:>6.1} MB/s {bar}");
+    }
+    println!("  (GigE ceiling is 125 MB/s; cross-rack flows share oversubscribed uplinks)");
+}

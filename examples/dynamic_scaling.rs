@@ -1,0 +1,68 @@
+//! Dynamic scaling walkthrough (paper §4.1 and recommendation §6.2):
+//! deploy a worker role, start it, double it under load, and watch the
+//! ~10-minute provisioning the paper warns about — then see why the
+//! paper recommends hot standbys when fast scale-out matters.
+//!
+//! Run with: `cargo run --release --example dynamic_scaling`
+
+use azure_repro::prelude::*;
+
+fn main() {
+    let sim = Sim::new(41);
+    let fc = FabricController::new(
+        &sim,
+        FabricConfig {
+            startup_failure_p: 0.0, // keep the walkthrough deterministic
+            ..FabricConfig::default()
+        },
+    );
+    let s = sim.clone();
+    let run = sim.spawn(async move {
+        println!("t={:<10} submitting 4-instance small worker deployment", s.now());
+        let dep = fc
+            .create_deployment(DeploymentSpec::paper_test(RoleType::Worker, VmSize::Small))
+            .await
+            .unwrap();
+        println!(
+            "t={:<10} package staged (create took {})",
+            s.now(),
+            dep.create_duration()
+        );
+
+        let run = dep.run().await.unwrap();
+        println!("t={:<10} all {} instances ready (run took {})", s.now(), dep.instance_count(), run.duration);
+        for (i, off) in run.instance_ready_offsets.iter().enumerate() {
+            println!("             instance {i} ready after {off}");
+        }
+        println!(
+            "             -> the paper's observation 2: create+run ≈ {:.1} min",
+            (dep.create_duration() + run.duration).as_secs_f64() / 60.0
+        );
+
+        // Load spike: double the deployment.
+        println!("\nt={:<10} load spike! doubling instances ...", s.now());
+        let add = dep.add_instances().await.unwrap();
+        println!(
+            "t={:<10} {} instances now ready (add took {} — observation 4: adds are slower)",
+            s.now(),
+            dep.instance_count(),
+            add.duration
+        );
+
+        // Tear down.
+        let sus = dep.suspend().await.unwrap();
+        let del = dep.delete().await.unwrap();
+        println!(
+            "\nt={:<10} suspended in {}, deleted in {} (observation 6: deletes are ~6 s)",
+            s.now(),
+            sus.duration,
+            del.duration
+        );
+        println!(
+            "\n§6.2 takeaway: if a {}-minute scale-out delay is unacceptable, keep hot standbys.",
+            (add.duration.as_secs_f64() / 60.0).round()
+        );
+    });
+    sim.run();
+    run.try_take().expect("walkthrough finished");
+}

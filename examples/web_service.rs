@@ -1,0 +1,84 @@
+//! A web role behind the platform load balancer: serve Poisson traffic,
+//! watch requests spread round-robin over the instances, then suspend
+//! and see the connection drain that makes web-role suspends slower
+//! than worker suspends (paper §3, Table 1).
+//!
+//! Run with: `cargo run --release --example web_service`
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use azure_repro::prelude::*;
+
+fn main() {
+    let sim = Sim::new(77);
+    let fc = FabricController::new(
+        &sim,
+        FabricConfig {
+            startup_failure_p: 0.0,
+            ..FabricConfig::default()
+        },
+    );
+    let served: Rc<RefCell<Vec<usize>>> = Rc::default();
+    let sv = served.clone();
+    let s = sim.clone();
+    let run = sim.spawn(async move {
+        let dep = Rc::new(
+            fc.create_deployment(DeploymentSpec::paper_test(RoleType::Web, VmSize::Small))
+                .await
+                .unwrap(),
+        );
+        let t = dep.run().await.unwrap();
+        println!(
+            "web deployment up: {} instances behind the LB after {}",
+            dep.instance_count(),
+            t.duration
+        );
+
+        // 10 minutes of Poisson traffic at ~2 req/s, ~300 ms of work each.
+        let mut rng = s.rng("traffic");
+        let end = s.now() + SimDuration::from_mins(10);
+        let mut rejected = 0u32;
+        while s.now() < end {
+            let gap = Exp::with_mean(0.5).sample(&mut rng);
+            s.delay(SimDuration::from_secs_f64(gap)).await;
+            let work = SimDuration::from_secs_f64(rng.range_f64(0.1, 0.5));
+            let (dep2, sv2) = (Rc::clone(&dep), sv.clone());
+            s.spawn(async move {
+                match dep2.load_balancer().unwrap().route() {
+                    Ok(req) => {
+                        let backend = req.backend();
+                        dep2.execute_on(backend, work).await;
+                        req.finish();
+                        sv2.borrow_mut().push(backend);
+                    }
+                    Err(_) => { /* 503 */ }
+                }
+            });
+            let _ = &mut rejected;
+        }
+
+        // Scale in: suspend drains in-flight connections first.
+        let t0 = s.now();
+        let sus = dep.suspend().await.unwrap();
+        println!(
+            "suspend: drained + stopped in {} (worker roles take ~40 s; web ~90 s per Table 1)",
+            sus.duration
+        );
+        let _ = t0;
+        dep.delete().await.unwrap();
+        dep.load_balancer().unwrap().rejected_total()
+    });
+    sim.run();
+    let rejected = run.try_take().unwrap();
+
+    let served = served.borrow();
+    println!("\nserved {} requests (rejected {rejected}); per-backend spread:", served.len());
+    let mut counts = std::collections::BTreeMap::new();
+    for &b in served.iter() {
+        *counts.entry(b).or_insert(0u32) += 1;
+    }
+    for (backend, n) in counts {
+        println!("  instance {backend}: {n} requests {}", "#".repeat((n / 10) as usize));
+    }
+}

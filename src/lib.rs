@@ -1,0 +1,55 @@
+//! # azure-repro — reproduction of *Early observations on the performance of Windows Azure* (HPDC'10)
+//!
+//! This facade crate re-exports the whole stack so examples and
+//! downstream users need a single dependency:
+//!
+//! * [`simcore`] — deterministic discrete-event simulation kernel
+//! * [`dcnet`] — fluid-flow datacenter network (max-min fair sharing)
+//! * [`azstore`] — the storage stamp: blob / table / queue services
+//! * [`fabric`] — the fabric controller: deployments, roles, sizes,
+//!   lifecycle phases, host performance variation
+//! * [`cloudbench`] — the paper's measurement harness and its seven
+//!   experiments (Figs 1–5, Table 1)
+//! * [`modis`] — ModisAzure, the eScience pipeline (Table 2, Fig 7)
+//!
+//! See `README.md` for the quickstart, `DESIGN.md` for the system
+//! inventory and substitutions, and `EXPERIMENTS.md` for
+//! paper-vs-measured results of every table and figure.
+//!
+//! ```
+//! use azure_repro::prelude::*;
+//!
+//! let sim = Sim::new(7);
+//! let stamp = StorageStamp::standalone(&sim, StampConfig::default());
+//! stamp.blob_service().seed("data", "in.bin", 10.0e6);
+//! let client = stamp.attach_small_client();
+//! let h = sim.spawn(async move { client.blob.get("data", "in.bin").await.unwrap() });
+//! sim.run();
+//! assert!(h.try_take().unwrap().rate_bps() > 10.0e6);
+//! ```
+
+pub use azstore;
+pub use cloudbench;
+pub use dcnet;
+pub use fabric;
+pub use modis;
+pub use simcore;
+
+/// Convenience imports covering the common surface of the whole stack.
+pub mod prelude {
+    pub use azstore::{
+        Entity, FaultProfile, PropValue, StampConfig, StorageAccountClient, StorageError,
+        StorageStamp,
+    };
+    pub use cloudbench::{experiments, Anchor, CLIENT_COUNTS};
+    pub use dcnet::{
+        BackgroundConfig, BackgroundTraffic, HostId, LatencyModel, LinkModel, Network, Topology,
+        TopologyConfig,
+    };
+    pub use fabric::{
+        DeploymentSpec, FabricConfig, FabricController, HostPool, HostPoolConfig, Phase, RoleType,
+        VmSize,
+    };
+    pub use modis::{run_campaign, ModisConfig, Outcome, TaskKind};
+    pub use simcore::prelude::*;
+}
