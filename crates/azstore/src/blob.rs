@@ -14,10 +14,13 @@ use std::rc::Rc;
 use dcnet::{LinkId, Network};
 use simcore::prelude::*;
 
+use simtrace::Layer;
+
 use crate::calib;
 use crate::error::{Result, StorageError};
 use crate::stamp::{BlobLinks, StampConfig};
 use crate::station::jitter;
+use crate::trace_outcome;
 
 /// Metadata of one stored blob.
 #[derive(Debug, Clone)]
@@ -168,7 +171,9 @@ impl BlobService {
                 exponent: calib::BLOB_DL_PERFLOW_EXP,
             },
         );
-        self.egress_links.borrow_mut().insert(key, (egress, frontend));
+        self.egress_links
+            .borrow_mut()
+            .insert(key, (egress, frontend));
         (egress, frontend)
     }
 
@@ -177,8 +182,8 @@ impl BlobService {
     }
 
     async fn request_overhead(&self) {
-        let s = calib::BLOB_REQ_LATENCY_S
-            * jitter(&mut self.rng.borrow_mut(), self.cfg.jitter_sigma);
+        let s =
+            calib::BLOB_REQ_LATENCY_S * jitter(&mut self.rng.borrow_mut(), self.cfg.jitter_sigma);
         self.sim.delay(SimDuration::from_secs_f64(s)).await;
     }
 }
@@ -194,7 +199,12 @@ pub struct BlobClient {
 }
 
 impl BlobClient {
-    pub(crate) fn new(svc: &Rc<BlobService>, ingress: LinkId, egress: LinkId, client_id: u64) -> Self {
+    pub(crate) fn new(
+        svc: &Rc<BlobService>,
+        ingress: LinkId,
+        egress: LinkId,
+        client_id: u64,
+    ) -> Self {
         BlobClient {
             svc: Rc::clone(svc),
             ingress,
@@ -211,6 +221,18 @@ impl BlobClient {
     /// Download a blob; bytes flow through
     /// `[blob egress → download front-end → VM throttle]`.
     pub async fn get(&self, container: &str, name: &str) -> Result<DownloadStats> {
+        let sp = simtrace::span(Layer::Store, "blob.get", || format!("{container}/{name}"));
+        let res = self.get_traced(&sp, container, name).await;
+        trace_outcome(&sp, &res);
+        res
+    }
+
+    async fn get_traced(
+        &self,
+        sp: &simtrace::Span,
+        container: &str,
+        name: &str,
+    ) -> Result<DownloadStats> {
         let svc = &self.svc;
         if svc.fault_check(svc.cfg.faults.connection_fail_p) {
             return Err(StorageError::ConnectionFailed);
@@ -221,31 +243,39 @@ impl BlobClient {
         if svc.fault_check(svc.cfg.faults.internal_error_p) {
             return Err(StorageError::Internal);
         }
+        let fe = sp.child("frontend", || "request".into());
         svc.request_overhead().await;
-        let meta = svc
-            .lookup(container, name)
-            .ok_or(StorageError::NotFound)?;
+        fe.end();
+        let meta = svc.lookup(container, name).ok_or(StorageError::NotFound)?;
+        if sp.is_recording() {
+            sp.attr("bytes", format!("{:.0}", meta.size));
+        }
         if svc.fault_check(svc.cfg.faults.read_fail_p) {
             // Abort partway: some bytes moved, time was spent.
             let frac = svc.rng.borrow_mut().f64() * 0.8 + 0.1;
             let (egress, frontend) = svc.read_pipes_of(container, name);
             let path = [egress, frontend, self.ingress];
+            let st = sp.child("stream", || "replica_egress".into());
             svc.net
                 .transfer(&path, meta.size * frac, f64::INFINITY)
                 .await;
+            st.end();
             return Err(StorageError::ReadFailed);
         }
         let started = svc.sim.now();
         let (egress, frontend) = svc.read_pipes_of(container, name);
         let path = [egress, frontend, self.ingress];
+        let st = sp.child("stream", || "replica_egress".into());
         let stats = svc.net.transfer(&path, meta.size, f64::INFINITY).await;
+        st.end();
         svc.gets.set(svc.gets.get() + 1);
         if svc.fault_check(svc.cfg.faults.corrupt_read_p) {
             return Err(StorageError::CorruptRead);
         }
         Ok(DownloadStats {
             bytes: stats.bytes,
-            elapsed: svc.sim.now() - started + SimDuration::from_secs_f64(calib::BLOB_REQ_LATENCY_S),
+            elapsed: svc.sim.now() - started
+                + SimDuration::from_secs_f64(calib::BLOB_REQ_LATENCY_S),
         })
     }
 
@@ -269,6 +299,31 @@ impl BlobClient {
         size: f64,
         overwrite: bool,
     ) -> Result<DownloadStats> {
+        let sp = simtrace::span(
+            Layer::Store,
+            if overwrite {
+                "blob.put"
+            } else {
+                "blob.put_new"
+            },
+            || format!("{container}/{name}"),
+        );
+        if sp.is_recording() {
+            sp.attr("bytes", format!("{size:.0}"));
+        }
+        let res = self.put_traced(&sp, container, name, size, overwrite).await;
+        trace_outcome(&sp, &res);
+        res
+    }
+
+    async fn put_traced(
+        &self,
+        sp: &simtrace::Span,
+        container: &str,
+        name: &str,
+        size: f64,
+        overwrite: bool,
+    ) -> Result<DownloadStats> {
         let svc = &self.svc;
         if svc.fault_check(svc.cfg.faults.connection_fail_p) {
             return Err(StorageError::ConnectionFailed);
@@ -276,15 +331,21 @@ impl BlobClient {
         if svc.fault_check(svc.cfg.faults.spurious_busy_p) {
             return Err(StorageError::ServerBusy);
         }
+        let fe = sp.child("frontend", || "request".into());
         svc.request_overhead().await;
+        fe.end();
         if !overwrite && svc.lookup(container, name).is_some() {
             return Err(StorageError::AlreadyExists);
         }
         let started = svc.sim.now();
         let path = [self.egress, svc.links.ul_frontend, svc.links.ingest];
+        let st = sp.child("stream", || "replica_ingest".into());
         let stats = svc.net.transfer(&path, size, f64::INFINITY).await;
+        st.end();
         // Commit after the data is durable on all three replicas.
+        let cm = sp.child("partition.commit", || "replica_commit".into());
         svc.request_overhead().await;
+        cm.end();
         if !overwrite && svc.lookup(container, name).is_some() {
             // Raced with another writer while uploading.
             return Err(StorageError::AlreadyExists);
@@ -326,8 +387,12 @@ impl BlobClient {
         prefix: &str,
         limit: usize,
     ) -> Result<Vec<(String, BlobMeta)>> {
+        let sp = simtrace::span(Layer::Store, "blob.list", || {
+            format!("{container}/{prefix}*")
+        });
         let svc = &self.svc;
         if svc.fault_check(svc.cfg.faults.connection_fail_p) {
+            trace_outcome::<()>(&sp, &Err(StorageError::ConnectionFailed));
             return Err(StorageError::ConnectionFailed);
         }
         svc.request_overhead().await;
@@ -349,21 +414,35 @@ impl BlobClient {
         // Per-page enumeration cost (the listing walks the index).
         let extra = out.len() as f64 * 2.0e-5;
         svc.sim.delay(SimDuration::from_secs_f64(extra)).await;
+        if sp.is_recording() {
+            sp.attr("hits", out.len());
+            sp.attr("outcome", "ok");
+        }
         Ok(out)
     }
 
     /// Delete a blob (metadata op).
     pub async fn delete(&self, container: &str, name: &str) -> Result<()> {
+        let sp = simtrace::span(Layer::Store, "blob.delete", || {
+            format!("{container}/{name}")
+        });
         let svc = &self.svc;
         if svc.fault_check(svc.cfg.faults.connection_fail_p) {
+            trace_outcome::<()>(&sp, &Err(StorageError::ConnectionFailed));
             return Err(StorageError::ConnectionFailed);
         }
         svc.request_overhead().await;
         let mut st = svc.state.borrow_mut();
-        match st.containers.get_mut(container).and_then(|c| c.remove(name)) {
+        let res = match st
+            .containers
+            .get_mut(container)
+            .and_then(|c| c.remove(name))
+        {
             Some(_) => Ok(()),
             None => Err(StorageError::NotFound),
-        }
+        };
+        trace_outcome(&sp, &res);
+        res
     }
 }
 
@@ -492,7 +571,13 @@ mod tests {
             let all = c.blob.list("d", "", 100).await.unwrap();
             let page = c.blob.list("d", "", 2).await.unwrap();
             let missing = c.blob.get_metadata("d", "zzz").await;
-            (meta.size, under_a.len(), all.len(), page.len(), missing.is_err())
+            (
+                meta.size,
+                under_a.len(),
+                all.len(),
+                page.len(),
+                missing.is_err(),
+            )
         });
         sim.run();
         let (size, under_a, all, page, missing) = h.try_take().unwrap();

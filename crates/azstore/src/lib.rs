@@ -53,3 +53,13 @@ pub use queue::{Message, PopReceipt, QueueClient, QueueService, ReceivedMessage}
 pub use stamp::{FaultProfile, StampConfig, StorageAccountClient, StorageStamp};
 pub use table::{Entity, PropValue, TableClient, TableService};
 
+/// Tag a storage-layer span with its outcome ("ok" or the error's paper
+/// label). No-op when the span is not recording.
+pub(crate) fn trace_outcome<T>(sp: &simtrace::Span, res: &Result<T>) {
+    if sp.is_recording() {
+        match res {
+            Ok(_) => sp.attr("outcome", "ok"),
+            Err(e) => sp.attr("outcome", e),
+        }
+    }
+}

@@ -30,10 +30,13 @@ use std::rc::Rc;
 use simcore::combinators::timeout;
 use simcore::prelude::*;
 
+use simtrace::Layer;
+
 use crate::calib;
 use crate::error::{Result, StorageError};
 use crate::stamp::StampConfig;
 use crate::station::{ContendedLatch, LoadedStation};
+use crate::trace_outcome;
 
 /// A queued message (payload modelled by size plus an opaque body tag the
 /// application uses to identify work items).
@@ -224,8 +227,10 @@ impl QueueClient {
 
     /// Enqueue a message of `size` bytes with an application body tag.
     pub async fn add(&self, queue: &str, body: impl Into<String>, size: f64) -> Result<u64> {
+        let sp = simtrace::span(Layer::Store, "queue.add", || format!("queue:{queue}"));
         let svc = &self.svc;
         if svc.fault(svc.cfg.faults.connection_fail_p) {
+            trace_outcome::<()>(&sp, &Err(StorageError::ConnectionFailed));
             return Err(StorageError::ConnectionFailed);
         }
         let body = body.into();
@@ -233,10 +238,14 @@ impl QueueClient {
         let op = async {
             let kb = size / calib::KB;
             let perf = svc.perf_of(queue);
+            let fe = sp.child("frontend", || "add_station".into());
             perf.add_station
                 .serve(kb * calib::QUEUE_PAYLOAD_S_PER_KB, &mut rng)
                 .await;
+            fe.end();
+            let cm = sp.child("partition.commit", || "queue_head_latch".into());
             perf.add_latch.commit(1.0, &mut rng).await?;
+            cm.end();
             let id = svc.next_id.get();
             svc.next_id.set(id + 1);
             let now = svc.sim.now();
@@ -258,22 +267,28 @@ impl QueueClient {
             svc.bump();
             Ok(id)
         };
-        match timeout(&svc.sim, svc.cfg.op_timeout, op).await {
+        let res = match timeout(&svc.sim, svc.cfg.op_timeout, op).await {
             Ok(r) => r,
             Err(_) => Err(StorageError::Timeout),
-        }
+        };
+        trace_outcome(&sp, &res);
+        res
     }
 
     /// Read the head message without changing queue state.
     pub async fn peek(&self, queue: &str) -> Result<Option<Message>> {
+        let sp = simtrace::span(Layer::Store, "queue.peek", || format!("queue:{queue}"));
         let svc = &self.svc;
         if svc.fault(svc.cfg.faults.connection_fail_p) {
+            trace_outcome::<()>(&sp, &Err(StorageError::ConnectionFailed));
             return Err(StorageError::ConnectionFailed);
         }
         let mut rng = self.rng.borrow_mut().fork("peek");
         let op = async {
             let perf = svc.perf_of(queue);
+            let fe = sp.child("frontend", || "peek_station".into());
             perf.peek_station.serve(0.0, &mut rng).await;
+            fe.end();
             let now = svc.sim.now();
             let head = svc.queues.borrow().get(queue).and_then(|q| {
                 q.messages
@@ -285,10 +300,12 @@ impl QueueClient {
             svc.bump();
             Ok(head)
         };
-        match timeout(&svc.sim, svc.cfg.op_timeout, op).await {
+        let res = match timeout(&svc.sim, svc.cfg.op_timeout, op).await {
             Ok(r) => r,
             Err(_) => Err(StorageError::Timeout),
-        }
+        };
+        trace_outcome(&sp, &res);
+        res
     }
 
     /// Receive the head message, making it invisible for `visibility`
@@ -298,17 +315,22 @@ impl QueueClient {
         queue: &str,
         visibility: SimDuration,
     ) -> Result<Option<ReceivedMessage>> {
+        let sp = simtrace::span(Layer::Store, "queue.receive", || format!("queue:{queue}"));
         let svc = &self.svc;
         if svc.fault(svc.cfg.faults.connection_fail_p) {
+            trace_outcome::<()>(&sp, &Err(StorageError::ConnectionFailed));
             return Err(StorageError::ConnectionFailed);
         }
-        let visibility = visibility
-            .min(SimDuration::from_secs_f64(calib::QUEUE_MAX_VISIBILITY_S));
+        let visibility = visibility.min(SimDuration::from_secs_f64(calib::QUEUE_MAX_VISIBILITY_S));
         let mut rng = self.rng.borrow_mut().fork("recv");
         let op = async {
             let perf = svc.perf_of(queue);
+            let fe = sp.child("frontend", || "recv_station".into());
             perf.recv_station.serve(0.0, &mut rng).await;
+            fe.end();
+            let cm = sp.child("partition.commit", || "queue_head_latch".into());
             perf.recv_latch.commit(1.0, &mut rng).await?;
+            cm.end();
             let now = svc.sim.now();
             let mut queues = svc.queues.borrow_mut();
             let q = match queues.get_mut(queue) {
@@ -343,10 +365,12 @@ impl QueueClient {
                 None => Ok(None),
             }
         };
-        match timeout(&svc.sim, svc.cfg.op_timeout, op).await {
+        let res = match timeout(&svc.sim, svc.cfg.op_timeout, op).await {
             Ok(r) => r,
             Err(_) => Err(StorageError::Timeout),
-        }
+        };
+        trace_outcome(&sp, &res);
+        res
     }
 
     /// Receive with the API's default 30 s visibility timeout.
@@ -368,22 +392,32 @@ impl QueueClient {
         max: usize,
         visibility: SimDuration,
     ) -> Result<Vec<ReceivedMessage>> {
+        let sp = simtrace::span(Layer::Store, "queue.receive_batch", || {
+            format!("queue:{queue}")
+        });
         let svc = &self.svc;
         if svc.fault(svc.cfg.faults.connection_fail_p) {
+            trace_outcome::<()>(&sp, &Err(StorageError::ConnectionFailed));
             return Err(StorageError::ConnectionFailed);
         }
         let max = max.clamp(1, 32);
-        let visibility =
-            visibility.min(SimDuration::from_secs_f64(calib::QUEUE_MAX_VISIBILITY_S));
+        if sp.is_recording() {
+            sp.attr("max", max);
+        }
+        let visibility = visibility.min(SimDuration::from_secs_f64(calib::QUEUE_MAX_VISIBILITY_S));
         let mut rng = self.rng.borrow_mut().fork("recvb");
         let op = async {
             let perf = svc.perf_of(queue);
+            let fe = sp.child("frontend", || "recv_station".into());
             perf.recv_station.serve(0.0, &mut rng).await;
+            fe.end();
             // One synchronization commit covers the whole batch, plus a
             // small per-extra-message cost.
+            let cm = sp.child("partition.commit", || "queue_head_latch".into());
             perf.recv_latch
                 .commit(1.0 + 0.15 * (max as f64 - 1.0), &mut rng)
                 .await?;
+            cm.end();
             let now = svc.sim.now();
             let mut queues = svc.queues.borrow_mut();
             let q = match queues.get_mut(queue) {
@@ -418,10 +452,12 @@ impl QueueClient {
             svc.bump();
             Ok(out)
         };
-        match timeout(&svc.sim, svc.cfg.op_timeout, op).await {
+        let res = match timeout(&svc.sim, svc.cfg.op_timeout, op).await {
             Ok(r) => r,
             Err(_) => Err(StorageError::Timeout),
-        }
+        };
+        trace_outcome(&sp, &res);
+        res
     }
 
     /// Approximate message count (the real API exposed this on queue
@@ -447,13 +483,19 @@ impl QueueClient {
     /// stale — the message's visibility expired and another worker
     /// received it (the §5.2 duplicate-execution hazard).
     pub async fn delete_message(&self, queue: &str, receipt: PopReceipt) -> Result<()> {
+        let sp = simtrace::span(Layer::Store, "queue.delete_message", || {
+            format!("queue:{queue}")
+        });
         let svc = &self.svc;
         if svc.fault(svc.cfg.faults.connection_fail_p) {
+            trace_outcome::<()>(&sp, &Err(StorageError::ConnectionFailed));
             return Err(StorageError::ConnectionFailed);
         }
         let mut rng = self.rng.borrow_mut().fork("delmsg");
         let op = async {
+            let fe = sp.child("frontend", || "recv_station".into());
             svc.perf_of(queue).recv_station.serve(0.0, &mut rng).await;
+            fe.end();
             let removed = svc
                 .queues
                 .borrow_mut()
@@ -465,10 +507,12 @@ impl QueueClient {
                 None => Err(StorageError::NotFound),
             }
         };
-        match timeout(&svc.sim, svc.cfg.op_timeout, op).await {
+        let res = match timeout(&svc.sim, svc.cfg.op_timeout, op).await {
             Ok(r) => r,
             Err(_) => Err(StorageError::Timeout),
-        }
+        };
+        trace_outcome(&sp, &res);
+        res
     }
 }
 

@@ -93,8 +93,7 @@ impl LoadedStation {
     pub async fn serve(&self, extra_s: f64, rng: &mut SimRng) -> SimDuration {
         let guard = CountGuard::enter(&self.in_flight);
         let n = self.in_flight.get();
-        let s = (self.base_s + self.load_s * n as f64 + extra_s)
-            * jitter(rng, self.jitter_sigma);
+        let s = (self.base_s + self.load_s * n as f64 + extra_s) * jitter(rng, self.jitter_sigma);
         let d = SimDuration::from_secs_f64(s);
         self.sim.delay(d).await;
         drop(guard);

@@ -24,10 +24,13 @@ use std::rc::Rc;
 use simcore::combinators::timeout;
 use simcore::prelude::*;
 
+use simtrace::Layer;
+
 use crate::calib;
 use crate::error::{Result, StorageError};
 use crate::stamp::StampConfig;
 use crate::station::{ContendedLatch, LoadedStation};
+use crate::trace_outcome;
 
 /// A property value (the paper's entities use {int, int, String, String}).
 #[derive(Debug, Clone, PartialEq)]
@@ -91,7 +94,10 @@ impl Entity {
             .with("a", PropValue::I32(1))
             .with("b", PropValue::I32(2))
             .with("name", PropValue::Str("entity".into()))
-            .with("payload", PropValue::Str("x".repeat(pad.saturating_sub(30))))
+            .with(
+                "payload",
+                PropValue::Str("x".repeat(pad.saturating_sub(30))),
+            )
     }
 
     /// Look up a property by name.
@@ -310,10 +316,9 @@ impl TableClient {
                 Ok(Ok(())) => return Ok(()),
                 Ok(Err(StorageError::ServerBusy)) if attempt < calib::CLIENT_BUSY_RETRIES => {
                     // Jittered exponential backoff, then retry.
+                    simtrace::counter("store.sdk_retries", 1);
                     let j = 0.5 + self.rng.borrow_mut().f64();
-                    svc.sim
-                        .delay(SimDuration::from_secs_f64(backoff * j))
-                        .await;
+                    svc.sim.delay(SimDuration::from_secs_f64(backoff * j)).await;
                     backoff *= 2.0;
                 }
                 Ok(Err(e)) => return Err(e),
@@ -327,58 +332,73 @@ impl TableClient {
 
     /// Insert a new entity; `AlreadyExists` if (pk, rk) is taken.
     pub async fn insert(&self, table: &str, entity: Entity) -> Result<()> {
+        let sp = simtrace::span(Layer::Store, "table.insert", || format!("table:{table}"));
+        let sp = &sp;
         let svc = Rc::clone(&self.svc);
         let table = table.to_string();
         let kb = entity.size_kb();
         let entity = RefCell::new(Some(entity));
-        self.with_sdk_semantics(|| {
-            let svc = Rc::clone(&svc);
-            let table = table.clone();
-            let entity = entity.borrow().clone();
-            async move {
-                let entity = entity.expect("entity consumed");
-                let mut rng = svc.rng.borrow_mut().fork("ins");
-                svc.insert_station
-                    .serve(kb * calib::TABLE_PAYLOAD_S_PER_KB, &mut rng)
-                    .await;
-                let latch = svc.insert_latch(&table, &entity.partition_key);
-                let mut hold_factor = (kb / 4.0).max(0.25).powf(calib::TABLE_SIZE_HOLD_EXP);
-                if kb > calib::TABLE_LARGE_ENTITY_KB {
-                    // Multi-extent write path: a large serialized commit.
-                    hold_factor += calib::TABLE_LARGE_COMMIT_S / calib::TABLE_INSERT_HOLD_S;
-                }
-                latch.commit(hold_factor, &mut rng).await?;
-                // Key check under the latch (post-commit visibility).
-                {
-                    let mut tables = svc.tables.borrow_mut();
-                    let part = tables
-                        .entry(table.clone())
-                        .or_default()
-                        .partitions
-                        .entry(entity.partition_key.clone())
-                        .or_default();
-                    if part.contains_key(&entity.row_key) {
-                        return Err(StorageError::AlreadyExists);
+        let res = self
+            .with_sdk_semantics(|| {
+                let svc = Rc::clone(&svc);
+                let table = table.clone();
+                let entity = entity.borrow().clone();
+                async move {
+                    let entity = entity.expect("entity consumed");
+                    let mut rng = svc.rng.borrow_mut().fork("ins");
+                    let fe = sp.child("frontend", || "insert_station".into());
+                    svc.insert_station
+                        .serve(kb * calib::TABLE_PAYLOAD_S_PER_KB, &mut rng)
+                        .await;
+                    fe.end();
+                    let latch = svc.insert_latch(&table, &entity.partition_key);
+                    let mut hold_factor = (kb / 4.0).max(0.25).powf(calib::TABLE_SIZE_HOLD_EXP);
+                    if kb > calib::TABLE_LARGE_ENTITY_KB {
+                        // Multi-extent write path: a large serialized commit.
+                        hold_factor += calib::TABLE_LARGE_COMMIT_S / calib::TABLE_INSERT_HOLD_S;
                     }
-                    part.insert(entity.row_key.clone(), entity);
+                    let cm = sp.child("partition.commit", || "partition_latch".into());
+                    latch.commit(hold_factor, &mut rng).await?;
+                    cm.end();
+                    // Key check under the latch (post-commit visibility).
+                    {
+                        let mut tables = svc.tables.borrow_mut();
+                        let part = tables
+                            .entry(table.clone())
+                            .or_default()
+                            .partitions
+                            .entry(entity.partition_key.clone())
+                            .or_default();
+                        if part.contains_key(&entity.row_key) {
+                            return Err(StorageError::AlreadyExists);
+                        }
+                        part.insert(entity.row_key.clone(), entity);
+                    }
+                    svc.bump();
+                    Ok(())
                 }
-                svc.bump();
-                Ok(())
-            }
-        })
-        .await
+            })
+            .await;
+        trace_outcome(sp, &res);
+        res
     }
 
     /// Point query by partition + row key — "the fastest query option
     /// because they are used for indexing the table" (§3.2).
     pub async fn query_point(&self, table: &str, pk: &str, rk: &str) -> Result<Entity> {
+        let sp = simtrace::span(Layer::Store, "table.query_point", || {
+            format!("table:{table}")
+        });
         let svc = &self.svc;
         if svc.fault(svc.cfg.faults.connection_fail_p) {
+            trace_outcome::<()>(&sp, &Err(StorageError::ConnectionFailed));
             return Err(StorageError::ConnectionFailed);
         }
         let mut rng = svc.rng.borrow_mut().fork("q");
         let op = async {
+            let fe = sp.child("frontend", || "query_station".into());
             svc.query_station.serve(0.0, &mut rng).await;
+            fe.end();
             let found = svc
                 .tables
                 .borrow()
@@ -389,10 +409,12 @@ impl TableClient {
             svc.bump();
             found.ok_or(StorageError::NotFound)
         };
-        match timeout(&svc.sim, svc.cfg.op_timeout, op).await {
+        let res = match timeout(&svc.sim, svc.cfg.op_timeout, op).await {
             Ok(r) => r,
             Err(_) => Err(StorageError::Timeout),
-        }
+        };
+        trace_outcome(&sp, &res);
+        res
     }
 
     /// Key-range query: entities of one partition with row keys in
@@ -408,8 +430,12 @@ impl TableClient {
         to_rk: &str,
         limit: usize,
     ) -> Result<Vec<Entity>> {
+        let sp = simtrace::span(Layer::Store, "table.query_range", || {
+            format!("table:{table}")
+        });
         let svc = &self.svc;
         if svc.fault(svc.cfg.faults.connection_fail_p) {
+            trace_outcome::<()>(&sp, &Err(StorageError::ConnectionFailed));
             return Err(StorageError::ConnectionFailed);
         }
         let limit = limit.clamp(1, 1000);
@@ -429,16 +455,19 @@ impl TableClient {
                 })
                 .unwrap_or_default();
             let extra = hits.len() as f64 * 0.00002
-                + hits.iter().map(|e| e.size_kb()).sum::<f64>()
-                    * calib::TABLE_PAYLOAD_S_PER_KB;
+                + hits.iter().map(|e| e.size_kb()).sum::<f64>() * calib::TABLE_PAYLOAD_S_PER_KB;
+            let fe = sp.child("frontend", || "query_station".into());
             svc.query_station.serve(extra, &mut rng).await;
+            fe.end();
             svc.bump();
             Ok(hits)
         };
-        match timeout(&svc.sim, svc.cfg.op_timeout, op).await {
+        let res = match timeout(&svc.sim, svc.cfg.op_timeout, op).await {
             Ok(r) => r,
             Err(_) => Err(StorageError::Timeout),
-        }
+        };
+        trace_outcome(&sp, &res);
+        res
     }
 
     /// Property-filter query: scans the whole partition because only the
@@ -450,15 +479,24 @@ impl TableClient {
         pk: &str,
         filter: impl Fn(&Entity) -> bool,
     ) -> Result<Vec<Entity>> {
+        let sp = simtrace::span(Layer::Store, "table.query_filter", || {
+            format!("table:{table}")
+        });
         let svc = &self.svc;
         if svc.fault(svc.cfg.faults.connection_fail_p) {
+            trace_outcome::<()>(&sp, &Err(StorageError::ConnectionFailed));
             return Err(StorageError::ConnectionFailed);
         }
         let n = svc.partition_len(table, pk);
+        if sp.is_recording() {
+            sp.attr("partition_len", n);
+        }
         let scan_cost = n as f64 * calib::TABLE_SCAN_S_PER_ENTITY;
         let mut rng = svc.rng.borrow_mut().fork("scan");
         let op = async {
+            let fe = sp.child("frontend", || "query_station".into());
             svc.query_station.serve(scan_cost, &mut rng).await;
+            fe.end();
             let hits = svc
                 .tables
                 .borrow()
@@ -469,77 +507,99 @@ impl TableClient {
             svc.bump();
             Ok(hits)
         };
-        match timeout(&svc.sim, svc.cfg.op_timeout, op).await {
+        let res = match timeout(&svc.sim, svc.cfg.op_timeout, op).await {
             Ok(r) => r,
             Err(_) => Err(StorageError::Timeout),
-        }
+        };
+        trace_outcome(&sp, &res);
+        res
     }
 
     /// Unconditional update (last-writer-wins; "it does not enforce
     /// atomicity of each update request", §3.2). `NotFound` if absent.
     pub async fn update(&self, table: &str, entity: Entity) -> Result<()> {
+        let sp = simtrace::span(Layer::Store, "table.update", || format!("table:{table}"));
+        let sp = &sp;
         let svc = Rc::clone(&self.svc);
         let table = table.to_string();
         let kb = entity.size_kb();
+        if sp.is_recording() {
+            sp.attr("kb", format!("{kb:.2}"));
+        }
         let entity = RefCell::new(Some(entity));
-        self.with_sdk_semantics(|| {
-            let svc = Rc::clone(&svc);
-            let table = table.clone();
-            let entity = entity.borrow().clone();
-            async move {
-                let entity = entity.expect("entity consumed");
-                let mut rng = svc.rng.borrow_mut().fork("upd");
-                svc.update_station
-                    .serve(kb * calib::TABLE_PAYLOAD_S_PER_KB, &mut rng)
-                    .await;
-                let latch =
-                    svc.update_latch(&table, &entity.partition_key, &entity.row_key);
-                let hold_factor = (kb / 4.0).max(0.25);
-                latch.commit(hold_factor, &mut rng).await?;
-                {
-                    let mut tables = svc.tables.borrow_mut();
-                    let slot = tables
-                        .get_mut(&table)
-                        .and_then(|t| t.partitions.get_mut(&entity.partition_key))
-                        .and_then(|p| p.get_mut(&entity.row_key));
-                    match slot {
-                        Some(e) => *e = entity,
-                        None => return Err(StorageError::NotFound),
+        let res = self
+            .with_sdk_semantics(|| {
+                let svc = Rc::clone(&svc);
+                let table = table.clone();
+                let entity = entity.borrow().clone();
+                async move {
+                    let entity = entity.expect("entity consumed");
+                    let mut rng = svc.rng.borrow_mut().fork("upd");
+                    let fe = sp.child("frontend", || "update_station".into());
+                    svc.update_station
+                        .serve(kb * calib::TABLE_PAYLOAD_S_PER_KB, &mut rng)
+                        .await;
+                    fe.end();
+                    let latch = svc.update_latch(&table, &entity.partition_key, &entity.row_key);
+                    let hold_factor = (kb / 4.0).max(0.25);
+                    let cm = sp.child("partition.commit", || "entity_latch".into());
+                    latch.commit(hold_factor, &mut rng).await?;
+                    cm.end();
+                    {
+                        let mut tables = svc.tables.borrow_mut();
+                        let slot = tables
+                            .get_mut(&table)
+                            .and_then(|t| t.partitions.get_mut(&entity.partition_key))
+                            .and_then(|p| p.get_mut(&entity.row_key));
+                        match slot {
+                            Some(e) => *e = entity,
+                            None => return Err(StorageError::NotFound),
+                        }
                     }
+                    svc.bump();
+                    Ok(())
                 }
-                svc.bump();
-                Ok(())
-            }
-        })
-        .await
+            })
+            .await;
+        trace_outcome(sp, &res);
+        res
     }
 
     /// Delete by key. `NotFound` if absent.
     pub async fn delete(&self, table: &str, pk: &str, rk: &str) -> Result<()> {
+        let sp = simtrace::span(Layer::Store, "table.delete", || format!("table:{table}"));
+        let sp = &sp;
         let svc = Rc::clone(&self.svc);
         let (table, pk, rk) = (table.to_string(), pk.to_string(), rk.to_string());
-        self.with_sdk_semantics(|| {
-            let svc = Rc::clone(&svc);
-            let (table, pk, rk) = (table.clone(), pk.clone(), rk.clone());
-            async move {
-                let mut rng = svc.rng.borrow_mut().fork("del");
-                svc.delete_station.serve(0.0, &mut rng).await;
-                let latch = svc.delete_latch(&table, &pk);
-                latch.commit(1.0, &mut rng).await?;
-                let removed = svc
-                    .tables
-                    .borrow_mut()
-                    .get_mut(&table)
-                    .and_then(|t| t.partitions.get_mut(&pk))
-                    .and_then(|p| p.remove(&rk));
-                svc.bump();
-                match removed {
-                    Some(_) => Ok(()),
-                    None => Err(StorageError::NotFound),
+        let res = self
+            .with_sdk_semantics(|| {
+                let svc = Rc::clone(&svc);
+                let (table, pk, rk) = (table.clone(), pk.clone(), rk.clone());
+                async move {
+                    let mut rng = svc.rng.borrow_mut().fork("del");
+                    let fe = sp.child("frontend", || "delete_station".into());
+                    svc.delete_station.serve(0.0, &mut rng).await;
+                    fe.end();
+                    let latch = svc.delete_latch(&table, &pk);
+                    let cm = sp.child("partition.commit", || "partition_latch".into());
+                    latch.commit(1.0, &mut rng).await?;
+                    cm.end();
+                    let removed = svc
+                        .tables
+                        .borrow_mut()
+                        .get_mut(&table)
+                        .and_then(|t| t.partitions.get_mut(&pk))
+                        .and_then(|p| p.remove(&rk));
+                    svc.bump();
+                    match removed {
+                        Some(_) => Ok(()),
+                        None => Err(StorageError::NotFound),
+                    }
                 }
-            }
-        })
-        .await
+            })
+            .await;
+        trace_outcome(sp, &res);
+        res
     }
 }
 
@@ -583,7 +643,10 @@ mod tests {
         let (sim, stamp) = setup(2);
         let c = stamp.attach_small_client();
         let h = sim.spawn(async move {
-            c.table.insert("t", Entity::benchmark("p", "r", 1)).await.unwrap();
+            c.table
+                .insert("t", Entity::benchmark("p", "r", 1))
+                .await
+                .unwrap();
             c.table.insert("t", Entity::benchmark("p", "r", 1)).await
         });
         sim.run();
@@ -598,7 +661,10 @@ mod tests {
         let (sim, stamp) = setup(3);
         let c = stamp.attach_small_client();
         let h = sim.spawn(async move {
-            c.table.insert("t", Entity::benchmark("p", "r", 1)).await.unwrap();
+            c.table
+                .insert("t", Entity::benchmark("p", "r", 1))
+                .await
+                .unwrap();
             let new = Entity::new("p", "r").with("v", PropValue::I64(9));
             c.table.update("t", new.clone()).await.unwrap();
             let got = c.table.query_point("t", "p", "r").await.unwrap();
@@ -614,9 +680,8 @@ mod tests {
     fn update_of_missing_entity_is_not_found() {
         let (sim, stamp) = setup(4);
         let c = stamp.attach_small_client();
-        let h = sim.spawn(async move {
-            c.table.update("t", Entity::benchmark("p", "nope", 1)).await
-        });
+        let h =
+            sim.spawn(async move { c.table.update("t", Entity::benchmark("p", "nope", 1)).await });
         sim.run();
         assert_eq!(h.try_take().unwrap().unwrap_err(), StorageError::NotFound);
     }
@@ -659,7 +724,9 @@ mod tests {
     #[test]
     fn single_client_query_rate_is_tens_per_second() {
         let (sim, stamp) = setup(7);
-        stamp.table_service().seed("t", Entity::benchmark("p", "r", 4));
+        stamp
+            .table_service()
+            .seed("t", Entity::benchmark("p", "r", 4));
         let c = stamp.attach_small_client();
         let s = sim.clone();
         let h = sim.spawn(async move {
@@ -712,9 +779,17 @@ mod tests {
         }
         let c = stamp.attach_small_client();
         let h = sim.spawn(async move {
-            let page = c.table.query_range("t", "p", "r00", "r99", 10).await.unwrap();
+            let page = c
+                .table
+                .query_range("t", "p", "r00", "r99", 10)
+                .await
+                .unwrap();
             let empty = c.table.query_range("t", "p", "x", "y", 10).await.unwrap();
-            let missing = c.table.query_range("t", "nope", "a", "z", 10).await.unwrap();
+            let missing = c
+                .table
+                .query_range("t", "nope", "a", "z", 10)
+                .await
+                .unwrap();
             (page, empty.len(), missing.len())
         });
         sim.run();
@@ -728,7 +803,9 @@ mod tests {
     #[test]
     fn concurrent_updates_serialize_on_entity_latch() {
         let (sim, stamp) = setup(8);
-        stamp.table_service().seed("t", Entity::benchmark("p", "shared", 4));
+        stamp
+            .table_service()
+            .seed("t", Entity::benchmark("p", "shared", 4));
         let done = Rc::new(Cell::new(0u32));
         for i in 0..16 {
             let c = stamp.attach_small_client();

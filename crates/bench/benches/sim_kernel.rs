@@ -12,10 +12,7 @@ fn bench_timer_events(c: &mut Criterion) {
             b.iter(|| {
                 let sim = Sim::new(1);
                 for i in 0..n {
-                    sim.schedule_at(
-                        SimTime::from_nanos(i * 7 % 1_000_000),
-                        |_| {},
-                    );
+                    sim.schedule_at(SimTime::from_nanos(i * 7 % 1_000_000), |_| {});
                 }
                 sim.run();
                 assert_eq!(sim.events_fired(), n);
@@ -83,12 +80,79 @@ fn bench_spawn_throughput(c: &mut Criterion) {
     });
 }
 
+/// Span-heavy workload: 100 tasks x 50 ops, each op wrapped in a span
+/// when `spans` is set. With no tracer installed the span call must be a
+/// near-free thread-local check (the perf guard below holds it to <2%).
+fn tracing_workload(sim_seed: u64, spans: bool, install: bool) {
+    let sim = Sim::new(sim_seed);
+    let tracer = simtrace::Tracer::new(&sim);
+    let guard = if install {
+        Some(tracer.install())
+    } else {
+        None
+    };
+    for i in 0..100 {
+        let s = sim.clone();
+        sim.spawn(async move {
+            for _ in 0..50 {
+                if spans {
+                    let sp =
+                        simtrace::span(simtrace::Layer::App, "bench.op", || format!("task{i}"));
+                    s.delay(SimDuration::from_nanos(10)).await;
+                    drop(sp);
+                } else {
+                    s.delay(SimDuration::from_nanos(10)).await;
+                }
+            }
+        });
+    }
+    sim.run();
+    drop(guard);
+}
+
+fn bench_tracing_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel/tracing");
+    let mut baseline = std::time::Duration::ZERO;
+    let mut disabled = std::time::Duration::ZERO;
+    let mut enabled = std::time::Duration::ZERO;
+    g.bench_function("baseline_no_spans", |b| {
+        b.iter(|| tracing_workload(5, false, false));
+        baseline = b.min();
+    });
+    g.bench_function("spans_disabled", |b| {
+        b.iter(|| tracing_workload(5, true, false));
+        disabled = b.min();
+    });
+    g.bench_function("spans_enabled", |b| {
+        b.iter(|| tracing_workload(5, true, true));
+        enabled = b.min();
+    });
+    g.finish();
+
+    // Perf guard: uninstrumented-cost of the tracing hooks. Spans compiled
+    // in but no tracer installed must stay within 2% of the span-free
+    // baseline; the enabled figure is informational (recording is opt-in).
+    let overhead = disabled.as_secs_f64() / baseline.as_secs_f64() - 1.0;
+    let enabled_x = enabled.as_secs_f64() / baseline.as_secs_f64();
+    println!(
+        "kernel/tracing: disabled overhead {:+.2}% (guard: <2%), enabled {:.2}x baseline",
+        overhead * 100.0,
+        enabled_x
+    );
+    assert!(
+        overhead < 0.02,
+        "tracing-disabled overhead {:.2}% exceeds the 2% guard",
+        overhead * 100.0
+    );
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = bench_timer_events,
         bench_process_ping_pong,
         bench_semaphore_contention,
-        bench_spawn_throughput
+        bench_spawn_throughput,
+        bench_tracing_overhead
 );
 criterion_main!(benches);

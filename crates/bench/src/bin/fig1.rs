@@ -1,7 +1,8 @@
 //! Regenerate Fig 1: average per-client blob download/upload bandwidth
 //! as a function of the number of concurrent clients (paper §3.1).
 
-use bench::{print_anchors, quick_mode, save};
+use azstore::{StampConfig, StorageStamp};
+use bench::{print_anchors, quick_mode, run_traced, save, trace_path};
 use cloudbench::anchors;
 use cloudbench::experiments::blob::{self, BlobScalingConfig};
 use simcore::report::Csv;
@@ -62,4 +63,21 @@ fn main() {
     }
     let block = print_anchors("Paper anchors (Fig 1):", &checks);
     save("fig1.anchors.txt", &block);
+
+    // Traced single-point run: 8 concurrent downloaders + uploaders
+    // against one stamp (the Fig 1 protocol in miniature).
+    if let Some(path) = trace_path() {
+        eprintln!("fig1: traced 8-client blob scenario ...");
+        run_traced(&path, 0xF161, |sim| {
+            let stamp = StorageStamp::standalone(sim, StampConfig::default());
+            stamp.blob_service().seed("bench", "blob", 50.0e6);
+            for i in 0..8 {
+                let c = stamp.attach_small_client();
+                sim.spawn(async move {
+                    let _ = c.blob.get("bench", "blob").await;
+                    let _ = c.blob.put("bench", &format!("up{i}"), 8.0e6).await;
+                });
+            }
+        });
+    }
 }

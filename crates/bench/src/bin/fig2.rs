@@ -1,7 +1,8 @@
 //! Regenerate Fig 2: average per-client table performance vs concurrency
 //! (paper §3.2), including the 64 kB high-concurrency timeout behaviour.
 
-use bench::{quick_mode, save};
+use azstore::{Entity, StampConfig, StorageStamp};
+use bench::{quick_mode, run_traced, save, trace_path};
 use cloudbench::experiments::table::{self, TableOp, TableScalingConfig};
 use simcore::report::Csv;
 
@@ -46,7 +47,9 @@ fn main() {
     summary.push_str("Paper anchors (Fig 2, shapes):\n");
     for op in TableOp::ALL {
         let peak = result.peak_clients(op);
-        summary.push_str(&format!("  {op}: aggregate throughput peaks at {peak} clients\n"));
+        summary.push_str(&format!(
+            "  {op}: aggregate throughput peaks at {peak} clients\n"
+        ));
     }
     summary.push_str(
         "  paper: Insert/Query unsaturated at 192; Update peaks at 8; Delete peaks at 128\n",
@@ -61,7 +64,10 @@ fn main() {
         updates_per_client: 0,
         ..base
     };
-    eprintln!("fig2: 64 kB insert cliff at {:?} clients ...", cliff_cfg.client_counts);
+    eprintln!(
+        "fig2: 64 kB insert cliff at {:?} clients ...",
+        cliff_cfg.client_counts
+    );
     let cliff = table::run(&cliff_cfg);
     summary.push_str("\n64 kB Insert (paper: 94/128 and 89/192 clients finished cleanly):\n");
     for clients in [64usize, 128, 192] {
@@ -74,4 +80,39 @@ fn main() {
     }
     print!("{summary}");
     save("fig2.anchors.txt", &summary);
+
+    // Traced single-point run: 4 clients through the full four-phase
+    // protocol (the Fig 2 workload in miniature). Spans cover the SDK
+    // call, the front-end station and the partition commit of every op.
+    if let Some(path) = trace_path() {
+        eprintln!("fig2: traced 4-client table scenario ...");
+        run_traced(&path, 0xF162, |sim| {
+            let stamp = StorageStamp::standalone(sim, StampConfig::default());
+            stamp
+                .table_service()
+                .seed("bench", Entity::benchmark("part0", "shared", 4));
+            for ci in 0..4 {
+                let acct = stamp.attach_small_client();
+                sim.spawn(async move {
+                    for k in 0..10 {
+                        let e = Entity::benchmark("part0", &format!("c{ci}-r{k}"), 4);
+                        let _ = acct.table.insert("bench", e).await;
+                    }
+                    for _ in 0..10 {
+                        let _ = acct.table.query_point("bench", "part0", "shared").await;
+                    }
+                    for _ in 0..5 {
+                        let e = Entity::benchmark("part0", "shared", 4);
+                        let _ = acct.table.update("bench", e).await;
+                    }
+                    for k in 0..10 {
+                        let _ = acct
+                            .table
+                            .delete("bench", "part0", &format!("c{ci}-r{k}"))
+                            .await;
+                    }
+                });
+            }
+        });
+    }
 }

@@ -1,7 +1,8 @@
 //! Regenerate Fig 3: average per-client queue performance vs concurrency
 //! (paper §3.3), plus the queue-length invariance check.
 
-use bench::{print_anchors, quick_mode, save};
+use azstore::{StampConfig, StorageStamp};
+use bench::{print_anchors, quick_mode, run_traced, save, trace_path};
 use cloudbench::anchors;
 use cloudbench::experiments::queue::{self, QueueOp, QueueScalingConfig};
 use simcore::report::Csv;
@@ -20,7 +21,14 @@ fn main() {
     println!("{}", result.render());
 
     let mut csv = Csv::new();
-    csv.row(&["op", "clients", "per_client_ops_s", "aggregate_ops_s", "ok", "failed"]);
+    csv.row(&[
+        "op",
+        "clients",
+        "per_client_ops_s",
+        "aggregate_ops_s",
+        "ok",
+        "failed",
+    ]);
     for r in &result.rows {
         csv.row(&[
             r.op.to_string(),
@@ -61,4 +69,26 @@ fn main() {
     print!("{extra}");
     block.push_str(&extra);
     save("fig3.anchors.txt", &block);
+
+    // Traced single-point run: 4 clients producing then draining one
+    // queue (Add/Peek/Receive/Delete spans with their replica-sync
+    // commit children).
+    if let Some(path) = trace_path() {
+        eprintln!("fig3: traced 4-client queue scenario ...");
+        run_traced(&path, 0xF163, |sim| {
+            let stamp = StorageStamp::standalone(sim, StampConfig::default());
+            for i in 0..4 {
+                let c = stamp.attach_small_client();
+                sim.spawn(async move {
+                    for k in 0..8 {
+                        let _ = c.queue.add("q", format!("m{i}-{k}"), 512.0).await;
+                    }
+                    let _ = c.queue.peek("q").await;
+                    while let Ok(Some(m)) = c.queue.receive_default("q").await {
+                        let _ = c.queue.delete_message("q", m.receipt).await;
+                    }
+                });
+            }
+        });
+    }
 }

@@ -1,9 +1,10 @@
 //! Regenerate Fig 4: cumulative TCP latency between two small VMs
 //! communicating through TCP internal endpoints (paper §4.2).
 
-use bench::{print_anchors, quick_mode, save};
+use bench::{print_anchors, quick_mode, run_traced, save, trace_path};
 use cloudbench::anchors;
 use cloudbench::experiments::tcp::{self, TcpLatencyConfig};
+use dcnet::{LinkModel, Network};
 use simcore::report::Csv;
 
 fn main() {
@@ -38,4 +39,23 @@ fn main() {
         ],
     );
     save("fig4.anchors.txt", &block);
+
+    // Traced single-point run: a few 1-byte-scale ping flows across a VM
+    // pair's NIC links (net.flow spans + bandwidth-share counters).
+    if let Some(path) = trace_path() {
+        eprintln!("fig4: traced VM-pair ping scenario ...");
+        run_traced(&path, 0xF164, |sim| {
+            let net = Network::new(sim);
+            let tx = net.add_link("vm_a.tx", LinkModel::Shared { capacity: 125.0e6 });
+            let rx = net.add_link("vm_b.rx", LinkModel::Shared { capacity: 125.0e6 });
+            for _ in 0..5 {
+                let net = net.clone();
+                sim.spawn(async move {
+                    for _ in 0..4 {
+                        net.transfer(&[tx, rx], 1.0e3, f64::INFINITY).await;
+                    }
+                });
+            }
+        });
+    }
 }

@@ -1,9 +1,10 @@
 //! Regenerate Fig 5: cumulative TCP bandwidth between two small VMs
 //! sending 2 GB through TCP internal endpoints (paper §4.2).
 
-use bench::{print_anchors, quick_mode, save};
+use bench::{print_anchors, quick_mode, run_traced, save, trace_path};
 use cloudbench::anchors;
 use cloudbench::experiments::tcp::{self, TcpBandwidthConfig};
+use dcnet::{LinkModel, Network};
 use simcore::report::Csv;
 
 fn main() {
@@ -37,4 +38,22 @@ fn main() {
         ],
     );
     save("fig5.anchors.txt", &block);
+
+    // Traced single-point run: 4 bulk sender pairs sharing a core link
+    // (net.flow spans with rate-update counters as shares rebalance).
+    if let Some(path) = trace_path() {
+        eprintln!("fig5: traced bulk-transfer scenario ...");
+        run_traced(&path, 0xF165, |sim| {
+            let net = Network::new(sim);
+            let core = net.add_link("rack.core", LinkModel::Shared { capacity: 250.0e6 });
+            for i in 0..4 {
+                let net = net.clone();
+                let nic =
+                    net.add_link(format!("vm{i}.tx"), LinkModel::Shared { capacity: 125.0e6 });
+                sim.spawn(async move {
+                    net.transfer(&[nic, core], 100.0e6, f64::INFINITY).await;
+                });
+            }
+        });
+    }
 }

@@ -1,8 +1,9 @@
 //! Regenerate Fig 7: percent of daily task executions killed by the VM
 //! execution timeout over the campaign (paper §5.2).
 
-use bench::{print_anchors, quick_mode, save};
+use bench::{print_anchors, quick_mode, run_traced, save, trace_path};
 use cloudbench::anchors;
+use modis::campaign::run_campaign_on;
 use modis::{run_campaign, ModisConfig};
 use simcore::report::Csv;
 
@@ -45,4 +46,22 @@ fn main() {
         ],
     );
     save("fig7.anchors.txt", &block);
+
+    // Traced single-point run: a miniature campaign (task.execute spans
+    // tagged with failure class, over the real storage/network spans).
+    if let Some(path) = trace_path() {
+        eprintln!("fig7: traced mini-campaign ...");
+        run_traced(&path, 0x0D15, |sim| {
+            let cfg = ModisConfig {
+                workers: 8,
+                days: 2,
+                arrival_scale: 4.0,
+                request_tiles: (2, 4),
+                request_days: (4, 10),
+                ..ModisConfig::quick()
+            };
+            let report = run_campaign_on(sim, cfg);
+            eprintln!("fig7: traced {} executions", report.executions);
+        });
+    }
 }

@@ -1,10 +1,10 @@
 //! Regenerate Table 1: worker/web role VM request times across the five
 //! lifecycle phases (paper §4.1; 431 successful runs).
 
-use bench::{print_anchors, quick_mode, save};
+use bench::{print_anchors, quick_mode, run_traced, save, trace_path};
 use cloudbench::anchors;
 use cloudbench::experiments::vm::{self, VmLifecycleConfig};
-use fabric::{Phase, RoleType, VmSize};
+use fabric::{DeploymentSpec, FabricConfig, FabricController, Phase, RoleType, VmSize};
 use simcore::report::Csv;
 
 fn main() {
@@ -13,7 +13,10 @@ fn main() {
     } else {
         VmLifecycleConfig::default()
     };
-    eprintln!("table1: collecting {} successful runs ...", cfg.successful_runs);
+    eprintln!(
+        "table1: collecting {} successful runs ...",
+        cfg.successful_runs
+    );
     let result = vm::run(&cfg);
     println!("{}", result.render());
     println!(
@@ -57,4 +60,22 @@ fn main() {
         ],
     );
     save("table1.anchors.txt", &block);
+
+    // Traced single-point run: one small-worker deployment through all
+    // five Table 1 phases, with per-instance boot spans.
+    if let Some(path) = trace_path() {
+        eprintln!("table1: traced lifecycle scenario ...");
+        run_traced(&path, 0x7AB1, |sim| {
+            let fc = FabricController::new(sim, FabricConfig::default());
+            sim.spawn(async move {
+                let spec = DeploymentSpec::paper_test(RoleType::Worker, VmSize::Small);
+                if let Ok(dep) = fc.create_deployment(spec).await {
+                    let _ = dep.run().await;
+                    let _ = dep.add_instances().await;
+                    let _ = dep.suspend().await;
+                    let _ = dep.delete().await;
+                }
+            });
+        });
+    }
 }

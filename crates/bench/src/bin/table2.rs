@@ -4,8 +4,9 @@
 //! Full scale runs ≈ 3 M task executions (a few minutes of wall time);
 //! `--quick` runs a scaled-down month.
 
-use bench::{print_anchors, quick_mode, save};
+use bench::{print_anchors, quick_mode, run_traced, save, trace_path};
 use cloudbench::anchors;
+use modis::campaign::run_campaign_on;
 use modis::{run_campaign, ModisConfig};
 
 fn main() {
@@ -36,9 +37,30 @@ fn main() {
     let block = print_anchors(
         "Paper anchors (Table 2):",
         &[
-            (anchors::TAB2_SUCCESS_RATE, t.fraction(modis::Outcome::Success)),
+            (
+                anchors::TAB2_SUCCESS_RATE,
+                t.fraction(modis::Outcome::Success),
+            ),
             (anchors::TAB2_VM_TIMEOUT_RATE, t.overall_timeout_fraction()),
         ],
     );
     save("table2.anchors.txt", &block);
+
+    // Traced single-point run: a miniature campaign (task.execute spans
+    // tagged with failure class, over the real storage/network spans).
+    if let Some(path) = trace_path() {
+        eprintln!("table2: traced mini-campaign ...");
+        run_traced(&path, 0x0D15, |sim| {
+            let cfg = ModisConfig {
+                workers: 8,
+                days: 2,
+                arrival_scale: 4.0,
+                request_tiles: (2, 4),
+                request_days: (4, 10),
+                ..ModisConfig::quick()
+            };
+            let report = run_campaign_on(sim, cfg);
+            eprintln!("table2: traced {} executions", report.executions);
+        });
+    }
 }

@@ -14,16 +14,62 @@
 //! | `table2` | Table 2 — ModisAzure task breakdown | minutes |
 //! | `fig7`   | Fig 7 — daily VM-timeout percentages | minutes |
 //!
-//! All accept `--quick` for a scaled-down run.
+//! All accept `--quick` for a scaled-down run, and `--trace <path>` to
+//! additionally run one representative single-point scenario with
+//! `simtrace` enabled, dumping a Chrome trace-event JSON file to
+//! `<path>` and printing the per-layer latency breakdown.
 
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use cloudbench::Anchor;
+use simcore::Sim;
 
 /// True if `--quick` was passed.
 pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
+}
+
+/// The path given with `--trace <path>`, if any.
+pub fn trace_path() -> Option<PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            return args.next().map(PathBuf::from);
+        }
+    }
+    None
+}
+
+/// Run one representative scenario with tracing enabled and dump the
+/// results: a Chrome trace-event JSON file (load it at
+/// `chrome://tracing` or <https://ui.perfetto.dev>) plus the per-layer
+/// latency-breakdown table on stdout.
+///
+/// The scenario runs inline on the current thread (the tracer is
+/// thread-local, so the sweep parallelism of the main experiment cannot
+/// be traced); it gets a fresh `Sim` and must spawn its workload on it.
+/// Any events still pending when the scenario returns are run to
+/// completion before the trace is serialized.
+pub fn run_traced(path: &Path, seed: u64, scenario: impl FnOnce(&Sim)) {
+    let sim = Sim::new(seed);
+    let tracer = simtrace::Tracer::new(&sim);
+    let guard = tracer.install();
+    scenario(&sim);
+    sim.run();
+    drop(guard);
+
+    println!("\n{}", tracer.latency_breakdown());
+    let json = tracer.chrome_trace();
+    match fs::write(path, &json) {
+        Ok(()) => println!(
+            "[trace: {} spans, {} bytes -> {}]",
+            tracer.span_count(),
+            json.len(),
+            path.display()
+        ),
+        Err(e) => eprintln!("trace: failed to write {}: {e}", path.display()),
+    }
 }
 
 /// Directory regeneration outputs land in (`results/` in the workspace).
@@ -45,7 +91,11 @@ pub fn save(name: &str, contents: &str) {
 
 /// Render one paper-vs-measured anchor line.
 pub fn anchor_line(anchor: &Anchor, measured: f64) -> String {
-    let verdict = if anchor.matches(measured) { "OK " } else { "OFF" };
+    let verdict = if anchor.matches(measured) {
+        "OK "
+    } else {
+        "OFF"
+    };
     format!(
         "  [{verdict}] {:<40} paper {:>10.3}  measured {:>10.3}  ({:+.1}%)",
         anchor.name,

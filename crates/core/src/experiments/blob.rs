@@ -87,7 +87,10 @@ impl BlobScalingResult {
         self.rows
             .iter()
             .map(|r| (r.clients, r.download_aggregate_mbps))
-            .fold((0, 0.0), |best, cur| if cur.1 > best.1 { cur } else { best })
+            .fold(
+                (0, 0.0),
+                |best, cur| if cur.1 > best.1 { cur } else { best },
+            )
     }
 
     /// Render the Fig 1 data as a table.
@@ -145,7 +148,8 @@ fn one_upload_run(clients: usize, bytes: f64, seed: u64) -> (f64, f64) {
         sim.spawn(async move {
             let name = format!("upload-{i}");
             let ul = c.blob.put("bench", &name, bytes).await.expect("clean run");
-            r.borrow_mut().push(ul.bytes / ul.elapsed.as_secs_f64() / 1.0e6);
+            r.borrow_mut()
+                .push(ul.bytes / ul.elapsed.as_secs_f64() / 1.0e6);
         });
     }
     sim.run();

@@ -8,7 +8,7 @@
 
 use std::rc::Rc;
 
-use azstore::{StampConfig, StorageAccountClient, StorageStamp, StorageError};
+use azstore::{StampConfig, StorageAccountClient, StorageError, StorageStamp};
 use simcore::combinators::join_all;
 use simcore::prelude::*;
 use simcore::report::{num, AsciiTable};
@@ -106,7 +106,9 @@ pub struct QueueScalingResult {
 impl QueueScalingResult {
     /// Cell lookup.
     pub fn at(&self, op: QueueOp, clients: usize) -> Option<&QueueScalingRow> {
-        self.rows.iter().find(|r| r.op == op && r.clients == clients)
+        self.rows
+            .iter()
+            .find(|r| r.op == op && r.clients == clients)
     }
 
     /// Client count with the highest aggregate for `op`.
@@ -152,11 +154,7 @@ impl QueueScalingResult {
     }
 }
 
-fn one_phase(
-    op: QueueOp,
-    clients: usize,
-    cfg: &QueueScalingConfig,
-) -> QueueScalingRow {
+fn one_phase(op: QueueOp, clients: usize, cfg: &QueueScalingConfig) -> QueueScalingRow {
     let sim = Sim::new(cfg.seed ^ ((clients as u64) << 24) ^ (op as u64) << 40);
     let stamp = StorageStamp::standalone(&sim, StampConfig::default());
     // Peek/Receive phases need a populated queue.
@@ -220,7 +218,11 @@ fn one_phase(
         op,
         clients,
         per_client_ops_s: mean(&rates),
-        aggregate_ops_s: if makespan > 0.0 { ok as f64 / makespan } else { 0.0 },
+        aggregate_ops_s: if makespan > 0.0 {
+            ok as f64 / makespan
+        } else {
+            0.0
+        },
         ok,
         failed,
     }
@@ -337,7 +339,10 @@ mod tests {
             "receive peak at {recv_peak} (paper: 64)"
         );
         let add64 = r.at(QueueOp::Add, 64).unwrap().aggregate_ops_s;
-        assert!((420.0..700.0).contains(&add64), "add@64 = {add64} (paper 569)");
+        assert!(
+            (420.0..700.0).contains(&add64),
+            "add@64 = {add64} (paper 569)"
+        );
         let recv64 = r.at(QueueOp::Receive, 64).unwrap().aggregate_ops_s;
         assert!(
             (300.0..550.0).contains(&recv64),

@@ -9,7 +9,7 @@
 
 use std::rc::Rc;
 
-use azstore::{Entity, StampConfig, StorageAccountClient, StorageStamp, StorageError};
+use azstore::{Entity, StampConfig, StorageAccountClient, StorageError, StorageStamp};
 use simcore::combinators::join_all;
 use simcore::prelude::*;
 use simcore::report::{num, AsciiTable};
@@ -31,7 +31,12 @@ pub enum TableOp {
 
 impl TableOp {
     /// All four, in the paper's order.
-    pub const ALL: [TableOp; 4] = [TableOp::Insert, TableOp::Query, TableOp::Update, TableOp::Delete];
+    pub const ALL: [TableOp; 4] = [
+        TableOp::Insert,
+        TableOp::Query,
+        TableOp::Update,
+        TableOp::Delete,
+    ];
 }
 
 impl std::fmt::Display for TableOp {
@@ -468,7 +473,10 @@ mod tests {
         for op in TableOp::ALL {
             let one = r.at(op, 1).unwrap().per_client_ops_s;
             let many = r.at(op, 192).unwrap().per_client_ops_s;
-            assert!(many < one, "{op}: per-client should decline ({one} -> {many})");
+            assert!(
+                many < one,
+                "{op}: per-client should decline ({one} -> {many})"
+            );
         }
         for op in [TableOp::Insert, TableOp::Query] {
             let a128 = r.at(op, 128).unwrap().aggregate_ops_s;
@@ -496,7 +504,10 @@ mod tests {
             .filter(|x| x.op == TableOp::Update)
             .map(|x| x.aggregate_ops_s)
             .fold(0.0f64, f64::max);
-        assert!(upd192 < upd_peak_v * 0.7, "update did not decline: {upd192} vs {upd_peak_v}");
+        assert!(
+            upd192 < upd_peak_v * 0.7,
+            "update did not decline: {upd192} vs {upd_peak_v}"
+        );
     }
 
     /// §3.2's 64 kB cliff: at 128+ clients a large fraction of clients

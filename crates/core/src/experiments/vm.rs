@@ -78,20 +78,22 @@ impl VmLifecycleResult {
     /// Render in the paper's Table 1 layout.
     pub fn render(&self) -> String {
         let mut t = AsciiTable::new(vec![
-            "Role", "Size", "Statistic", "Create", "Run", "Add", "Suspend", "Delete",
+            "Role",
+            "Size",
+            "Statistic",
+            "Create",
+            "Run",
+            "Add",
+            "Suspend",
+            "Delete",
         ])
         .with_title("Table 1 — worker/web role VM request time (s)");
         for role in RoleType::ALL {
             for size in VmSize::ALL {
-                for (stat_name, f) in [
-                    ("AVG", true),
-                    ("STD", false),
-                ] {
+                for (stat_name, f) in [("AVG", true), ("STD", false)] {
                     let cell = |phase: Phase| -> String {
                         match self.cells.get(&(role, size, phase)) {
-                            Some(s) if s.count() > 0 => {
-                                num(if f { s.mean() } else { s.std() }, 0)
-                            }
+                            Some(s) if s.count() > 0 => num(if f { s.mean() } else { s.std() }, 0),
                             _ => "N/A".to_string(),
                         }
                     };
@@ -125,14 +127,11 @@ pub fn run(cfg: &VmLifecycleConfig) -> VmLifecycleResult {
         let mut failures = 0u64;
         let mut start_requests = 0u64;
         let record = |cells: &mut HashMap<(RoleType, VmSize, Phase), OnlineStats>,
-                          role: RoleType,
-                          size: VmSize,
-                          phase: Phase,
-                          secs: f64| {
-            cells
-                .entry((role, size, phase))
-                .or_insert_with(OnlineStats::new)
-                .push(secs);
+                      role: RoleType,
+                      size: VmSize,
+                      phase: Phase,
+                      secs: f64| {
+            cells.entry((role, size, phase)).or_default().push(secs);
         };
         while successes < target as u64 {
             let role = *rng.pick(&RoleType::ALL);
@@ -184,12 +183,30 @@ pub fn run(cfg: &VmLifecycleConfig) -> VmLifecycleResult {
             };
 
             record(&mut cells, role, size, Phase::Create, create_s);
-            record(&mut cells, role, size, Phase::Run, run.duration.as_secs_f64());
+            record(
+                &mut cells,
+                role,
+                size,
+                Phase::Run,
+                run.duration.as_secs_f64(),
+            );
             if let Some(a) = add {
                 record(&mut cells, role, size, Phase::Add, a.duration.as_secs_f64());
             }
-            record(&mut cells, role, size, Phase::Suspend, sus.duration.as_secs_f64());
-            record(&mut cells, role, size, Phase::Delete, del.duration.as_secs_f64());
+            record(
+                &mut cells,
+                role,
+                size,
+                Phase::Suspend,
+                sus.duration.as_secs_f64(),
+            );
+            record(
+                &mut cells,
+                role,
+                size,
+                Phase::Delete,
+                del.duration.as_secs_f64(),
+            );
             successes += 1;
             // Space runs out like the real campaign did (and keep the
             // clock moving between deployments).

@@ -3,11 +3,11 @@
 //! Each sweep point (a client count, a repeated run) is an independent
 //! simulation, so points parallelize perfectly across OS threads — the
 //! data-parallel idiom the HPC guides prescribe, implemented with scoped
-//! threads plus a crossbeam channel to stream results back as they
+//! threads plus an mpsc channel to stream results back as they
 //! complete (a `Sim` itself is single-threaded and `!Send`; only the
 //! *results* cross threads).
 
-use crossbeam::channel;
+use std::sync::mpsc;
 
 /// The concurrency ladder used throughout the paper: "For all our tests
 /// we use from 1 to 192 concurrent clients" (§3).
@@ -22,7 +22,7 @@ where
     F: Fn(T) -> R + Sync,
 {
     let n = points.len();
-    let (tx, rx) = channel::unbounded::<(usize, R)>();
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
     std::thread::scope(|scope| {
         for (i, p) in points.into_iter().enumerate() {
             let tx = tx.clone();

@@ -175,7 +175,14 @@ pub fn max_min_rates(models: &[LinkModel], flows: &[FlowSpec]) -> Vec<f64> {
             for f in 0..nf {
                 if !frozen[f] && caps[f] <= s_star {
                     let r = caps[f];
-                    freeze(f, r, &mut rates, &mut frozen, &mut remaining_cap, &mut active_on_link);
+                    freeze(
+                        f,
+                        r,
+                        &mut rates,
+                        &mut frozen,
+                        &mut remaining_cap,
+                        &mut active_on_link,
+                    );
                     active -= 1;
                 }
             }
@@ -343,7 +350,10 @@ mod tests {
                 .map(|(_, rate)| *rate)
                 .sum();
             let cap = m.effective_capacity(flows.iter().filter(|f| f.links.contains(&l)).count());
-            assert!(used <= cap * (1.0 + 1e-9), "link {l}: used {used} > cap {cap}");
+            assert!(
+                used <= cap * (1.0 + 1e-9),
+                "link {l}: used {used} > cap {cap}"
+            );
         }
         // And every flow got a positive rate.
         assert!(r.iter().all(|&x| x > 0.0));

@@ -150,7 +150,10 @@ impl Network {
     /// capped at `cap` bytes/s, sharing bandwidth max-min fairly with all
     /// concurrent flows. Resolves when the last byte drains.
     pub async fn transfer(&self, path: &[LinkId], bytes: f64, cap: f64) -> TransferStats {
-        assert!(bytes >= 0.0 && bytes.is_finite(), "bad transfer size {bytes}");
+        assert!(
+            bytes >= 0.0 && bytes.is_finite(),
+            "bad transfer size {bytes}"
+        );
         let now = self.st.sim.now();
         if bytes <= DONE_EPS {
             return TransferStats {
@@ -161,6 +164,10 @@ impl Network {
         }
         let id = self.st.next_flow.get();
         self.st.next_flow.set(id + 1);
+        let sp = simtrace::span(simtrace::Layer::Net, "net.flow", || format!("flow{id}"));
+        if sp.is_recording() {
+            sp.attr("bytes", format!("{bytes:.0}"));
+        }
         let done = Signal::new();
         let seed_links: Vec<usize> = path.iter().map(|l| l.0).collect();
         {
@@ -178,6 +185,7 @@ impl Network {
             );
             self.recompute_component(&seed_links);
         }
+        simtrace::gauge("net.active_flows", self.st.flows.borrow().len() as f64);
         done.wait().await;
         TransferStats {
             bytes,
@@ -264,8 +272,11 @@ impl Network {
     }
 
     /// Allocate rates for `member_ids` and reschedule their completions.
+    /// Each call is a bandwidth-share update: every affected flow gets a
+    /// fresh max-min rate.
     fn reallocate(&self, member_ids: &[u64]) {
         self.st.recomputes.set(self.st.recomputes.get() + 1);
+        simtrace::counter("net.rate_updates", 1);
         let specs: Vec<FlowSpec> = {
             let flows = self.st.flows.borrow();
             member_ids
@@ -341,6 +352,7 @@ impl Network {
         };
         if let Some(f) = finished {
             self.st.completed.set(self.st.completed.get() + 1);
+            simtrace::gauge("net.active_flows", self.st.flows.borrow().len() as f64);
             f.done.fire();
             self.recompute_component(&f.links);
         }

@@ -16,9 +16,18 @@ use simcore::prelude::*;
 use crate::calib;
 use crate::host::{HostPool, HostPoolConfig};
 use crate::loadbalancer::LoadBalancer;
-use crate::types::{
-    DeploymentStatus, FabricError, InstanceStatus, Phase, RoleType, VmSize,
-};
+use crate::types::{DeploymentStatus, FabricError, InstanceStatus, Phase, RoleType, VmSize};
+
+/// Static span-kind name of one lifecycle phase (Table 1 columns).
+fn phase_span_kind(phase: Phase) -> &'static str {
+    match phase {
+        Phase::Create => "phase.create",
+        Phase::Run => "phase.run",
+        Phase::Add => "phase.add",
+        Phase::Suspend => "phase.suspend",
+        Phase::Delete => "phase.delete",
+    }
+}
 
 /// Controller-level configuration.
 #[derive(Debug, Clone)]
@@ -154,6 +163,16 @@ impl FabricController {
         let seq = self.deploy_seq.get();
         self.deploy_seq.set(seq + 1);
         let mut rng = self.sim.rng(&format!("fabric.deploy.{seq}"));
+        let sp = simtrace::span(
+            simtrace::Layer::Fabric,
+            phase_span_kind(Phase::Create),
+            || format!("deploy{seq}"),
+        );
+        if sp.is_recording() {
+            sp.attr("role", spec.role);
+            sp.attr("size", spec.size);
+            sp.attr("instances", spec.instances);
+        }
 
         let row = calib::paper_table1(spec.role, spec.size);
         let base = row.create.avg
@@ -244,7 +263,10 @@ impl Deployment {
         &self,
         work: SimDuration,
     ) -> Result<SimDuration, crate::loadbalancer::LbError> {
-        let lb = self.lb.as_ref().expect("handle_request requires a web role");
+        let lb = self
+            .lb
+            .as_ref()
+            .expect("handle_request requires a web role");
         let routed = lb.route()?;
         let elapsed = self.execute_on(routed.backend(), work).await;
         routed.finish();
@@ -281,12 +303,9 @@ impl Deployment {
             let mut t = b1;
             for i in 0..n {
                 if i > 0 {
-                    t += TruncNormal::new(
-                        calib::RUN_STAGGER_MEAN_S,
-                        calib::RUN_STAGGER_STD_S,
-                        20.0,
-                    )
-                    .sample(&mut rng);
+                    t +=
+                        TruncNormal::new(calib::RUN_STAGGER_MEAN_S, calib::RUN_STAGGER_STD_S, 20.0)
+                            .sample(&mut rng);
                 }
                 offsets.push(SimDuration::from_secs_f64(t));
             }
@@ -338,9 +357,9 @@ impl Deployment {
             let mut t = b1;
             for _ in 0..added {
                 // Exp staggers: Table 1's Add stds are huge (355/478 s).
-                t += Exp::with_mean(lag_mean).sample(&mut rng).max(
-                    calib::ADD_STAGGER_MIN_S / 2.0,
-                );
+                t += Exp::with_mean(lag_mean)
+                    .sample(&mut rng)
+                    .max(calib::ADD_STAGGER_MIN_S / 2.0);
                 offsets.push(SimDuration::from_secs_f64(t));
             }
             offsets
@@ -360,6 +379,19 @@ impl Deployment {
         phase: Phase,
     ) -> Result<PhaseReport, FabricError> {
         let start = self.fc.sim.now();
+        let sp = simtrace::span(simtrace::Layer::Fabric, phase_span_kind(phase), || {
+            format!("instances {}..{}", first, first + offsets.len())
+        });
+        // One child span per instance: provisioning request → ready.
+        let mut boot_spans: Vec<Option<simtrace::Span>> = (0..offsets.len())
+            .map(|k| {
+                if sp.is_recording() {
+                    Some(sp.child("instance.boot", || format!("vm{}", first + k)))
+                } else {
+                    None
+                }
+            })
+            .collect();
         for inst in self.instances.borrow().iter().skip(first) {
             inst.status.set(InstanceStatus::Provisioning);
         }
@@ -373,6 +405,12 @@ impl Deployment {
                 inst.status.set(InstanceStatus::Failed);
             }
             self.fc.runs_failed.set(self.fc.runs_failed.get() + 1);
+            simtrace::instant(simtrace::Layer::Fabric, "startup_failure", || {
+                format!("vm{victim}")
+            });
+            if sp.is_recording() {
+                sp.attr("outcome", "startup failure");
+            }
             return Err(FabricError::StartupFailure);
         }
         for (k, off) in offsets.iter().enumerate() {
@@ -381,6 +419,9 @@ impl Deployment {
             self.instances.borrow()[first + k]
                 .status
                 .set(InstanceStatus::Ready);
+            if let Some(boot) = boot_spans[k].take() {
+                boot.end();
+            }
             if let Some(lb) = &self.lb {
                 lb.attach(first + k);
             }
@@ -407,11 +448,18 @@ impl Deployment {
             TruncNormal::new(row.suspend.avg, row.suspend.std, 3.0).sample(&mut rng)
         };
         let start = self.fc.sim.now();
+        let sp = simtrace::span(
+            simtrace::Layer::Fabric,
+            phase_span_kind(Phase::Suspend),
+            || format!("instances 0..{}", self.instance_count()),
+        );
         // Web roles drain in-flight connections first (this is folded
         // into Table 1's idle-traffic suspend numbers; live traffic can
         // only make the suspend longer, as in production).
         if let Some(lb) = &self.lb {
+            let drain = sp.child("lb.drain", || "loadbalancer".into());
             lb.drain().await;
+            drain.end();
         }
         self.fc.sim.delay(SimDuration::from_secs_f64(dur)).await;
         for inst in self.instances.borrow().iter() {
@@ -442,6 +490,11 @@ impl Deployment {
             TruncNormal::new(row.delete.avg, row.delete.std, 1.0).sample(&mut rng)
         };
         let start = self.fc.sim.now();
+        let _sp = simtrace::span(
+            simtrace::Layer::Fabric,
+            phase_span_kind(Phase::Delete),
+            || format!("instances 0..{}", self.instance_count()),
+        );
         self.fc.sim.delay(SimDuration::from_secs_f64(dur)).await;
         let cores = self.instance_count() as u32 * spec.size.cores();
         self.fc.used_cores.set(self.fc.used_cores.get() - cores);
@@ -504,7 +557,13 @@ mod tests {
         let names: Vec<Phase> = phases.iter().map(|(p, _)| *p).collect();
         assert_eq!(
             names,
-            vec![Phase::Create, Phase::Run, Phase::Add, Phase::Suspend, Phase::Delete]
+            vec![
+                Phase::Create,
+                Phase::Run,
+                Phase::Add,
+                Phase::Suspend,
+                Phase::Delete
+            ]
         );
         for (p, d) in &phases {
             assert!(*d > 0.0, "{p} has zero duration");
@@ -520,8 +579,7 @@ mod tests {
                 let mut sums = [0.0f64; 5];
                 let mut counts = [0u32; 5];
                 for seed in 0..40 {
-                    let phases =
-                        lifecycle(1000 + seed, role, size, no_fail_cfg()).unwrap();
+                    let phases = lifecycle(1000 + seed, role, size, no_fail_cfg()).unwrap();
                     for (p, d) in phases {
                         let i = Phase::ALL.iter().position(|q| *q == p).unwrap();
                         sums[i] += d;
@@ -634,7 +692,10 @@ mod tests {
         });
         sim.run();
         match h.try_take().unwrap() {
-            Some(FabricError::QuotaExceeded { requested, available }) => {
+            Some(FabricError::QuotaExceeded {
+                requested,
+                available,
+            }) => {
                 assert_eq!(requested, 1);
                 assert_eq!(available, 0);
             }
@@ -741,17 +802,24 @@ mod tests {
                 .await
                 .unwrap();
             // Before run: nothing in rotation.
-            assert!(dep.handle_request(SimDuration::from_millis(10)).await.is_err());
+            assert!(dep
+                .handle_request(SimDuration::from_millis(10))
+                .await
+                .is_err());
             dep.run().await.unwrap();
             assert_eq!(dep.load_balancer().unwrap().in_rotation(), 4);
             for _ in 0..8 {
-                dep.handle_request(SimDuration::from_millis(10)).await.unwrap();
+                dep.handle_request(SimDuration::from_millis(10))
+                    .await
+                    .unwrap();
             }
             // Suspend with a request in flight: the drain must wait.
             let dep = Rc::new(dep);
             let dep2 = Rc::clone(&dep);
             let slow = dep.fc.sim.clone().spawn(async move {
-                dep2.handle_request(SimDuration::from_secs(20)).await.unwrap();
+                dep2.handle_request(SimDuration::from_secs(20))
+                    .await
+                    .unwrap();
             });
             // Let the slow request get routed first.
             dep.fc.sim.delay(SimDuration::from_millis(1)).await;

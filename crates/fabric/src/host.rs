@@ -74,11 +74,14 @@ impl HostPoolConfig {
     }
 }
 
+/// Episode schedules keyed by (host index, day).
+type EpisodeMap = HashMap<(usize, u64), Rc<Vec<Episode>>>;
+
 /// The pool of physical hosts.
 pub struct HostPool {
     sim: Sim,
     cfg: HostPoolConfig,
-    episodes: RefCell<HashMap<(usize, u64), Rc<Vec<Episode>>>>,
+    episodes: RefCell<EpisodeMap>,
     day_mult: RefCell<HashMap<u64, f64>>,
 }
 
@@ -147,8 +150,7 @@ impl HostPool {
                         let dur_h = Exp::with_mean(self.cfg.episode_mean_h)
                             .sample(&mut rng)
                             .clamp(0.05, 24.0);
-                        let speed =
-                            rng.range_f64(self.cfg.speed_range.0, self.cfg.speed_range.1);
+                        let speed = rng.range_f64(self.cfg.speed_range.0, self.cfg.speed_range.1);
                         eps.push(Episode {
                             start,
                             end: start + SimDuration::from_secs_f64(dur_h * 3600.0),
@@ -204,7 +206,7 @@ impl HostPool {
             let seg = (until - t).as_secs_f64();
             let can_do = seg * speed;
             if can_do >= remaining {
-                t = t + SimDuration::from_secs_f64(remaining / speed);
+                t += SimDuration::from_secs_f64(remaining / speed);
                 break;
             }
             remaining -= can_do;
@@ -227,7 +229,7 @@ impl HostPool {
             let seg = (until - cur).as_secs_f64();
             let can_do = seg * speed;
             if can_do >= remaining {
-                cur = cur + SimDuration::from_secs_f64(remaining / speed);
+                cur += SimDuration::from_secs_f64(remaining / speed);
                 break;
             }
             remaining -= can_do;
@@ -400,6 +402,9 @@ mod tests {
         let h = sim.spawn(async move { p.execute(0, SimDuration::ZERO).await });
         sim.run();
         assert_eq!(h.try_take().unwrap(), SimDuration::ZERO);
-        assert_eq!(pool.stretch_factor(0, SimTime::ZERO, SimDuration::ZERO), 1.0);
+        assert_eq!(
+            pool.stretch_factor(0, SimTime::ZERO, SimDuration::ZERO),
+            1.0
+        );
     }
 }

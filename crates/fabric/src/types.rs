@@ -183,7 +183,10 @@ impl fmt::Display for FabricError {
             FabricError::QuotaExceeded {
                 requested,
                 available,
-            } => write!(f, "quota exceeded: need {requested} cores, {available} available"),
+            } => write!(
+                f,
+                "quota exceeded: need {requested} cores, {available} available"
+            ),
             FabricError::StartupFailure => write!(f, "VM startup failure"),
             FabricError::InvalidState(s) => write!(f, "invalid state: {s}"),
             FabricError::Unsupported(s) => write!(f, "unsupported: {s}"),

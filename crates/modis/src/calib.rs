@@ -16,8 +16,9 @@ pub const WORKERS: usize = 200;
 /// correlates worker slowdowns within a host.
 pub const WORKERS_PER_HOST: usize = 8;
 
-/// Total task executions at full scale (Table 2: 3,054,430).
-pub const TARGET_EXECUTIONS: f64 = 3_054_430.0;
+/// Total task executions at full scale (Table 2: 3,054,430; sourced
+/// from [`crate::taxonomy::TOTAL_EXECUTIONS`]).
+pub const TARGET_EXECUTIONS: f64 = crate::taxonomy::TOTAL_EXECUTIONS as f64;
 
 // ---------------------------------------------------------------------------
 // Task mix (Table 2 upper block)
@@ -161,11 +162,14 @@ mod tests {
 
     #[test]
     fn phase_mix_ratios_match_table2() {
+        use crate::taxonomy::{
+            AGGREGATION_EXECUTIONS, REDUCTION_EXECUTIONS, REPROJECTION_EXECUTIONS,
+        };
         // Reduction : reprojection executions.
-        let ratio = 1_202_113.0 / 1_704_002.0;
+        let ratio = REDUCTION_EXECUTIONS as f64 / REPROJECTION_EXECUTIONS as f64;
         assert!((REDUCTION_PER_REPROJECTION - ratio).abs() < 0.01);
         // Aggregations per reduction.
-        let agg = 1_202_113.0 / 8_706.0;
+        let agg = REDUCTION_EXECUTIONS as f64 / AGGREGATION_EXECUTIONS as f64;
         assert!((REDUCTIONS_PER_AGGREGATION as f64 - agg).abs() < 2.0);
     }
 
@@ -202,9 +206,11 @@ mod tests {
         // stale-fetch/duplicate/unknown classes (plus ~3 % emergent
         // races and ~0.8 % storage faults); reductions lose the unknown
         // and omitted-user-code classes but never conflict on writes.
-        let w_down = 0.0457;
-        let w_repro = 0.5579;
-        let w_red = 0.3936;
+        use crate::tasks::TaskKind;
+        use crate::taxonomy::kind_fraction;
+        let w_down = kind_fraction(TaskKind::SourceDownload);
+        let w_repro = kind_fraction(TaskKind::Reprojection);
+        let w_red = kind_fraction(TaskKind::Reduction);
         let dsf = (REPRO_STALE_SOURCE_P + 0.03) * FTP_FAIL_P;
         let repro_success = 1.0 - (dsf + DUPLICATE_PRODUCT_P + UNKNOWN_FAILURE_P + 0.008);
         let red_success = 1.0 - (UNKNOWN_FAILURE_P + USER_CODE_OTHER_P + 0.008);

@@ -46,6 +46,14 @@ impl CampaignReport {
 /// all executions finished).
 pub fn run_campaign(cfg: ModisConfig) -> CampaignReport {
     let sim = Sim::new(cfg.seed);
+    run_campaign_on(&sim, cfg)
+}
+
+/// Run a campaign on a caller-supplied simulator. This is the traced
+/// entry point: install a `simtrace::Tracer` built from the same `Sim`
+/// beforehand and the campaign's task/storage/network spans land in it.
+pub fn run_campaign_on(sim: &Sim, cfg: ModisConfig) -> CampaignReport {
+    let sim = sim.clone();
     let sys = ModisSystem::new(&sim, cfg);
 
     let manager = spawn_manager(&sys);
@@ -133,7 +141,10 @@ mod tests {
         assert!((0.15..0.55).contains(&red), "red={red}");
         assert!(down < 0.25, "down={down}");
         assert!(agg < 0.02, "agg={agg}");
-        assert!(repro > red && red > down && down > agg, "{repro} {red} {down} {agg}");
+        assert!(
+            repro > red && red > down && down > agg,
+            "{repro} {red} {down} {agg}"
+        );
     }
 
     #[test]
@@ -221,6 +232,9 @@ mod tests {
         assert!(t2.contains("Reprojection"));
         assert!(t2.contains("Success"));
         let f7 = r.telemetry.render_fig7();
-        assert!(f7.lines().count() > 30, "Fig 7 should span the campaign days");
+        assert!(
+            f7.lines().count() > 30,
+            "Fig 7 should span the campaign days"
+        );
     }
 }

@@ -89,8 +89,7 @@ impl SourceCatalog {
     /// figure, scaled to the pool extent). Sampled, not exhaustive.
     pub fn approx_total_bytes(&self) -> f64 {
         let mean = (calib::SOURCE_FILE_BYTES.0 + calib::SOURCE_FILE_BYTES.1) / 2.0;
-        let mean_files =
-            (calib::FILES_PER_TILE_DAY.0 + calib::FILES_PER_TILE_DAY.1) as f64 / 2.0;
+        let mean_files = (calib::FILES_PER_TILE_DAY.0 + calib::FILES_PER_TILE_DAY.1) as f64 / 2.0;
         self.tile_pool as f64 * self.day_pool as f64 * mean_files * mean
     }
 }

@@ -39,6 +39,7 @@ pub mod manager;
 pub mod monitor;
 pub mod system;
 pub mod tasks;
+pub mod taxonomy;
 pub mod telemetry;
 pub mod worker;
 

@@ -152,7 +152,11 @@ mod tests {
     use crate::system::ModisConfig;
     use crate::tasks::TaskKind;
 
-    fn run_manager_only(seed: u64, days: u64, arrival_scale: f64) -> (Rc<ModisSystem>, ManagerStats) {
+    fn run_manager_only(
+        seed: u64,
+        days: u64,
+        arrival_scale: f64,
+    ) -> (Rc<ModisSystem>, ManagerStats) {
         let sim = Sim::new(seed);
         let sys = ModisSystem::new(
             &sim,

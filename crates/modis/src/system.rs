@@ -250,7 +250,10 @@ mod tests {
         let sys = ModisSystem::new(&sim, ModisConfig::quick());
         let c = TileDay { tile: 1, day: 1 };
         let a = sys.register_task(TaskSpec::SourceDownload { coord: c, files: 3 });
-        let b = sys.register_task(TaskSpec::Reduction { request: 1, coord: c });
+        let b = sys.register_task(TaskSpec::Reduction {
+            request: 1,
+            coord: c,
+        });
         assert_ne!(a, b);
         assert_eq!(sys.telemetry.distinct_tasks(), 2);
         assert_eq!(sys.tasks.borrow().len(), 2);

@@ -141,7 +141,11 @@ mod tests {
             TaskKind::SourceDownload
         );
         assert_eq!(
-            TaskSpec::Reduction { request: 1, coord: c }.kind(),
+            TaskSpec::Reduction {
+                request: 1,
+                coord: c
+            }
+            .kind(),
             TaskKind::Reduction
         );
     }

@@ -1,0 +1,198 @@
+//! The Table 2 taxonomy — the single source of truth for ModisAzure's
+//! task mix and failure classification.
+//!
+//! Every number the paper prints in Table 2 lives here exactly once:
+//! the per-kind execution counts of the upper block, and for each
+//! outcome class its paper label, its reported share, and the policy
+//! bits (retryable? does it still complete the task?) that `worker.rs`
+//! acts on. [`crate::telemetry::Outcome`]'s methods and
+//! [`crate::calib`]'s targets all derive from this table, so a taxonomy
+//! change cannot leave the two crates' views disagreeing.
+
+use crate::tasks::TaskKind;
+use crate::telemetry::Outcome;
+
+// ---------------------------------------------------------------------------
+// Table 2 upper block: task executions by kind
+// ---------------------------------------------------------------------------
+
+/// Reprojection executions (55.79 %).
+pub const REPROJECTION_EXECUTIONS: u64 = 1_704_002;
+/// Reduction executions (39.36 %).
+pub const REDUCTION_EXECUTIONS: u64 = 1_202_113;
+/// Source-download executions (4.57 % — every one logged as
+/// "Unknown - null log").
+pub const SOURCE_DOWNLOAD_EXECUTIONS: u64 = 139_609;
+/// Aggregation executions (0.29 %).
+pub const AGGREGATION_EXECUTIONS: u64 = 8_706;
+/// Total task executions over the Feb–Sep 2010 campaign.
+pub const TOTAL_EXECUTIONS: u64 = 3_054_430;
+
+/// Table 2 execution count for one task kind.
+pub const fn kind_executions(kind: TaskKind) -> u64 {
+    match kind {
+        TaskKind::SourceDownload => SOURCE_DOWNLOAD_EXECUTIONS,
+        TaskKind::Aggregation => AGGREGATION_EXECUTIONS,
+        TaskKind::Reprojection => REPROJECTION_EXECUTIONS,
+        TaskKind::Reduction => REDUCTION_EXECUTIONS,
+    }
+}
+
+/// Table 2 share of one task kind in all executions.
+pub fn kind_fraction(kind: TaskKind) -> f64 {
+    kind_executions(kind) as f64 / TOTAL_EXECUTIONS as f64
+}
+
+// ---------------------------------------------------------------------------
+// Table 2 lower block: failure classification
+// ---------------------------------------------------------------------------
+
+/// One row of the Table 2 failure classification (plus `Success` and the
+/// user-code bucket the paper mentions but omits from the table).
+#[derive(Debug, Clone, Copy)]
+pub struct OutcomeClass {
+    /// The outcome this row describes.
+    pub outcome: Outcome,
+    /// The label as printed in the paper.
+    pub label: &'static str,
+    /// The share of all executions Table 2 reports, in percent
+    /// (`None` for rows the table omits: Success and the user-code
+    /// bucket, and for the micro classes it reports by count only).
+    pub paper_pct: Option<f64>,
+    /// The exact occurrence count where the paper states one.
+    pub paper_count: Option<u64>,
+    /// Whether a failed execution of this class should be retried
+    /// (infrastructure-transient classes are; user-code and
+    /// bookkeeping classes are not).
+    pub retryable: bool,
+    /// Whether the execution counts as having *finished* the task (the
+    /// product is usable even though the class is logged as an error).
+    pub completes_task: bool,
+}
+
+const fn row(
+    outcome: Outcome,
+    label: &'static str,
+    paper_pct: Option<f64>,
+    paper_count: Option<u64>,
+    retryable: bool,
+    completes_task: bool,
+) -> OutcomeClass {
+    OutcomeClass {
+        outcome,
+        label,
+        paper_pct,
+        paper_count,
+        retryable,
+        completes_task,
+    }
+}
+
+/// Number of outcome classes.
+pub const CLASSES: usize = 18;
+
+/// The taxonomy, in Table 2 row order (Success first, the omitted
+/// user-code bucket last).
+#[rustfmt::skip]
+pub const TABLE: [OutcomeClass; CLASSES] = [
+    //  outcome                          paper label                                 pct           count        retry  completes
+    row(Outcome::Success,               "Success",                                  None,         None,        false, true),
+    row(Outcome::UnknownFailure,        "Unknown failure",                          Some(11.30),  None,        false, false),
+    row(Outcome::BlobAlreadyExists,     "Blob already exists",                      Some(5.98),   None,        false, true),
+    row(Outcome::UnknownNullLog,        "Unknown - null log",                       Some(4.57),   None,        false, true),
+    row(Outcome::DownloadSourceFailed,  "Download source data failed",              Some(4.10),   None,        true,  false),
+    row(Outcome::ConnectionFailure,     "Connection failure",                       Some(0.29),   None,        true,  false),
+    row(Outcome::VmExecutionTimeout,    "VM execution timeout",                     Some(0.17),   None,        true,  false),
+    row(Outcome::OperationTimeout,      "Operation timeout",                        Some(0.14),   None,        true,  false),
+    row(Outcome::CorruptBlobRead,       "Corrupt blob read",                        Some(0.10),   None,        true,  false),
+    row(Outcome::ServerBusy,            "Server busy",                              Some(0.04),   None,        true,  false),
+    row(Outcome::BlobReadFail,          "Blob read fail",                           Some(0.02),   None,        true,  false),
+    row(Outcome::NonExistentSourceBlob, "Non-existent source blob",                 Some(0.02),   Some(519),   false, false),
+    row(Outcome::UnableToReadInput,     "Unable to read input file",                None,         Some(20),    false, false),
+    row(Outcome::BadImageFormat,        "Bad image format",                         None,         Some(15),    false, false),
+    row(Outcome::TransportError,        "Transport error",                          None,         Some(12),    true,  false),
+    row(Outcome::InternalStorageError,  "Internal storage client error",            None,         Some(10),    true,  false),
+    row(Outcome::OutOfDiskSpace,        "Out of disk space",                        None,         Some(7),     true,  false),
+    row(Outcome::UserCodeOther,         "(user-code classes omitted in the paper)", None,         None,        false, false),
+];
+
+/// Look up the taxonomy row of an outcome.
+pub const fn class(outcome: Outcome) -> OutcomeClass {
+    let mut i = 0;
+    while i < TABLE.len() {
+        if TABLE[i].outcome as usize == outcome as usize {
+            return TABLE[i];
+        }
+        i += 1;
+    }
+    panic!("outcome missing from the taxonomy table")
+}
+
+/// All outcome classes in Table 2 row order (derived from [`TABLE`]).
+pub const fn all_outcomes() -> [Outcome; CLASSES] {
+    let mut out = [Outcome::Success; CLASSES];
+    let mut i = 0;
+    while i < CLASSES {
+        out[i] = TABLE[i].outcome;
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_counts_sum_to_total() {
+        let sum: u64 = TaskKind::ALL.iter().map(|k| kind_executions(*k)).sum();
+        assert_eq!(sum, TOTAL_EXECUTIONS);
+    }
+
+    #[test]
+    fn kind_fractions_match_table2_percentages() {
+        for (kind, pct) in [
+            (TaskKind::SourceDownload, 4.57),
+            (TaskKind::Aggregation, 0.29),
+            (TaskKind::Reprojection, 55.79),
+            (TaskKind::Reduction, 39.36),
+        ] {
+            let got = kind_fraction(kind) * 100.0;
+            assert!((got - pct).abs() < 0.005, "{kind:?}: {got:.2} vs {pct}");
+        }
+    }
+
+    #[test]
+    fn table_covers_every_outcome_exactly_once() {
+        for (i, o) in all_outcomes().iter().enumerate() {
+            assert_eq!(class(*o).outcome, *o);
+            assert!(
+                !TABLE[..i].iter().any(|r| r.outcome == *o),
+                "{o:?} appears twice"
+            );
+        }
+    }
+
+    #[test]
+    fn stated_percentages_are_consistent_with_total() {
+        // Where the paper gives both a count and a percentage they must
+        // agree (519 / 3,054,430 ≈ 0.02 %).
+        for r in &TABLE {
+            if let (Some(pct), Some(count)) = (r.paper_pct, r.paper_count) {
+                let derived = count as f64 / TOTAL_EXECUTIONS as f64 * 100.0;
+                assert!((derived - pct).abs() < 0.005, "{}", r.label);
+            }
+        }
+    }
+
+    #[test]
+    fn completing_classes_are_never_retried() {
+        for r in &TABLE {
+            assert!(
+                !(r.completes_task && r.retryable),
+                "{} both completes and retries",
+                r.label
+            );
+        }
+    }
+}

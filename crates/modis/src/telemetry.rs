@@ -55,78 +55,26 @@ pub enum Outcome {
 }
 
 impl Outcome {
-    /// All classes, in Table 2 row order (UserCodeOther last).
-    pub const ALL: [Outcome; 18] = [
-        Outcome::Success,
-        Outcome::UnknownFailure,
-        Outcome::BlobAlreadyExists,
-        Outcome::UnknownNullLog,
-        Outcome::DownloadSourceFailed,
-        Outcome::ConnectionFailure,
-        Outcome::VmExecutionTimeout,
-        Outcome::OperationTimeout,
-        Outcome::CorruptBlobRead,
-        Outcome::ServerBusy,
-        Outcome::BlobReadFail,
-        Outcome::NonExistentSourceBlob,
-        Outcome::UnableToReadInput,
-        Outcome::BadImageFormat,
-        Outcome::TransportError,
-        Outcome::InternalStorageError,
-        Outcome::OutOfDiskSpace,
-        Outcome::UserCodeOther,
-    ];
+    /// All classes, in Table 2 row order (UserCodeOther last). Derived
+    /// from [`crate::taxonomy::TABLE`], the single source of truth.
+    pub const ALL: [Outcome; crate::taxonomy::CLASSES] = crate::taxonomy::all_outcomes();
 
-    /// Paper label.
+    /// Paper label (from the taxonomy table).
     pub fn label(&self) -> &'static str {
-        match self {
-            Outcome::Success => "Success",
-            Outcome::UnknownFailure => "Unknown failure",
-            Outcome::BlobAlreadyExists => "Blob already exists",
-            Outcome::UnknownNullLog => "Unknown - null log",
-            Outcome::DownloadSourceFailed => "Download source data failed",
-            Outcome::ConnectionFailure => "Connection failure",
-            Outcome::VmExecutionTimeout => "VM execution timeout",
-            Outcome::OperationTimeout => "Operation timeout",
-            Outcome::CorruptBlobRead => "Corrupt blob read",
-            Outcome::ServerBusy => "Server busy",
-            Outcome::BlobReadFail => "Blob read fail",
-            Outcome::NonExistentSourceBlob => "Non-existent source blob",
-            Outcome::UnableToReadInput => "Unable to read input file",
-            Outcome::BadImageFormat => "Bad image format",
-            Outcome::TransportError => "Transport error",
-            Outcome::InternalStorageError => "Internal storage client error",
-            Outcome::OutOfDiskSpace => "Out of disk space",
-            Outcome::UserCodeOther => "(user-code classes omitted in the paper)",
-        }
+        crate::taxonomy::class(*self).label
     }
 
     /// Whether a failed execution of this class should be retried
     /// (infrastructure-transient classes are; user-code and
     /// bookkeeping classes are not).
     pub fn retryable(&self) -> bool {
-        matches!(
-            self,
-            Outcome::DownloadSourceFailed
-                | Outcome::ConnectionFailure
-                | Outcome::VmExecutionTimeout
-                | Outcome::OperationTimeout
-                | Outcome::CorruptBlobRead
-                | Outcome::ServerBusy
-                | Outcome::BlobReadFail
-                | Outcome::TransportError
-                | Outcome::InternalStorageError
-                | Outcome::OutOfDiskSpace
-        )
+        crate::taxonomy::class(*self).retryable
     }
 
     /// Whether the execution counts as having *finished* the task (the
     /// product is usable even though the class is logged as an error).
     pub fn completes_task(&self) -> bool {
-        matches!(
-            self,
-            Outcome::Success | Outcome::UnknownNullLog | Outcome::BlobAlreadyExists
-        )
+        crate::taxonomy::class(*self).completes_task
     }
 }
 
@@ -180,7 +128,7 @@ impl Telemetry {
         if outcome == Outcome::Success {
             st.durations
                 .entry(kind)
-                .or_insert_with(OnlineStats::new)
+                .or_default()
                 .push(duration.as_secs_f64());
         }
         st.daily_timeouts
@@ -283,11 +231,9 @@ impl Telemetry {
             pct(1.0),
         ]);
         let mut err = AsciiTable::new(vec!["Selected types of task errors", "Count", "Percentage"]);
-        let mut rows: Vec<(Outcome, u64)> = Outcome::ALL
-            .iter()
-            .map(|o| (*o, self.count(*o)))
-            .collect();
-        rows.sort_by(|a, b| b.1.cmp(&a.1));
+        let mut rows: Vec<(Outcome, u64)> =
+            Outcome::ALL.iter().map(|o| (*o, self.count(*o))).collect();
+        rows.sort_by_key(|r| std::cmp::Reverse(r.1));
         for (o, c) in rows {
             if c == 0 {
                 continue;
@@ -329,7 +275,11 @@ mod tests {
             t.record_execution(
                 SimTime::ZERO + SimDuration::from_hours(i),
                 TaskKind::Reprojection,
-                if i < 7 { Outcome::Success } else { Outcome::UnknownFailure },
+                if i < 7 {
+                    Outcome::Success
+                } else {
+                    Outcome::UnknownFailure
+                },
                 d,
             );
         }

@@ -46,7 +46,8 @@ pub fn spawn_workers(sys: &Rc<ModisSystem>) -> Vec<simcore::JoinHandle<WorkerSta
         .map(|idx| {
             let sys = Rc::clone(sys);
             let sim = sys.sim.clone();
-            sim.clone().spawn(async move { worker_loop(sys, idx).await })
+            sim.clone()
+                .spawn(async move { worker_loop(sys, idx).await })
         })
         .collect()
 }
@@ -85,19 +86,20 @@ async fn worker_loop(sys: Rc<ModisSystem>, idx: usize) -> WorkerStats {
                 continue;
             }
         };
-        let (spec, completed) = {
+        let entry = {
             let tasks = sys.tasks.borrow();
-            match tasks.get(&task_id) {
-                Some(t) => (t.spec.clone(), t.completed),
-                None => {
-                    drop(tasks);
-                    let _ = client.queue.delete_message(TASK_QUEUE, msg.receipt).await;
-                    continue;
-                }
+            tasks.get(&task_id).map(|t| (t.spec.clone(), t.completed))
+        };
+        let (spec, completed) = match entry {
+            Some(v) => v,
+            None => {
+                let _ = client.queue.delete_message(TASK_QUEUE, msg.receipt).await;
+                continue;
             }
         };
         if completed {
             stats.stale_messages += 1;
+            simtrace::counter("modis.stale_messages", 1);
             let _ = client.queue.delete_message(TASK_QUEUE, msg.receipt).await;
             continue;
         }
@@ -111,6 +113,13 @@ async fn worker_loop(sys: Rc<ModisSystem>, idx: usize) -> WorkerStats {
             kill: Signal::new(),
         });
         sys.running.borrow_mut().insert(exec_id, Rc::clone(&exec));
+        let sp = simtrace::span(simtrace::Layer::App, "task.execute", || {
+            format!("worker{idx}")
+        });
+        if sp.is_recording() {
+            sp.attr("kind", kind);
+            sp.attr("task", task_id);
+        }
         let start = sim.now();
         let outcome = {
             let body = Box::pin(execute_body(&sys, &client, host, &spec, &mut rng));
@@ -123,7 +132,13 @@ async fn worker_loop(sys: Rc<ModisSystem>, idx: usize) -> WorkerStats {
         sys.running.borrow_mut().remove(&exec_id);
         let duration = sim.now() - start;
         stats.executions += 1;
-        sys.telemetry.record_execution(start, kind, outcome, duration);
+        sys.telemetry
+            .record_execution(start, kind, outcome, duration);
+        if sp.is_recording() {
+            sp.attr("outcome", outcome.label());
+        }
+        sp.end();
+        simtrace::counter("modis.executions", 1);
 
         // Status row through the real table service (best-effort, like
         // the paper's logging).
@@ -155,6 +170,7 @@ async fn worker_loop(sys: Rc<ModisSystem>, idx: usize) -> WorkerStats {
         };
         if abandoned {
             sys.telemetry.record_abandoned();
+            simtrace::counter("modis.abandoned", 1);
         }
         if should_requeue {
             // Requeue before deleting the original so the task can
@@ -221,7 +237,9 @@ async fn execute_body(
             }
             if rng.chance(calib::OP_TIMEOUT_P) {
                 sys.sim
-                    .delay(SimDuration::from_secs_f64(azstore::calib::CLIENT_OP_TIMEOUT_S))
+                    .delay(SimDuration::from_secs_f64(
+                        azstore::calib::CLIENT_OP_TIMEOUT_S,
+                    ))
                     .await;
                 return Outcome::OperationTimeout;
             }
@@ -279,7 +297,9 @@ async fn execute_body(
             let size = rng.range_f64(calib::PRODUCT_BYTES.0, calib::PRODUCT_BYTES.1);
             if rng.chance(calib::DUPLICATE_PRODUCT_P) {
                 // A concurrent duplicate finished just before us.
-                sys.stamp.blob_service().seed(DATA_CONTAINER, &product, size);
+                sys.stamp
+                    .blob_service()
+                    .seed(DATA_CONTAINER, &product, size);
             }
             match client.blob.put_new(DATA_CONTAINER, &product, size).await {
                 Ok(_) => Outcome::Success,
@@ -335,7 +355,9 @@ async fn execute_body(
             }
             if rng.chance(calib::OP_TIMEOUT_P) {
                 sys.sim
-                    .delay(SimDuration::from_secs_f64(azstore::calib::CLIENT_OP_TIMEOUT_S))
+                    .delay(SimDuration::from_secs_f64(
+                        azstore::calib::CLIENT_OP_TIMEOUT_S,
+                    ))
                     .await;
                 return Outcome::OperationTimeout;
             }

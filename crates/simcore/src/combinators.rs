@@ -25,7 +25,10 @@ where
     A: Future,
     B: Future,
 {
-    Select2 { a: Some(a), b: Some(b) }
+    Select2 {
+        a: Some(a),
+        b: Some(b),
+    }
 }
 
 /// Future returned by [`select2`].

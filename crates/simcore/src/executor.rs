@@ -5,16 +5,14 @@
 //! happens *across* independent simulations, one per sweep point). The
 //! only cross-thread-capable piece is the waker, because [`std::task::Waker`]
 //! requires `Send + Sync`; we satisfy that with an `Arc`-backed ready queue
-//! (a `parking_lot::Mutex<VecDeque>` that is in practice uncontended).
+//! (a `std::sync::Mutex<VecDeque>` that is in practice uncontended).
 
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::future::Future;
 use std::pin::Pin;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll, Wake, Waker};
-
-use parking_lot::Mutex;
 
 /// Identifier of a spawned task (slot index in the task slab).
 pub(crate) type TaskId = usize;
@@ -33,11 +31,14 @@ impl ReadyQueue {
     }
 
     pub(crate) fn push(&self, id: TaskId) {
-        self.queue.lock().push_back(id);
+        self.queue
+            .lock()
+            .expect("ready queue poisoned")
+            .push_back(id);
     }
 
     fn pop(&self) -> Option<TaskId> {
-        self.queue.lock().pop_front()
+        self.queue.lock().expect("ready queue poisoned").pop_front()
     }
 }
 

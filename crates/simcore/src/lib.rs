@@ -39,8 +39,8 @@
 #![warn(missing_docs)]
 
 pub mod combinators;
-mod executor;
 pub mod dist;
+mod executor;
 pub mod report;
 pub mod rng;
 pub mod sim;
@@ -48,13 +48,15 @@ pub mod stats;
 pub mod sync;
 pub mod time;
 
-pub use sim::{Delay, EventHandle, JoinHandle, Sim};
+pub use sim::{Delay, EventHandle, JoinHandle, KernelEvent, Sim};
 pub use time::{SimDuration, SimTime};
 
 /// One-stop imports for model code.
 pub mod prelude {
     pub use crate::combinators::{join_all, select2, timeout, Either};
-    pub use crate::dist::{Constant, Dist, Empirical, Exp, LogNormal, Mixture, Normal, Pareto, TruncNormal, Uniform};
+    pub use crate::dist::{
+        Constant, Dist, Empirical, Exp, LogNormal, Mixture, Normal, Pareto, TruncNormal, Uniform,
+    };
     pub use crate::rng::SimRng;
     pub use crate::sim::{JoinHandle, Sim};
     pub use crate::stats::{DailySeries, Histogram, OnlineStats, SampleSet};

@@ -73,6 +73,24 @@ impl EventHandle {
     }
 }
 
+/// Kernel-level happenings observable through [`Sim::set_kernel_hook`].
+///
+/// The hook exists so an external tracing subsystem (the `simtrace`
+/// crate) can watch executor activity without the kernel depending on
+/// it. When no hook is installed the cost is a single flag check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelEvent {
+    /// A simulation process was spawned.
+    TaskSpawned,
+    /// A scheduled wake event fired (a suspended task resumes).
+    WakeFired,
+    /// A scheduled callback event fired.
+    CallFired,
+}
+
+/// Shape of the kernel observation hook (see [`Sim::set_kernel_hook`]).
+pub type KernelHook = Rc<dyn Fn(&Sim, KernelEvent)>;
+
 struct SimInner {
     now: Cell<SimTime>,
     seq: Cell<u64>,
@@ -81,6 +99,8 @@ struct SimInner {
     events_fired: Cell<u64>,
     trace_hash: Cell<u64>,
     base_seed: u64,
+    hook: RefCell<Option<KernelHook>>,
+    has_hook: Cell<bool>,
 }
 
 /// A handle to one simulation world. Clone freely; all clones share state.
@@ -101,7 +121,28 @@ impl Sim {
                 events_fired: Cell::new(0),
                 trace_hash: Cell::new(0xcbf2_9ce4_8422_2325),
                 base_seed: seed,
+                hook: RefCell::new(None),
+                has_hook: Cell::new(false),
             }),
+        }
+    }
+
+    /// Install (or clear) the kernel observation hook. The hook fires on
+    /// process spawn and on every event pop; it must not re-enter the
+    /// simulation. `None` removes the hook and restores the zero-cost
+    /// fast path.
+    pub fn set_kernel_hook(&self, hook: Option<KernelHook>) {
+        self.inner.has_hook.set(hook.is_some());
+        *self.inner.hook.borrow_mut() = hook;
+    }
+
+    #[inline]
+    fn emit_kernel(&self, ev: KernelEvent) {
+        if self.inner.has_hook.get() {
+            let hook = self.inner.hook.borrow().clone();
+            if let Some(h) = hook {
+                h(self, ev);
+            }
         }
     }
 
@@ -173,6 +214,7 @@ impl Sim {
                 w.wake();
             }
         }));
+        self.emit_kernel(KernelEvent::TaskSpawned);
         JoinHandle { state }
     }
 
@@ -208,7 +250,9 @@ impl Sim {
             }
             debug_assert!(entry.at >= self.now());
             self.inner.now.set(entry.at);
-            self.inner.events_fired.set(self.inner.events_fired.get() + 1);
+            self.inner
+                .events_fired
+                .set(self.inner.events_fired.get() + 1);
             // Fold (time, seq) into the trace fingerprint (FNV-1a style);
             // two runs with the same seed must produce identical hashes.
             let mut h = self.inner.trace_hash.get();
@@ -218,8 +262,14 @@ impl Sim {
             }
             self.inner.trace_hash.set(h);
             match entry.action {
-                Action::Wake(w) => w.wake(),
-                Action::Call(f) => f(self),
+                Action::Wake(w) => {
+                    self.emit_kernel(KernelEvent::WakeFired);
+                    w.wake();
+                }
+                Action::Call(f) => {
+                    self.emit_kernel(KernelEvent::CallFired);
+                    f(self);
+                }
             }
             return true;
         }
@@ -384,8 +434,12 @@ mod tests {
         let log: Rc<RefCell<Vec<&'static str>>> = Rc::default();
         let (a, b, c, d) = (log.clone(), log.clone(), log.clone(), log.clone());
         sim.schedule_at(SimTime::from_nanos(20), move |_| a.borrow_mut().push("t20"));
-        sim.schedule_at(SimTime::from_nanos(10), move |_| b.borrow_mut().push("t10-first"));
-        sim.schedule_at(SimTime::from_nanos(10), move |_| c.borrow_mut().push("t10-second"));
+        sim.schedule_at(SimTime::from_nanos(10), move |_| {
+            b.borrow_mut().push("t10-first")
+        });
+        sim.schedule_at(SimTime::from_nanos(10), move |_| {
+            c.borrow_mut().push("t10-second")
+        });
         sim.schedule_at(SimTime::from_nanos(5), move |_| d.borrow_mut().push("t5"));
         sim.run();
         assert_eq!(*log.borrow(), vec!["t5", "t10-first", "t10-second", "t20"]);
@@ -436,7 +490,14 @@ mod tests {
         sim.run();
         assert_eq!(
             *log.borrow(),
-            vec![(0, "a"), (5, "b"), (10, "a"), (15, "b"), (20, "a"), (25, "b")]
+            vec![
+                (0, "a"),
+                (5, "b"),
+                (10, "a"),
+                (15, "b"),
+                (20, "a"),
+                (25, "b")
+            ]
         );
     }
 

@@ -144,7 +144,9 @@ impl Future for Acquire {
             match node.state.get() {
                 GRANTED => {
                     self.done = true;
-                    self.sem.acquired_total.set(self.sem.acquired_total.get() + 1);
+                    self.sem
+                        .acquired_total
+                        .set(self.sem.acquired_total.get() + 1);
                     Poll::Ready(Permit {
                         sem: Rc::clone(&self.sem),
                     })
@@ -159,7 +161,9 @@ impl Future for Acquire {
             // Fast path only when nobody is already queued (FIFO).
             if self.sem.permits.get() > 0 && self.sem.queue.borrow().is_empty() {
                 self.sem.permits.set(self.sem.permits.get() - 1);
-                self.sem.acquired_total.set(self.sem.acquired_total.get() + 1);
+                self.sem
+                    .acquired_total
+                    .set(self.sem.acquired_total.get() + 1);
                 self.done = true;
                 return Poll::Ready(Permit {
                     sem: Rc::clone(&self.sem),
@@ -293,10 +297,7 @@ pub fn channel<T: 'static>() -> (Sender<T>, Receiver<T>) {
         senders: Cell::new(1),
         sent_total: Cell::new(0),
     });
-    (
-        Sender { st: Rc::clone(&st) },
-        Receiver { st },
-    )
+    (Sender { st: Rc::clone(&st) }, Receiver { st })
 }
 
 /// Sending half; clone for multiple producers. Channel closes when the
@@ -645,7 +646,11 @@ mod tests {
         let total: u32 = counts.borrow().iter().sum();
         assert_eq!(total, 30);
         // Work must actually be shared across all three consumers.
-        assert!(counts.borrow().iter().all(|&c| c > 0), "{:?}", counts.borrow());
+        assert!(
+            counts.borrow().iter().all(|&c| c > 0),
+            "{:?}",
+            counts.borrow()
+        );
     }
 
     #[test]

@@ -1,0 +1,888 @@
+//! # simtrace — deterministic virtual-time tracing & metrics
+//!
+//! The simulator's layers (`simcore` kernel, `dcnet` network, `azstore`
+//! storage, `fabric` controller, `modis` application) can only report
+//! end-of-run aggregates on their own. This crate adds the missing
+//! *observability*: hierarchical spans stamped with virtual [`SimTime`],
+//! monotonic counters and gauges, an in-memory query API (per-span-kind
+//! duration percentiles via [`simcore::stats`]), and a Chrome
+//! `trace_event` JSON exporter so any run opens in `chrome://tracing` or
+//! [Perfetto](https://ui.perfetto.dev).
+//!
+//! ## Design rules
+//!
+//! * **Deterministic.** Every stamp is virtual time; buffers are plain
+//!   `Vec`s in emission order and maps are `BTreeMap`s, so two runs with
+//!   the same seed produce **byte-identical** trace output — the trace
+//!   doubles as a regression-diffing artifact.
+//! * **Free when off.** Instrumented call sites go through the
+//!   thread-local [`active`] tracer; with none installed the cost is one
+//!   thread-local read and a branch, and the component-label closure is
+//!   never invoked. The hot simulation loop pays ~zero.
+//! * **One tracer per simulation thread.** A `Sim` is single-threaded;
+//!   [`Tracer::install`] binds the tracer to the current thread and
+//!   registers a [`simcore::KernelEvent`] hook for spawn/wake counts.
+//!
+//! ## Example
+//!
+//! ```
+//! use simcore::prelude::*;
+//! use simtrace::{Layer, Tracer};
+//!
+//! let sim = Sim::new(7);
+//! let tracer = Tracer::new(&sim);
+//! let _guard = tracer.install(); // thread-local + kernel hook
+//!
+//! let s = sim.clone();
+//! sim.spawn(async move {
+//!     // Instrumented model code: a span per request, a child per stage.
+//!     let op = simtrace::span(Layer::Store, "table.insert", || "client0".into());
+//!     let fe = op.child("frontend", || "station".into());
+//!     s.delay(SimDuration::from_millis(2)).await;
+//!     fe.end();
+//!     simtrace::counter("store.ops", 1);
+//!     op.attr("outcome", "ok");
+//! });
+//! sim.run();
+//!
+//! let stats = tracer.span_stats();
+//! assert_eq!(stats.len(), 2); // table.insert + frontend
+//! assert_eq!(tracer.counter("store.ops"), 1);
+//! assert!(tracer.chrome_trace().starts_with("{\"traceEvents\":["));
+//! ```
+
+#![warn(missing_docs)]
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+use simcore::report::{num, AsciiTable};
+use simcore::stats::SampleSet;
+use simcore::time::SimTime;
+use simcore::{KernelEvent, Sim};
+
+/// The simulator layer a span or instant belongs to. Layers map to
+/// crates: one process ("pid") per layer in the Chrome export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Layer {
+    /// `simcore` — kernel: executor and event heap.
+    Kernel,
+    /// `dcnet` — fluid-flow datacenter network.
+    Net,
+    /// `azstore` — storage stamp (blob / table / queue).
+    Store,
+    /// `fabric` — fabric controller and VM lifecycle.
+    Fabric,
+    /// `modis` — application workload (ModisAzure).
+    App,
+}
+
+impl Layer {
+    /// All layers in display order.
+    pub const ALL: [Layer; 5] = [
+        Layer::Kernel,
+        Layer::Net,
+        Layer::Store,
+        Layer::Fabric,
+        Layer::App,
+    ];
+
+    /// Short lowercase name (used as the Chrome `cat` and in tables).
+    pub fn name(self) -> &'static str {
+        match self {
+            Layer::Kernel => "kernel",
+            Layer::Net => "net",
+            Layer::Store => "store",
+            Layer::Fabric => "fabric",
+            Layer::App => "app",
+        }
+    }
+
+    /// Longer label naming the crate, for the Chrome process name.
+    pub fn process_name(self) -> &'static str {
+        match self {
+            Layer::Kernel => "kernel (simcore)",
+            Layer::Net => "net (dcnet)",
+            Layer::Store => "store (azstore)",
+            Layer::Fabric => "fabric",
+            Layer::App => "app (modis)",
+        }
+    }
+
+    fn pid(self) -> u32 {
+        match self {
+            Layer::Kernel => 1,
+            Layer::Net => 2,
+            Layer::Store => 3,
+            Layer::Fabric => 4,
+            Layer::App => 5,
+        }
+    }
+}
+
+impl std::fmt::Display for Layer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One recorded span (also the query-API view of it).
+#[derive(Debug, Clone)]
+pub struct SpanInfo {
+    /// Unique id (1-based, in start order).
+    pub id: u64,
+    /// Enclosing span, if this is a child.
+    pub parent: Option<u64>,
+    /// Layer the span belongs to.
+    pub layer: Layer,
+    /// Span kind — a small static vocabulary (e.g. `"table.insert"`).
+    pub kind: &'static str,
+    /// Component instance label (e.g. `"client3"`).
+    pub comp: String,
+    /// Virtual start time.
+    pub start: SimTime,
+    /// Virtual end time; `None` while the span is open (or was abandoned).
+    pub end: Option<SimTime>,
+    /// Key=value attributes attached during the span's life.
+    pub attrs: Vec<(&'static str, String)>,
+}
+
+struct Inner {
+    sim: Sim,
+    enabled: Cell<bool>,
+    spans: RefCell<Vec<SpanInfo>>,
+    open: Cell<usize>,
+    counters: RefCell<BTreeMap<&'static str, i64>>,
+    counter_series: RefCell<Vec<(SimTime, &'static str, i64)>>,
+    gauges: RefCell<BTreeMap<&'static str, f64>>,
+    gauge_series: RefCell<Vec<(SimTime, &'static str, f64)>>,
+    instants: RefCell<Vec<(SimTime, Layer, &'static str, String)>>,
+}
+
+/// A deterministic trace collector bound to one [`Sim`].
+///
+/// Cheap to clone (all clones share the buffer). Collection happens
+/// through [`Span`] guards and the counter/gauge methods; inspection
+/// through the query methods ([`span_stats`](Tracer::span_stats),
+/// [`counters`](Tracer::counters), …) or the
+/// [`chrome_trace`](Tracer::chrome_trace) export.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Rc<Inner>,
+}
+
+impl Tracer {
+    /// New enabled tracer stamping times from `sim`'s virtual clock.
+    pub fn new(sim: &Sim) -> Tracer {
+        Tracer {
+            inner: Rc::new(Inner {
+                sim: sim.clone(),
+                enabled: Cell::new(true),
+                spans: RefCell::new(Vec::new()),
+                open: Cell::new(0),
+                counters: RefCell::new(BTreeMap::new()),
+                counter_series: RefCell::new(Vec::new()),
+                gauges: RefCell::new(BTreeMap::new()),
+                gauge_series: RefCell::new(Vec::new()),
+                instants: RefCell::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Pause/resume collection. While disabled every record call is a
+    /// no-op (spans started return disabled guards).
+    pub fn set_enabled(&self, on: bool) {
+        self.inner.enabled.set(on);
+    }
+
+    /// True while the tracer records.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.get()
+    }
+
+    /// Bind this tracer to the current thread (making the module-level
+    /// [`span`]/[`counter`]/[`gauge`]/[`instant`] helpers feed it) and
+    /// register the kernel hook counting `kernel.tasks_spawned` /
+    /// `kernel.wakes` / `kernel.calls`. Dropping the guard unbinds both.
+    pub fn install(&self) -> InstallGuard {
+        let t = self.clone();
+        self.inner
+            .sim
+            .set_kernel_hook(Some(Rc::new(move |_sim, ev| {
+                let name = match ev {
+                    KernelEvent::TaskSpawned => "kernel.tasks_spawned",
+                    KernelEvent::WakeFired => "kernel.wakes",
+                    KernelEvent::CallFired => "kernel.calls",
+                };
+                t.counter_bump(name, 1);
+            })));
+        ACTIVE.with(|a| *a.borrow_mut() = Some(self.clone()));
+        TRACING.with(|t| t.set(true));
+        InstallGuard {
+            sim: self.inner.sim.clone(),
+        }
+    }
+
+    /// Start a span. Prefer the module-level [`span`] helper in model
+    /// code (it is a no-op without an installed tracer).
+    pub fn span(&self, layer: Layer, kind: &'static str, comp: String) -> Span {
+        if !self.is_enabled() {
+            return Span::disabled();
+        }
+        self.start_span(layer, kind, comp, None)
+    }
+
+    fn start_span(
+        &self,
+        layer: Layer,
+        kind: &'static str,
+        comp: String,
+        parent: Option<u64>,
+    ) -> Span {
+        let mut spans = self.inner.spans.borrow_mut();
+        let id = spans.len() as u64 + 1;
+        spans.push(SpanInfo {
+            id,
+            parent,
+            layer,
+            kind,
+            comp,
+            start: self.inner.sim.now(),
+            end: None,
+            attrs: Vec::new(),
+        });
+        self.inner.open.set(self.inner.open.get() + 1);
+        Span {
+            tracer: Some(self.clone()),
+            id,
+            layer,
+        }
+    }
+
+    fn end_span(&self, id: u64) {
+        let mut spans = self.inner.spans.borrow_mut();
+        let rec = &mut spans[(id - 1) as usize];
+        if rec.end.is_none() {
+            rec.end = Some(self.inner.sim.now());
+            self.inner.open.set(self.inner.open.get() - 1);
+        }
+    }
+
+    fn span_attr(&self, id: u64, key: &'static str, value: String) {
+        let mut spans = self.inner.spans.borrow_mut();
+        spans[(id - 1) as usize].attrs.push((key, value));
+    }
+
+    /// Add `delta` to a monotonic counter and record a sample point in
+    /// the trace.
+    pub fn counter_add(&self, name: &'static str, delta: i64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let v = {
+            let mut c = self.inner.counters.borrow_mut();
+            let v = c.entry(name).or_insert(0);
+            *v += delta;
+            *v
+        };
+        self.inner
+            .counter_series
+            .borrow_mut()
+            .push((self.inner.sim.now(), name, v));
+    }
+
+    /// Add to a counter without recording a series point — for
+    /// very-high-frequency sources (the kernel hook) where a per-event
+    /// sample would dominate the buffer.
+    pub fn counter_bump(&self, name: &'static str, delta: i64) {
+        if !self.is_enabled() {
+            return;
+        }
+        *self.inner.counters.borrow_mut().entry(name).or_insert(0) += delta;
+    }
+
+    /// Set a gauge to `value` and record a sample point in the trace.
+    pub fn gauge_set(&self, name: &'static str, value: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.inner.gauges.borrow_mut().insert(name, value);
+        self.inner
+            .gauge_series
+            .borrow_mut()
+            .push((self.inner.sim.now(), name, value));
+    }
+
+    /// Record a point-in-time event.
+    pub fn instant(&self, layer: Layer, kind: &'static str, comp: String) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.inner
+            .instants
+            .borrow_mut()
+            .push((self.inner.sim.now(), layer, kind, comp));
+    }
+
+    // ---- query API ----
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> i64 {
+        self.inner.counters.borrow().get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters with their final values, sorted by name.
+    pub fn counters(&self) -> Vec<(&'static str, i64)> {
+        self.inner
+            .counters
+            .borrow()
+            .iter()
+            .map(|(k, v)| (*k, *v))
+            .collect()
+    }
+
+    /// Current value of a gauge, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.inner.gauges.borrow().get(name).copied()
+    }
+
+    /// Snapshot of every recorded span, in start order.
+    pub fn spans(&self) -> Vec<SpanInfo> {
+        self.inner.spans.borrow().clone()
+    }
+
+    /// Number of spans started.
+    pub fn span_count(&self) -> usize {
+        self.inner.spans.borrow().len()
+    }
+
+    /// Spans started but not yet ended.
+    pub fn open_spans(&self) -> usize {
+        self.inner.open.get()
+    }
+
+    /// Per-(layer, kind) duration statistics over *ended* spans, sorted
+    /// by layer then kind. Percentiles are exact ([`SampleSet`]).
+    pub fn span_stats(&self) -> Vec<SpanStats> {
+        let mut by_key: BTreeMap<(Layer, &'static str), SpanStats> = BTreeMap::new();
+        for s in self.inner.spans.borrow().iter() {
+            let e = by_key
+                .entry((s.layer, s.kind))
+                .or_insert_with(|| SpanStats {
+                    layer: s.layer,
+                    kind: s.kind,
+                    count: 0,
+                    open: 0,
+                    durations: SampleSet::new(),
+                });
+            e.count += 1;
+            match s.end {
+                Some(end) => e.durations.push((end - s.start).as_secs_f64()),
+                None => e.open += 1,
+            }
+        }
+        by_key.into_values().collect()
+    }
+
+    /// Render the per-layer latency breakdown table (the `--trace`
+    /// regeneration binaries print this).
+    pub fn latency_breakdown(&self) -> String {
+        let mut t = AsciiTable::new(vec![
+            "layer",
+            "span kind",
+            "count",
+            "open",
+            "mean ms",
+            "p50 ms",
+            "p95 ms",
+            "max ms",
+            "total s",
+        ])
+        .with_title("Per-layer latency breakdown (virtual time)");
+        for st in self.span_stats() {
+            let d = &st.durations;
+            let ms = 1e3;
+            if d.is_empty() {
+                t.row(vec![
+                    st.layer.name().to_string(),
+                    st.kind.to_string(),
+                    st.count.to_string(),
+                    st.open.to_string(),
+                    "n/a".into(),
+                    "n/a".into(),
+                    "n/a".into(),
+                    "n/a".into(),
+                    "n/a".into(),
+                ]);
+            } else {
+                let max = d.values().iter().cloned().fold(f64::MIN, f64::max);
+                let total: f64 = d.values().iter().sum();
+                t.row(vec![
+                    st.layer.name().to_string(),
+                    st.kind.to_string(),
+                    st.count.to_string(),
+                    st.open.to_string(),
+                    num(d.mean() * ms, 3),
+                    num(d.median() * ms, 3),
+                    num(d.percentile(0.95) * ms, 3),
+                    num(max * ms, 3),
+                    num(total, 3),
+                ]);
+            }
+        }
+        t.render()
+    }
+
+    /// Export the whole trace as Chrome `trace_event` JSON (the object
+    /// form, `{"traceEvents":[…]}`), loadable in `chrome://tracing` and
+    /// Perfetto. Spans become async begin/end pairs grouped by their
+    /// root span's id; counters and gauges become `"C"` events; instants
+    /// become `"i"` events. Output is byte-deterministic for a given
+    /// sequence of record calls.
+    pub fn chrome_trace(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\"traceEvents\":[");
+        let mut first = true;
+        let emit = |out: &mut String, first: &mut bool, ev: String| {
+            if !*first {
+                out.push(',');
+            }
+            *first = false;
+            out.push('\n');
+            out.push_str(&ev);
+        };
+
+        for layer in Layer::ALL {
+            emit(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"ph\":\"M\",\"pid\":{},\"name\":\"process_name\",\"args\":{{\"name\":{}}}}}",
+                    layer.pid(),
+                    json_str(layer.process_name())
+                ),
+            );
+        }
+
+        let spans = self.inner.spans.borrow();
+        // Async events group by id: use the root ancestor's id so an
+        // operation and its stage children share one track.
+        let root_of = |mut i: usize| -> u64 {
+            while let Some(p) = spans[i].parent {
+                i = (p - 1) as usize;
+            }
+            spans[i].id
+        };
+        for (i, s) in spans.iter().enumerate() {
+            let root = root_of(i);
+            let mut args = format!("\"comp\":{}", json_str(&s.comp));
+            for (k, v) in &s.attrs {
+                let _ = write!(args, ",{}:{}", json_str(k), json_str(v));
+            }
+            emit(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"ph\":\"b\",\"cat\":{},\"id\":\"0x{:x}\",\"pid\":{},\"tid\":1,\"name\":{},\"ts\":{},\"args\":{{{}}}}}",
+                    json_str(s.layer.name()),
+                    root,
+                    s.layer.pid(),
+                    json_str(s.kind),
+                    ts_us(s.start),
+                    args
+                ),
+            );
+            if let Some(end) = s.end {
+                emit(
+                    &mut out,
+                    &mut first,
+                    format!(
+                        "{{\"ph\":\"e\",\"cat\":{},\"id\":\"0x{:x}\",\"pid\":{},\"tid\":1,\"name\":{},\"ts\":{}}}",
+                        json_str(s.layer.name()),
+                        root,
+                        s.layer.pid(),
+                        json_str(s.kind),
+                        ts_us(end)
+                    ),
+                );
+            }
+        }
+        for (at, name, v) in self.inner.counter_series.borrow().iter() {
+            emit(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"ph\":\"C\",\"pid\":1,\"name\":{},\"ts\":{},\"args\":{{\"value\":{}}}}}",
+                    json_str(name),
+                    ts_us(*at),
+                    v
+                ),
+            );
+        }
+        for (at, name, v) in self.inner.gauge_series.borrow().iter() {
+            emit(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"ph\":\"C\",\"pid\":1,\"name\":{},\"ts\":{},\"args\":{{\"value\":{}}}}}",
+                    json_str(name),
+                    ts_us(*at),
+                    json_f64(*v)
+                ),
+            );
+        }
+        for (at, layer, kind, comp) in self.inner.instants.borrow().iter() {
+            emit(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"ph\":\"i\",\"cat\":{},\"pid\":{},\"tid\":1,\"name\":{},\"ts\":{},\"s\":\"p\",\"args\":{{\"comp\":{}}}}}",
+                    json_str(layer.name()),
+                    layer.pid(),
+                    json_str(kind),
+                    ts_us(*at),
+                    json_str(comp)
+                ),
+            );
+        }
+        out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+        out
+    }
+}
+
+/// Virtual nanoseconds rendered as Chrome's microsecond `ts` field.
+fn ts_us(t: SimTime) -> String {
+    let ns = t.as_nanos();
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Aggregated durations for one (layer, span kind).
+pub struct SpanStats {
+    /// Layer the spans belong to.
+    pub layer: Layer,
+    /// Span kind.
+    pub kind: &'static str,
+    /// Spans started (ended + open).
+    pub count: u64,
+    /// Spans never ended (abandoned/cancelled or still open).
+    pub open: u64,
+    /// Durations of ended spans, in seconds.
+    pub durations: SampleSet,
+}
+
+/// RAII guard for one span; ends the span on drop (which makes spans
+/// cancellation-safe: a future dropped by a lost `select2` race still
+/// closes its span at the drop time). [`Span::end`] ends it explicitly.
+#[must_use = "a span guard ends its span when dropped"]
+pub struct Span {
+    tracer: Option<Tracer>,
+    id: u64,
+    layer: Layer,
+}
+
+impl Span {
+    /// A no-op span (what instrumentation gets when tracing is off).
+    pub fn disabled() -> Span {
+        Span {
+            tracer: None,
+            id: 0,
+            layer: Layer::Kernel,
+        }
+    }
+
+    /// False for the no-op span.
+    pub fn is_recording(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// This span's id (0 for the no-op span).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Attach a key=value attribute. The value is only rendered when
+    /// recording.
+    pub fn attr(&self, key: &'static str, value: impl std::fmt::Display) {
+        if let Some(t) = &self.tracer {
+            t.span_attr(self.id, key, value.to_string());
+        }
+    }
+
+    /// Start a child span in the same layer. The label closure is only
+    /// invoked when recording.
+    pub fn child(&self, kind: &'static str, comp: impl FnOnce() -> String) -> Span {
+        match &self.tracer {
+            Some(t) => t.start_span(self.layer, kind, comp(), Some(self.id)),
+            None => Span::disabled(),
+        }
+    }
+
+    /// End the span now (equivalent to dropping it).
+    pub fn end(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(t) = &self.tracer {
+            t.end_span(self.id);
+        }
+    }
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<Tracer>> = const { RefCell::new(None) };
+    // Fast-path flag mirroring `ACTIVE.is_some()`: a const-init Cell read
+    // is a couple of instructions, so uninstrumented runs pay almost
+    // nothing per span/counter call site.
+    static TRACING: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Unbinds the tracer from the thread and removes the kernel hook when
+/// dropped (returned by [`Tracer::install`]).
+pub struct InstallGuard {
+    sim: Sim,
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        TRACING.with(|t| t.set(false));
+        ACTIVE.with(|a| *a.borrow_mut() = None);
+        self.sim.set_kernel_hook(None);
+    }
+}
+
+/// The tracer installed on this thread, if any.
+pub fn active() -> Option<Tracer> {
+    ACTIVE.with(|a| a.borrow().clone())
+}
+
+/// Start a span against the thread's installed tracer; a no-op span when
+/// none is installed (the `comp` closure is not invoked then).
+#[inline]
+pub fn span(layer: Layer, kind: &'static str, comp: impl FnOnce() -> String) -> Span {
+    if !TRACING.with(|t| t.get()) {
+        return Span::disabled();
+    }
+    ACTIVE.with(|a| match &*a.borrow() {
+        Some(t) if t.is_enabled() => t.start_span(layer, kind, comp(), None),
+        _ => Span::disabled(),
+    })
+}
+
+/// Add to a counter on the thread's installed tracer (no-op without one).
+#[inline]
+pub fn counter(name: &'static str, delta: i64) {
+    if !TRACING.with(|t| t.get()) {
+        return;
+    }
+    ACTIVE.with(|a| {
+        if let Some(t) = &*a.borrow() {
+            t.counter_add(name, delta);
+        }
+    });
+}
+
+/// Set a gauge on the thread's installed tracer (no-op without one).
+#[inline]
+pub fn gauge(name: &'static str, value: f64) {
+    if !TRACING.with(|t| t.get()) {
+        return;
+    }
+    ACTIVE.with(|a| {
+        if let Some(t) = &*a.borrow() {
+            t.gauge_set(name, value);
+        }
+    });
+}
+
+/// Record an instant event on the thread's installed tracer (no-op
+/// without one; the `comp` closure is not invoked then).
+#[inline]
+pub fn instant(layer: Layer, kind: &'static str, comp: impl FnOnce() -> String) {
+    if !TRACING.with(|t| t.get()) {
+        return;
+    }
+    ACTIVE.with(|a| {
+        if let Some(t) = &*a.borrow() {
+            if t.is_enabled() {
+                let comp = comp();
+                t.instant(layer, kind, comp);
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::SimDuration;
+
+    #[test]
+    fn disabled_module_helpers_are_noops() {
+        // No tracer installed: everything is a no-op and closures never run.
+        let sp = span(Layer::Store, "op", || unreachable!("must not be called"));
+        assert!(!sp.is_recording());
+        sp.attr("k", "v");
+        let child = sp.child("stage", || unreachable!("must not be called"));
+        assert!(!child.is_recording());
+        counter("c", 1);
+        gauge("g", 1.0);
+        instant(Layer::Net, "i", || unreachable!("must not be called"));
+    }
+
+    #[test]
+    fn span_records_times_and_attrs() {
+        let sim = Sim::new(1);
+        let tracer = Tracer::new(&sim);
+        let t = tracer.clone();
+        let s = sim.clone();
+        sim.spawn(async move {
+            let sp = t.span(Layer::Store, "op", "c0".into());
+            sp.attr("kind", "insert");
+            s.delay(SimDuration::from_millis(5)).await;
+            sp.end();
+        });
+        sim.run();
+        let spans = tracer.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].kind, "op");
+        assert_eq!(spans[0].comp, "c0");
+        assert_eq!(spans[0].attrs, vec![("kind", "insert".to_string())]);
+        assert_eq!(
+            spans[0].end.unwrap() - spans[0].start,
+            SimDuration::from_millis(5)
+        );
+        assert_eq!(tracer.open_spans(), 0);
+    }
+
+    #[test]
+    fn set_enabled_false_suppresses_recording() {
+        let sim = Sim::new(1);
+        let tracer = Tracer::new(&sim);
+        tracer.set_enabled(false);
+        let sp = tracer.span(Layer::App, "x", "c".into());
+        assert!(!sp.is_recording());
+        tracer.counter_add("n", 3);
+        assert_eq!(tracer.counter("n"), 0);
+        tracer.set_enabled(true);
+        tracer.counter_add("n", 3);
+        assert_eq!(tracer.counter("n"), 3);
+    }
+
+    #[test]
+    fn counter_math_accumulates_and_series_tracks_values() {
+        let sim = Sim::new(1);
+        let tracer = Tracer::new(&sim);
+        tracer.counter_add("ops", 2);
+        tracer.counter_add("ops", 3);
+        tracer.counter_add("errs", 1);
+        tracer.counter_bump("quiet", 10);
+        assert_eq!(tracer.counter("ops"), 5);
+        assert_eq!(tracer.counter("errs"), 1);
+        assert_eq!(tracer.counter("quiet"), 10);
+        assert_eq!(tracer.counter("missing"), 0);
+        assert_eq!(
+            tracer.counters(),
+            vec![("errs", 1), ("ops", 5), ("quiet", 10)]
+        );
+        // Series carries the running value (2 then 5), and bump stays out.
+        assert!(tracer.chrome_trace().contains("\"value\":5"));
+    }
+
+    #[test]
+    fn kernel_hook_counts_spawns_and_wakes() {
+        let sim = Sim::new(1);
+        let tracer = Tracer::new(&sim);
+        let guard = tracer.install();
+        let s = sim.clone();
+        sim.spawn(async move {
+            s.delay(SimDuration::from_millis(1)).await;
+        });
+        sim.run();
+        assert_eq!(tracer.counter("kernel.tasks_spawned"), 1);
+        assert!(tracer.counter("kernel.wakes") >= 1);
+        drop(guard);
+        // After the guard drops, new kernel activity is not counted.
+        let before = tracer.counter("kernel.tasks_spawned");
+        sim.spawn(async {});
+        sim.run();
+        assert_eq!(tracer.counter("kernel.tasks_spawned"), before);
+        assert!(active().is_none());
+    }
+
+    #[test]
+    fn breakdown_renders_all_layers_present() {
+        let sim = Sim::new(1);
+        let tracer = Tracer::new(&sim);
+        for layer in Layer::ALL {
+            tracer.span(layer, "work", "x".into()).end();
+        }
+        let table = tracer.latency_breakdown();
+        for layer in Layer::ALL {
+            assert!(table.contains(layer.name()), "missing {layer} in\n{table}");
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_wellformed_and_escapes() {
+        let sim = Sim::new(1);
+        let tracer = Tracer::new(&sim);
+        let sp = tracer.span(Layer::Store, "op", "c\"0\\\n".into());
+        sp.attr("note", "a\tb");
+        sp.end();
+        let json = tracer.chrome_trace();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.trim_end().ends_with('}'));
+        assert!(json.contains("\\\"0\\\\\\n"));
+        assert!(json.contains("a\\tb"));
+        // Balanced braces outside strings is a decent smoke test for
+        // hand-rolled JSON.
+        let mut depth = 0i64;
+        let mut in_str = false;
+        let mut esc = false;
+        for c in json.chars() {
+            match (in_str, esc, c) {
+                (true, true, _) => esc = false,
+                (true, false, '\\') => esc = true,
+                (true, false, '"') => in_str = false,
+                (false, _, '"') => in_str = true,
+                (false, _, '{') => depth += 1,
+                (false, _, '}') => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0);
+        }
+        assert_eq!(depth, 0);
+        assert!(!in_str);
+    }
+}

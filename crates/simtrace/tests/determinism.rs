@@ -1,0 +1,85 @@
+//! Golden determinism: tracing is part of the simulation contract, so two
+//! runs with the same seed must serialise to byte-identical Chrome traces.
+//!
+//! The workload deliberately crosses layers (azstore blob/table ops over
+//! the dcnet fluid links inside the stamp, plus an explicit dcnet flow and
+//! app-level spans/counters) so any nondeterminism in span ids, ordering,
+//! timestamps or attribute formatting shows up as a byte diff.
+
+use azstore::{Entity, StampConfig, StorageStamp};
+use dcnet::{LinkModel, Network};
+use simcore::Sim;
+use simtrace::{Layer, Tracer};
+
+fn traced_run(seed: u64) -> (String, usize) {
+    let sim = Sim::new(seed);
+    let tracer = Tracer::new(&sim);
+    let guard = tracer.install();
+
+    // Store layer: a stamp with mixed blob + table traffic.
+    let stamp = StorageStamp::standalone(&sim, StampConfig::default());
+    stamp.blob_service().seed("bench", "blob", 8.0e6);
+    stamp
+        .table_service()
+        .seed("bench", Entity::benchmark("p0", "shared", 4));
+    for ci in 0..3 {
+        let acct = stamp.attach_small_client();
+        sim.spawn(async move {
+            let sp = simtrace::span(Layer::App, "client.session", || format!("client{ci}"));
+            let _ = acct.blob.get("bench", "blob").await;
+            let _ = acct.blob.put("bench", &format!("up{ci}"), 2.0e6).await;
+            for k in 0..4 {
+                let e = Entity::benchmark("p0", &format!("c{ci}-r{k}"), 4);
+                let _ = acct.table.insert("bench", e).await;
+            }
+            let _ = acct.table.query_point("bench", "p0", "shared").await;
+            simtrace::counter("test.sessions", 1);
+            sp.end();
+        });
+    }
+
+    // Net layer: an explicit shared-link flow outside the stamp.
+    let net = Network::new(&sim);
+    let tx = net.add_link("t.tx", LinkModel::Shared { capacity: 125.0e6 });
+    let rx = net.add_link("t.rx", LinkModel::Shared { capacity: 125.0e6 });
+    for _ in 0..2 {
+        let net = net.clone();
+        sim.spawn(async move {
+            net.transfer(&[tx, rx], 5.0e5, f64::INFINITY).await;
+        });
+    }
+
+    sim.run();
+    drop(guard);
+    (tracer.chrome_trace(), tracer.span_count())
+}
+
+#[test]
+fn same_seed_runs_produce_byte_identical_traces() {
+    let (a, spans_a) = traced_run(0xD00D);
+    let (b, spans_b) = traced_run(0xD00D);
+    assert!(
+        spans_a > 20,
+        "workload should produce real spans, got {spans_a}"
+    );
+    assert_eq!(spans_a, spans_b);
+    assert_eq!(a, b, "same-seed traces must be byte-identical");
+}
+
+#[test]
+fn traces_cover_all_exercised_layers() {
+    let (json, _) = traced_run(0xD00D);
+    for name in ["net (dcnet)", "store (azstore)", "app (modis)"] {
+        assert!(json.contains(name), "trace should name layer {name}");
+    }
+    for kind in ["blob.get", "table.insert", "net.flow", "client.session"] {
+        assert!(json.contains(kind), "trace should contain {kind} spans");
+    }
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let (a, _) = traced_run(1);
+    let (b, _) = traced_run(2);
+    assert_ne!(a, b, "different seeds should change virtual timings");
+}

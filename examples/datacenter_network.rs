@@ -18,7 +18,13 @@ fn main() {
         samples.push(model.sample_pair_rtt(&mut rng).as_millis_f64());
     }
     println!("TCP RTT between small VMs (5000 samples):");
-    println!("  median {:.2} ms,  p75 {:.2} ms,  p99 {:.2} ms,  max {:.1} ms", samples.median(), samples.percentile(0.75), samples.percentile(0.99), samples.max());
+    println!(
+        "  median {:.2} ms,  p75 {:.2} ms,  p99 {:.2} ms,  max {:.1} ms",
+        samples.median(),
+        samples.percentile(0.75),
+        samples.percentile(0.99),
+        samples.max()
+    );
     println!(
         "  {:.0}% <= 1 ms, {:.0}% <= 2 ms   (paper: ~50% and ~75%)\n",
         samples.fraction_at_most(1.0) * 100.0,
@@ -46,7 +52,11 @@ fn main() {
     sim.run();
     println!("2 GB transfers under background tenant traffic:");
     for (same_rack, mbps) in rates.borrow().iter() {
-        let placement = if *same_rack { "same rack " } else { "cross rack" };
+        let placement = if *same_rack {
+            "same rack "
+        } else {
+            "cross rack"
+        };
         let bar = "#".repeat((mbps / 4.0).round() as usize);
         println!("  {placement} {mbps:>6.1} MB/s {bar}");
     }

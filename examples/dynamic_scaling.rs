@@ -18,7 +18,10 @@ fn main() {
     );
     let s = sim.clone();
     let run = sim.spawn(async move {
-        println!("t={:<10} submitting 4-instance small worker deployment", s.now());
+        println!(
+            "t={:<10} submitting 4-instance small worker deployment",
+            s.now()
+        );
         let dep = fc
             .create_deployment(DeploymentSpec::paper_test(RoleType::Worker, VmSize::Small))
             .await
@@ -30,7 +33,12 @@ fn main() {
         );
 
         let run = dep.run().await.unwrap();
-        println!("t={:<10} all {} instances ready (run took {})", s.now(), dep.instance_count(), run.duration);
+        println!(
+            "t={:<10} all {} instances ready (run took {})",
+            s.now(),
+            dep.instance_count(),
+            run.duration
+        );
         for (i, off) in run.instance_ready_offsets.iter().enumerate() {
             println!("             instance {i} ready after {off}");
         }

@@ -51,9 +51,17 @@ fn main() {
 
         // --- Queue: send a work item, receive it, acknowledge it ---
         let t0 = s.now();
-        client.queue.add("work", "process output.bin", 512.0).await.unwrap();
+        client
+            .queue
+            .add("work", "process output.bin", 512.0)
+            .await
+            .unwrap();
         let msg = client.queue.receive_default("work").await.unwrap().unwrap();
-        client.queue.delete_message("work", msg.receipt).await.unwrap();
+        client
+            .queue
+            .delete_message("work", msg.receipt)
+            .await
+            .unwrap();
         println!(
             "queue add+receive+delete: {:>6}  (body = {:?})",
             s.now() - t0,

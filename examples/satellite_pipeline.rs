@@ -26,9 +26,9 @@ fn main() {
         report.executions_per_task()
     );
     println!(
-        "watchdog kills: {} ({}% of executions; paper: 0.17% overall, up to ~16% daily)\n",
+        "watchdog kills: {} ({:.3}% of executions; paper: 0.17% overall, up to ~16% daily)\n",
         report.monitor_kills,
-        format!("{:.3}", report.telemetry.overall_timeout_fraction() * 100.0),
+        report.telemetry.overall_timeout_fraction() * 100.0,
     );
 
     // Compact Fig 7 sparkline.

@@ -73,12 +73,18 @@ fn main() {
     let rejected = run.try_take().unwrap();
 
     let served = served.borrow();
-    println!("\nserved {} requests (rejected {rejected}); per-backend spread:", served.len());
+    println!(
+        "\nserved {} requests (rejected {rejected}); per-backend spread:",
+        served.len()
+    );
     let mut counts = std::collections::BTreeMap::new();
     for &b in served.iter() {
         *counts.entry(b).or_insert(0u32) += 1;
     }
     for (backend, n) in counts {
-        println!("  instance {backend}: {n} requests {}", "#".repeat((n / 10) as usize));
+        println!(
+            "  instance {backend}: {n} requests {}",
+            "#".repeat((n / 10) as usize)
+        );
     }
 }

@@ -36,7 +36,11 @@ fn run_app(seed: u64) -> (Vec<f64>, u64, SimTime) {
         // Seed the work queue.
         let seeder = st.attach_small_client();
         for i in 0..12 {
-            seeder.queue.add("work", format!("chunk{i}"), 512.0).await.unwrap();
+            seeder
+                .queue
+                .add("work", format!("chunk{i}"), 512.0)
+                .await
+                .unwrap();
         }
 
         // Workers drain the queue: download, compute, upload.
@@ -58,7 +62,11 @@ fn run_app(seed: u64) -> (Vec<f64>, u64, SimTime) {
                         dep.execute_on(i, SimDuration::from_secs(60)).await;
                         let name = format!("out-{}", msg.message.body);
                         client.blob.put("out", &name, 5.0e6).await.unwrap();
-                        client.queue.delete_message("work", msg.receipt).await.unwrap();
+                        client
+                            .queue
+                            .delete_message("work", msg.receipt)
+                            .await
+                            .unwrap();
                         r.borrow_mut().push(dl.rate_bps() / 1.0e6);
                     }
                 }
@@ -106,8 +114,10 @@ fn different_seeds_diverge() {
 #[test]
 fn storage_failures_surface_typed_errors_not_panics() {
     let sim = Sim::new(3);
-    let mut cfg = StampConfig::default();
-    cfg.faults = FaultProfile::production();
+    let mut cfg = StampConfig {
+        faults: FaultProfile::production(),
+        ..Default::default()
+    };
     cfg.faults.connection_fail_p = 0.3; // cranked
     let stamp = StorageStamp::standalone(&sim, cfg);
     stamp.blob_service().seed("d", "x", 1000.0);

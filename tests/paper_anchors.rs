@@ -17,8 +17,7 @@ fn fig1_blob_anchors_scaled() {
     });
     let one = r.at(1).unwrap();
     assert!(anchors::FIG1_DL_1CLIENT_MBPS.matches(one.download_per_client_mbps));
-    let ratio =
-        r.at(32).unwrap().download_per_client_mbps / one.download_per_client_mbps;
+    let ratio = r.at(32).unwrap().download_per_client_mbps / one.download_per_client_mbps;
     assert!(
         anchors::FIG1_DL_32CLIENT_RATIO.matches(ratio),
         "ratio={ratio}"
@@ -37,8 +36,9 @@ fn fig3_queue_anchors_scaled() {
         ops_per_client: 60,
         seed: 22,
     });
-    assert!(anchors::FIG3_ADD_PEAK_OPS
-        .matches(r.at(queue::QueueOp::Add, 64).unwrap().aggregate_ops_s));
+    assert!(
+        anchors::FIG3_ADD_PEAK_OPS.matches(r.at(queue::QueueOp::Add, 64).unwrap().aggregate_ops_s)
+    );
     assert!(anchors::FIG3_RECV_PEAK_OPS
         .matches(r.at(queue::QueueOp::Receive, 64).unwrap().aggregate_ops_s));
     assert!(anchors::FIG3_PEEK_128_OPS

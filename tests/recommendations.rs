@@ -17,7 +17,9 @@ fn replicating_hot_blobs_expands_server_bandwidth() {
         let sim = Sim::new(11);
         let stamp = StorageStamp::standalone(&sim, StampConfig::default());
         for rep in 0..replicas {
-            stamp.blob_service().seed("hot", &format!("data-{rep}"), 300.0e6);
+            stamp
+                .blob_service()
+                .seed("hot", &format!("data-{rep}"), 300.0e6);
         }
         let t0 = sim.now();
         let clients = 128;
@@ -147,8 +149,20 @@ fn repeated_blob_reads_pay_full_price_every_time() {
     stamp.blob_service().seed("d", "x", 30.0e6);
     let client = stamp.attach_small_client();
     let h = sim.spawn(async move {
-        let a = client.blob.get("d", "x").await.unwrap().elapsed.as_secs_f64();
-        let b = client.blob.get("d", "x").await.unwrap().elapsed.as_secs_f64();
+        let a = client
+            .blob
+            .get("d", "x")
+            .await
+            .unwrap()
+            .elapsed
+            .as_secs_f64();
+        let b = client
+            .blob
+            .get("d", "x")
+            .await
+            .unwrap()
+            .elapsed
+            .as_secs_f64();
         (a, b)
     });
     sim.run();
