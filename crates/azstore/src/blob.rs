@@ -14,6 +14,7 @@ use std::rc::Rc;
 use dcnet::{LinkId, Network};
 use simcore::prelude::*;
 
+use simfault::RetryPolicy;
 use simtrace::Layer;
 
 use crate::calib;
@@ -181,6 +182,47 @@ impl BlobService {
         self.cfg.faults.enabled && self.rng.borrow_mut().chance(p)
     }
 
+    /// Connection-level fault draw, in `RetryPolicy` precheck form.
+    fn connection_precheck(&self) -> Option<StorageError> {
+        if self.fault_check(self.cfg.faults.connection_fail_p) {
+            Some(StorageError::ConnectionFailed)
+        } else {
+            None
+        }
+    }
+
+    /// GET-path fault draws (connection, spurious busy, internal), in
+    /// the original short-circuit order.
+    fn get_precheck(&self) -> Option<StorageError> {
+        if self.fault_check(self.cfg.faults.connection_fail_p) {
+            Some(StorageError::ConnectionFailed)
+        } else if self.fault_check(self.cfg.faults.spurious_busy_p) {
+            Some(StorageError::ServerBusy)
+        } else if self.fault_check(self.cfg.faults.internal_error_p) {
+            Some(StorageError::Internal)
+        } else {
+            None
+        }
+    }
+
+    /// PUT-path fault draws (connection, spurious busy).
+    fn put_precheck(&self) -> Option<StorageError> {
+        if self.fault_check(self.cfg.faults.connection_fail_p) {
+            Some(StorageError::ConnectionFailed)
+        } else if self.fault_check(self.cfg.faults.spurious_busy_p) {
+            Some(StorageError::ServerBusy)
+        } else {
+            None
+        }
+    }
+
+    /// Blob transfers had no automatic retry or client timeout in the
+    /// 2009 SDK (an 80 s gigablob download is not a hung op), so the
+    /// policy is a bare single attempt — the precheck is its whole job.
+    fn op_policy(&self) -> RetryPolicy {
+        RetryPolicy::none()
+    }
+
     async fn request_overhead(&self) {
         let s =
             calib::BLOB_REQ_LATENCY_S * jitter(&mut self.rng.borrow_mut(), self.cfg.jitter_sigma);
@@ -234,49 +276,51 @@ impl BlobClient {
         name: &str,
     ) -> Result<DownloadStats> {
         let svc = &self.svc;
-        if svc.fault_check(svc.cfg.faults.connection_fail_p) {
-            return Err(StorageError::ConnectionFailed);
-        }
-        if svc.fault_check(svc.cfg.faults.spurious_busy_p) {
-            return Err(StorageError::ServerBusy);
-        }
-        if svc.fault_check(svc.cfg.faults.internal_error_p) {
-            return Err(StorageError::Internal);
-        }
-        let fe = sp.child("frontend", || "request".into());
-        svc.request_overhead().await;
-        fe.end();
-        let meta = svc.lookup(container, name).ok_or(StorageError::NotFound)?;
-        if sp.is_recording() {
-            sp.attr("bytes", format!("{:.0}", meta.size));
-        }
-        if svc.fault_check(svc.cfg.faults.read_fail_p) {
-            // Abort partway: some bytes moved, time was spent.
-            let frac = svc.rng.borrow_mut().f64() * 0.8 + 0.1;
+        let op = async {
+            crate::injected_frontend_fault(&svc.sim).await?;
+            let fe = sp.child("frontend", || "request".into());
+            svc.request_overhead().await;
+            fe.end();
+            let meta = svc.lookup(container, name).ok_or(StorageError::NotFound)?;
+            if sp.is_recording() {
+                sp.attr("bytes", format!("{:.0}", meta.size));
+            }
+            if svc.fault_check(svc.cfg.faults.read_fail_p) {
+                // Abort partway: some bytes moved, time was spent.
+                let frac = svc.rng.borrow_mut().f64() * 0.8 + 0.1;
+                let (egress, frontend) = svc.read_pipes_of(container, name);
+                let path = [egress, frontend, self.ingress];
+                let st = sp.child("stream", || "replica_egress".into());
+                svc.net
+                    .transfer(&path, meta.size * frac, f64::INFINITY)
+                    .await;
+                st.end();
+                return Err(StorageError::ReadFailed);
+            }
+            let started = svc.sim.now();
             let (egress, frontend) = svc.read_pipes_of(container, name);
             let path = [egress, frontend, self.ingress];
             let st = sp.child("stream", || "replica_egress".into());
-            svc.net
-                .transfer(&path, meta.size * frac, f64::INFINITY)
-                .await;
+            let stats = svc.net.transfer(&path, meta.size, f64::INFINITY).await;
             st.end();
-            return Err(StorageError::ReadFailed);
-        }
-        let started = svc.sim.now();
-        let (egress, frontend) = svc.read_pipes_of(container, name);
-        let path = [egress, frontend, self.ingress];
-        let st = sp.child("stream", || "replica_egress".into());
-        let stats = svc.net.transfer(&path, meta.size, f64::INFINITY).await;
-        st.end();
-        svc.gets.set(svc.gets.get() + 1);
-        if svc.fault_check(svc.cfg.faults.corrupt_read_p) {
-            return Err(StorageError::CorruptRead);
-        }
-        Ok(DownloadStats {
-            bytes: stats.bytes,
-            elapsed: svc.sim.now() - started
-                + SimDuration::from_secs_f64(calib::BLOB_REQ_LATENCY_S),
-        })
+            svc.gets.set(svc.gets.get() + 1);
+            if svc.fault_check(svc.cfg.faults.corrupt_read_p) {
+                return Err(StorageError::CorruptRead);
+            }
+            Ok(DownloadStats {
+                bytes: stats.bytes,
+                elapsed: svc.sim.now() - started
+                    + SimDuration::from_secs_f64(calib::BLOB_REQ_LATENCY_S),
+            })
+        };
+        svc.op_policy()
+            .run_once(
+                &svc.sim,
+                || svc.get_precheck(),
+                op,
+                || StorageError::Timeout,
+            )
+            .await
     }
 
     /// Upload (create or overwrite); bytes flow through
@@ -325,58 +369,79 @@ impl BlobClient {
         overwrite: bool,
     ) -> Result<DownloadStats> {
         let svc = &self.svc;
-        if svc.fault_check(svc.cfg.faults.connection_fail_p) {
-            return Err(StorageError::ConnectionFailed);
-        }
-        if svc.fault_check(svc.cfg.faults.spurious_busy_p) {
-            return Err(StorageError::ServerBusy);
-        }
-        let fe = sp.child("frontend", || "request".into());
-        svc.request_overhead().await;
-        fe.end();
-        if !overwrite && svc.lookup(container, name).is_some() {
-            return Err(StorageError::AlreadyExists);
-        }
-        let started = svc.sim.now();
-        let path = [self.egress, svc.links.ul_frontend, svc.links.ingest];
-        let st = sp.child("stream", || "replica_ingest".into());
-        let stats = svc.net.transfer(&path, size, f64::INFINITY).await;
-        st.end();
-        // Commit after the data is durable on all three replicas.
-        let cm = sp.child("partition.commit", || "replica_commit".into());
-        svc.request_overhead().await;
-        cm.end();
-        if !overwrite && svc.lookup(container, name).is_some() {
-            // Raced with another writer while uploading.
-            return Err(StorageError::AlreadyExists);
-        }
-        svc.seed(container, name, size);
-        svc.puts.set(svc.puts.get() + 1);
-        let _ = self.client_id;
-        Ok(DownloadStats {
-            bytes: stats.bytes,
-            elapsed: svc.sim.now() - started,
-        })
+        let op = async {
+            crate::injected_frontend_fault(&svc.sim).await?;
+            let fe = sp.child("frontend", || "request".into());
+            svc.request_overhead().await;
+            fe.end();
+            if !overwrite && svc.lookup(container, name).is_some() {
+                return Err(StorageError::AlreadyExists);
+            }
+            let started = svc.sim.now();
+            let path = [self.egress, svc.links.ul_frontend, svc.links.ingest];
+            let st = sp.child("stream", || "replica_ingest".into());
+            let stats = svc.net.transfer(&path, size, f64::INFINITY).await;
+            st.end();
+            // Commit after the data is durable on all three replicas.
+            let cm = sp.child("partition.commit", || "replica_commit".into());
+            svc.request_overhead().await;
+            cm.end();
+            if !overwrite && svc.lookup(container, name).is_some() {
+                // Raced with another writer while uploading.
+                return Err(StorageError::AlreadyExists);
+            }
+            svc.seed(container, name, size);
+            svc.puts.set(svc.puts.get() + 1);
+            let _ = self.client_id;
+            Ok(DownloadStats {
+                bytes: stats.bytes,
+                elapsed: svc.sim.now() - started,
+            })
+        };
+        svc.op_policy()
+            .run_once(
+                &svc.sim,
+                || svc.put_precheck(),
+                op,
+                || StorageError::Timeout,
+            )
+            .await
     }
 
     /// Metadata-only existence probe (no payload movement).
     pub async fn exists(&self, container: &str, name: &str) -> Result<bool> {
         let svc = &self.svc;
-        if svc.fault_check(svc.cfg.faults.connection_fail_p) {
-            return Err(StorageError::ConnectionFailed);
-        }
-        svc.request_overhead().await;
-        Ok(svc.lookup(container, name).is_some())
+        let op = async {
+            crate::injected_frontend_fault(&svc.sim).await?;
+            svc.request_overhead().await;
+            Ok(svc.lookup(container, name).is_some())
+        };
+        svc.op_policy()
+            .run_once(
+                &svc.sim,
+                || svc.connection_precheck(),
+                op,
+                || StorageError::Timeout,
+            )
+            .await
     }
 
     /// Metadata of a blob without downloading it (HEAD).
     pub async fn get_metadata(&self, container: &str, name: &str) -> Result<BlobMeta> {
         let svc = &self.svc;
-        if svc.fault_check(svc.cfg.faults.connection_fail_p) {
-            return Err(StorageError::ConnectionFailed);
-        }
-        svc.request_overhead().await;
-        svc.lookup(container, name).ok_or(StorageError::NotFound)
+        let op = async {
+            crate::injected_frontend_fault(&svc.sim).await?;
+            svc.request_overhead().await;
+            svc.lookup(container, name).ok_or(StorageError::NotFound)
+        };
+        svc.op_policy()
+            .run_once(
+                &svc.sim,
+                || svc.connection_precheck(),
+                op,
+                || StorageError::Timeout,
+            )
+            .await
     }
 
     /// List blobs in a container, optionally under a name prefix, capped
@@ -391,34 +456,45 @@ impl BlobClient {
             format!("{container}/{prefix}*")
         });
         let svc = &self.svc;
-        if svc.fault_check(svc.cfg.faults.connection_fail_p) {
-            trace_outcome::<()>(&sp, &Err(StorageError::ConnectionFailed));
-            return Err(StorageError::ConnectionFailed);
-        }
-        svc.request_overhead().await;
         let limit = limit.clamp(1, 5000);
-        let mut out: Vec<(String, BlobMeta)> = svc
-            .state
-            .borrow()
-            .containers
-            .get(container)
-            .map(|c| {
-                c.iter()
-                    .filter(|(n, _)| n.starts_with(prefix))
-                    .map(|(n, m)| (n.clone(), m.clone()))
-                    .collect()
-            })
-            .unwrap_or_default();
-        out.sort_by(|a, b| a.0.cmp(&b.0));
-        out.truncate(limit);
-        // Per-page enumeration cost (the listing walks the index).
-        let extra = out.len() as f64 * 2.0e-5;
-        svc.sim.delay(SimDuration::from_secs_f64(extra)).await;
+        let op = async {
+            crate::injected_frontend_fault(&svc.sim).await?;
+            svc.request_overhead().await;
+            let mut out: Vec<(String, BlobMeta)> = svc
+                .state
+                .borrow()
+                .containers
+                .get(container)
+                .map(|c| {
+                    c.iter()
+                        .filter(|(n, _)| n.starts_with(prefix))
+                        .map(|(n, m)| (n.clone(), m.clone()))
+                        .collect()
+                })
+                .unwrap_or_default();
+            out.sort_by(|a, b| a.0.cmp(&b.0));
+            out.truncate(limit);
+            // Per-page enumeration cost (the listing walks the index).
+            let extra = out.len() as f64 * 2.0e-5;
+            svc.sim.delay(SimDuration::from_secs_f64(extra)).await;
+            Ok(out)
+        };
+        let res = svc
+            .op_policy()
+            .run_once(
+                &svc.sim,
+                || svc.connection_precheck(),
+                op,
+                || StorageError::Timeout,
+            )
+            .await;
         if sp.is_recording() {
-            sp.attr("hits", out.len());
-            sp.attr("outcome", "ok");
+            if let Ok(out) = &res {
+                sp.attr("hits", out.len());
+            }
         }
-        Ok(out)
+        trace_outcome(&sp, &res);
+        res
     }
 
     /// Delete a blob (metadata op).
@@ -427,20 +503,28 @@ impl BlobClient {
             format!("{container}/{name}")
         });
         let svc = &self.svc;
-        if svc.fault_check(svc.cfg.faults.connection_fail_p) {
-            trace_outcome::<()>(&sp, &Err(StorageError::ConnectionFailed));
-            return Err(StorageError::ConnectionFailed);
-        }
-        svc.request_overhead().await;
-        let mut st = svc.state.borrow_mut();
-        let res = match st
-            .containers
-            .get_mut(container)
-            .and_then(|c| c.remove(name))
-        {
-            Some(_) => Ok(()),
-            None => Err(StorageError::NotFound),
+        let op = async {
+            crate::injected_frontend_fault(&svc.sim).await?;
+            svc.request_overhead().await;
+            let mut st = svc.state.borrow_mut();
+            match st
+                .containers
+                .get_mut(container)
+                .and_then(|c| c.remove(name))
+            {
+                Some(_) => Ok(()),
+                None => Err(StorageError::NotFound),
+            }
         };
+        let res = svc
+            .op_policy()
+            .run_once(
+                &svc.sim,
+                || svc.connection_precheck(),
+                op,
+                || StorageError::Timeout,
+            )
+            .await;
         trace_outcome(&sp, &res);
         res
     }

@@ -205,31 +205,15 @@ pub const QUEUE_DEFAULT_VISIBILITY_S: f64 = 30.0;
 
 // ---------------------------------------------------------------------------
 // Reliability injection (paper Table 2 rates are *observed at app level*;
-// service-level rates are set so ModisAzure's mix reproduces them)
+// service-level rates are set so ModisAzure's mix reproduces them).
+// The rates themselves live with the fault-injection subsystem
+// (`simfault::rates`, with per-constant derivations) and are re-exported
+// here so calibration stays a one-stop shop.
 // ---------------------------------------------------------------------------
 
-/// Probability a blob GET returns payload that fails verification
-/// ("Corrupt blob read": 3 107 of ~3.05 M task executions ≈ 0.10 %;
-/// a ModisAzure task does ~3.5 reads, so per-GET ≈ 0.10 % / 3.5).
-pub const BLOB_CORRUPT_READ_P: f64 = 5.8e-4;
-
-/// Probability a blob GET aborts mid-transfer ("Blob read fail" 0.02 %).
-pub const BLOB_READ_FAIL_P: f64 = 1.1e-4;
-
-/// Probability any storage call fails at connection setup
-/// ("Connection failure" 0.29 % of task executions at ~8 storage calls
-/// per execution ⇒ per-op ≈ 3.5e-4).
-pub const CONNECTION_FAIL_P: f64 = 6.8e-4;
-
-/// Probability of an unclassified internal server error, per operation
-/// ("Internal storage client error": 10 occurrences in 3 M executions).
-pub const INTERNAL_ERROR_P: f64 = 9.0e-7;
-
-/// Probability a blob op hits a transient server-busy episode even
-/// without queue overload ("Server busy" 0.04 % of executions at ~5
-/// blob ops per execution). Blob ops have no SDK retry, so these
-/// surface directly.
-pub const SPURIOUS_BUSY_P: f64 = 1.6e-4;
+pub use simfault::rates::{
+    BLOB_CORRUPT_READ_P, BLOB_READ_FAIL_P, CONNECTION_FAIL_P, INTERNAL_ERROR_P, SPURIOUS_BUSY_P,
+};
 
 /// Jitter applied multiplicatively to service times (lognormal sigma).
 pub const SERVICE_JITTER_SIGMA: f64 = 0.18;

@@ -63,3 +63,28 @@ pub(crate) fn trace_outcome<T>(sp: &simtrace::Span, res: &Result<T>) {
         }
     }
 }
+
+/// Apply any active front-end fault episode (simfault `FrontendStorm`)
+/// to the current operation: stall, then maybe fail with an internal
+/// error. A single flag read when no injector is installed.
+pub(crate) async fn injected_frontend_fault(sim: &simcore::Sim) -> Result<()> {
+    if let Some(f) = simfault::frontend_fault(sim.now().as_secs_f64()) {
+        if f.stall_s > 0.0 {
+            sim.delay(simcore::SimDuration::from_secs_f64(f.stall_s))
+                .await;
+        }
+        if f.error {
+            return Err(StorageError::Internal);
+        }
+    }
+    Ok(())
+}
+
+/// Apply any active partition-server reassignment episode (simfault
+/// `PartitionStall`) before a mutation commit.
+pub(crate) async fn injected_commit_stall(sim: &simcore::Sim) {
+    if let Some(stall_s) = simfault::partition_stall(sim.now().as_secs_f64()) {
+        sim.delay(simcore::SimDuration::from_secs_f64(stall_s))
+            .await;
+    }
+}

@@ -27,9 +27,9 @@ use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
-use simcore::combinators::timeout;
 use simcore::prelude::*;
 
+use simfault::RetryPolicy;
 use simtrace::Layer;
 
 use crate::calib;
@@ -209,6 +209,22 @@ impl QueueService {
     fn fault(&self, p: f64) -> bool {
         self.cfg.faults.enabled && self.rng.borrow_mut().chance(p)
     }
+
+    /// Connection-level fault draw, in `RetryPolicy` precheck form.
+    fn connection_precheck(&self) -> Option<StorageError> {
+        if self.fault(self.cfg.faults.connection_fail_p) {
+            Some(StorageError::ConnectionFailed)
+        } else {
+            None
+        }
+    }
+
+    /// The 2009 queue SDK ran each op under the client timeout with no
+    /// automatic retry (re-delivery via visibility timeout is the
+    /// recovery mechanism, §5.2).
+    fn op_policy(&self) -> RetryPolicy {
+        RetryPolicy::none().with_timeout(self.cfg.op_timeout)
+    }
 }
 
 /// Per-VM queue client.
@@ -229,13 +245,10 @@ impl QueueClient {
     pub async fn add(&self, queue: &str, body: impl Into<String>, size: f64) -> Result<u64> {
         let sp = simtrace::span(Layer::Store, "queue.add", || format!("queue:{queue}"));
         let svc = &self.svc;
-        if svc.fault(svc.cfg.faults.connection_fail_p) {
-            trace_outcome::<()>(&sp, &Err(StorageError::ConnectionFailed));
-            return Err(StorageError::ConnectionFailed);
-        }
         let body = body.into();
-        let mut rng = self.rng.borrow_mut().fork("add");
         let op = async {
+            crate::injected_frontend_fault(&svc.sim).await?;
+            let mut rng = self.rng.borrow_mut().fork("add");
             let kb = size / calib::KB;
             let perf = svc.perf_of(queue);
             let fe = sp.child("frontend", || "add_station".into());
@@ -243,6 +256,7 @@ impl QueueClient {
                 .serve(kb * calib::QUEUE_PAYLOAD_S_PER_KB, &mut rng)
                 .await;
             fe.end();
+            crate::injected_commit_stall(&svc.sim).await;
             let cm = sp.child("partition.commit", || "queue_head_latch".into());
             perf.add_latch.commit(1.0, &mut rng).await?;
             cm.end();
@@ -267,10 +281,15 @@ impl QueueClient {
             svc.bump();
             Ok(id)
         };
-        let res = match timeout(&svc.sim, svc.cfg.op_timeout, op).await {
-            Ok(r) => r,
-            Err(_) => Err(StorageError::Timeout),
-        };
+        let res = svc
+            .op_policy()
+            .run_once(
+                &svc.sim,
+                || svc.connection_precheck(),
+                op,
+                || StorageError::Timeout,
+            )
+            .await;
         trace_outcome(&sp, &res);
         res
     }
@@ -279,12 +298,9 @@ impl QueueClient {
     pub async fn peek(&self, queue: &str) -> Result<Option<Message>> {
         let sp = simtrace::span(Layer::Store, "queue.peek", || format!("queue:{queue}"));
         let svc = &self.svc;
-        if svc.fault(svc.cfg.faults.connection_fail_p) {
-            trace_outcome::<()>(&sp, &Err(StorageError::ConnectionFailed));
-            return Err(StorageError::ConnectionFailed);
-        }
-        let mut rng = self.rng.borrow_mut().fork("peek");
         let op = async {
+            crate::injected_frontend_fault(&svc.sim).await?;
+            let mut rng = self.rng.borrow_mut().fork("peek");
             let perf = svc.perf_of(queue);
             let fe = sp.child("frontend", || "peek_station".into());
             perf.peek_station.serve(0.0, &mut rng).await;
@@ -300,10 +316,15 @@ impl QueueClient {
             svc.bump();
             Ok(head)
         };
-        let res = match timeout(&svc.sim, svc.cfg.op_timeout, op).await {
-            Ok(r) => r,
-            Err(_) => Err(StorageError::Timeout),
-        };
+        let res = svc
+            .op_policy()
+            .run_once(
+                &svc.sim,
+                || svc.connection_precheck(),
+                op,
+                || StorageError::Timeout,
+            )
+            .await;
         trace_outcome(&sp, &res);
         res
     }
@@ -317,17 +338,15 @@ impl QueueClient {
     ) -> Result<Option<ReceivedMessage>> {
         let sp = simtrace::span(Layer::Store, "queue.receive", || format!("queue:{queue}"));
         let svc = &self.svc;
-        if svc.fault(svc.cfg.faults.connection_fail_p) {
-            trace_outcome::<()>(&sp, &Err(StorageError::ConnectionFailed));
-            return Err(StorageError::ConnectionFailed);
-        }
         let visibility = visibility.min(SimDuration::from_secs_f64(calib::QUEUE_MAX_VISIBILITY_S));
-        let mut rng = self.rng.borrow_mut().fork("recv");
         let op = async {
+            crate::injected_frontend_fault(&svc.sim).await?;
+            let mut rng = self.rng.borrow_mut().fork("recv");
             let perf = svc.perf_of(queue);
             let fe = sp.child("frontend", || "recv_station".into());
             perf.recv_station.serve(0.0, &mut rng).await;
             fe.end();
+            crate::injected_commit_stall(&svc.sim).await;
             let cm = sp.child("partition.commit", || "queue_head_latch".into());
             perf.recv_latch.commit(1.0, &mut rng).await?;
             cm.end();
@@ -365,10 +384,15 @@ impl QueueClient {
                 None => Ok(None),
             }
         };
-        let res = match timeout(&svc.sim, svc.cfg.op_timeout, op).await {
-            Ok(r) => r,
-            Err(_) => Err(StorageError::Timeout),
-        };
+        let res = svc
+            .op_policy()
+            .run_once(
+                &svc.sim,
+                || svc.connection_precheck(),
+                op,
+                || StorageError::Timeout,
+            )
+            .await;
         trace_outcome(&sp, &res);
         res
     }
@@ -396,23 +420,21 @@ impl QueueClient {
             format!("queue:{queue}")
         });
         let svc = &self.svc;
-        if svc.fault(svc.cfg.faults.connection_fail_p) {
-            trace_outcome::<()>(&sp, &Err(StorageError::ConnectionFailed));
-            return Err(StorageError::ConnectionFailed);
-        }
         let max = max.clamp(1, 32);
         if sp.is_recording() {
             sp.attr("max", max);
         }
         let visibility = visibility.min(SimDuration::from_secs_f64(calib::QUEUE_MAX_VISIBILITY_S));
-        let mut rng = self.rng.borrow_mut().fork("recvb");
         let op = async {
+            crate::injected_frontend_fault(&svc.sim).await?;
+            let mut rng = self.rng.borrow_mut().fork("recvb");
             let perf = svc.perf_of(queue);
             let fe = sp.child("frontend", || "recv_station".into());
             perf.recv_station.serve(0.0, &mut rng).await;
             fe.end();
             // One synchronization commit covers the whole batch, plus a
             // small per-extra-message cost.
+            crate::injected_commit_stall(&svc.sim).await;
             let cm = sp.child("partition.commit", || "queue_head_latch".into());
             perf.recv_latch
                 .commit(1.0 + 0.15 * (max as f64 - 1.0), &mut rng)
@@ -452,10 +474,15 @@ impl QueueClient {
             svc.bump();
             Ok(out)
         };
-        let res = match timeout(&svc.sim, svc.cfg.op_timeout, op).await {
-            Ok(r) => r,
-            Err(_) => Err(StorageError::Timeout),
-        };
+        let res = svc
+            .op_policy()
+            .run_once(
+                &svc.sim,
+                || svc.connection_precheck(),
+                op,
+                || StorageError::Timeout,
+            )
+            .await;
         trace_outcome(&sp, &res);
         res
     }
@@ -464,19 +491,21 @@ impl QueueClient {
     /// metadata; includes currently-invisible messages).
     pub async fn approximate_count(&self, queue: &str) -> Result<usize> {
         let svc = &self.svc;
-        if svc.fault(svc.cfg.faults.connection_fail_p) {
-            return Err(StorageError::ConnectionFailed);
-        }
-        let mut rng = self.rng.borrow_mut().fork("count");
         let op = async {
+            crate::injected_frontend_fault(&svc.sim).await?;
+            let mut rng = self.rng.borrow_mut().fork("count");
             svc.perf_of(queue).peek_station.serve(0.0, &mut rng).await;
             svc.bump();
             Ok(svc.len(queue))
         };
-        match timeout(&svc.sim, svc.cfg.op_timeout, op).await {
-            Ok(r) => r,
-            Err(_) => Err(StorageError::Timeout),
-        }
+        svc.op_policy()
+            .run_once(
+                &svc.sim,
+                || svc.connection_precheck(),
+                op,
+                || StorageError::Timeout,
+            )
+            .await
     }
 
     /// Delete a received message. Fails with `NotFound` if the receipt is
@@ -487,12 +516,9 @@ impl QueueClient {
             format!("queue:{queue}")
         });
         let svc = &self.svc;
-        if svc.fault(svc.cfg.faults.connection_fail_p) {
-            trace_outcome::<()>(&sp, &Err(StorageError::ConnectionFailed));
-            return Err(StorageError::ConnectionFailed);
-        }
-        let mut rng = self.rng.borrow_mut().fork("delmsg");
         let op = async {
+            crate::injected_frontend_fault(&svc.sim).await?;
+            let mut rng = self.rng.borrow_mut().fork("delmsg");
             let fe = sp.child("frontend", || "recv_station".into());
             svc.perf_of(queue).recv_station.serve(0.0, &mut rng).await;
             fe.end();
@@ -507,10 +533,15 @@ impl QueueClient {
                 None => Err(StorageError::NotFound),
             }
         };
-        let res = match timeout(&svc.sim, svc.cfg.op_timeout, op).await {
-            Ok(r) => r,
-            Err(_) => Err(StorageError::Timeout),
-        };
+        let res = svc
+            .op_policy()
+            .run_once(
+                &svc.sim,
+                || svc.connection_precheck(),
+                op,
+                || StorageError::Timeout,
+            )
+            .await;
         trace_outcome(&sp, &res);
         res
     }

@@ -51,13 +51,22 @@ impl FaultProfile {
 
     /// Rates calibrated to the ModisAzure Table 2 breakdown.
     pub fn production() -> Self {
+        Self::from_storage(simfault::StorageFaults::paper())
+    }
+
+    /// Adopt the steady-state rates of a simfault plan's storage block.
+    pub fn from_plan(plan: &simfault::FaultPlan) -> Self {
+        Self::from_storage(plan.storage)
+    }
+
+    fn from_storage(s: simfault::StorageFaults) -> Self {
         FaultProfile {
-            enabled: true,
-            connection_fail_p: calib::CONNECTION_FAIL_P,
-            corrupt_read_p: calib::BLOB_CORRUPT_READ_P,
-            read_fail_p: calib::BLOB_READ_FAIL_P,
-            spurious_busy_p: calib::SPURIOUS_BUSY_P,
-            internal_error_p: calib::INTERNAL_ERROR_P,
+            enabled: s.enabled,
+            connection_fail_p: s.connection_fail_p,
+            corrupt_read_p: s.corrupt_read_p,
+            read_fail_p: s.read_fail_p,
+            spurious_busy_p: s.spurious_busy_p,
+            internal_error_p: s.internal_error_p,
         }
     }
 }

@@ -93,7 +93,15 @@ impl LoadedStation {
     pub async fn serve(&self, extra_s: f64, rng: &mut SimRng) -> SimDuration {
         let guard = CountGuard::enter(&self.in_flight);
         let n = self.in_flight.get();
-        let s = (self.base_s + self.load_s * n as f64 + extra_s) * jitter(rng, self.jitter_sigma);
+        let mut s =
+            (self.base_s + self.load_s * n as f64 + extra_s) * jitter(rng, self.jitter_sigma);
+        // An active simfault network episode (link degradation /
+        // partition) stretches the round trip embedded in the service
+        // time — a partition pushes ops past every client timeout.
+        let m = simfault::net_rtt_multiplier(self.sim.now().as_secs_f64());
+        if m != 1.0 {
+            s *= m;
+        }
         let d = SimDuration::from_secs_f64(s);
         self.sim.delay(d).await;
         drop(guard);
@@ -167,10 +175,16 @@ impl ContendedLatch {
         let permit = self.latch.acquire().await;
         // Hold time reflects the contention observed while committing.
         let n = self.waiters.get() as f64;
-        let hold = self.hold_s
+        let mut hold = self.hold_s
             * hold_factor
             * (1.0 + n / self.hold_nscale)
             * jitter(rng, self.jitter_sigma);
+        // See `LoadedStation::serve`: network episodes stretch commits
+        // too (the latch is held across the partition's round trips).
+        let m = simfault::net_rtt_multiplier(self.sim.now().as_secs_f64());
+        if m != 1.0 {
+            hold *= m;
+        }
         self.sim.delay(SimDuration::from_secs_f64(hold)).await;
         drop(permit);
         drop(guard);

@@ -21,9 +21,9 @@ use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
-use simcore::combinators::timeout;
 use simcore::prelude::*;
 
+use simfault::{Jitter, RetryPolicy};
 use simtrace::Layer;
 
 use crate::calib;
@@ -280,6 +280,15 @@ impl TableService {
     fn fault(&self, p: f64) -> bool {
         self.cfg.faults.enabled && self.rng.borrow_mut().chance(p)
     }
+
+    /// Connection-level fault draw, in `RetryPolicy` precheck form.
+    fn connection_precheck(&self) -> Option<StorageError> {
+        if self.fault(self.cfg.faults.connection_fail_p) {
+            Some(StorageError::ConnectionFailed)
+        } else {
+            None
+        }
+    }
 }
 
 /// A property filter for non-indexed queries.
@@ -301,33 +310,37 @@ impl TableClient {
         }
     }
 
+    /// The 2009 SDK's retry behaviour as a [`RetryPolicy`]: ServerBusy
+    /// retried with jittered exponential backoff; every attempt carries
+    /// the configured client timeout, and a client-side timeout is
+    /// surfaced directly ("timeout exceptions from the server").
+    fn sdk_policy(&self) -> RetryPolicy {
+        RetryPolicy::exponential(
+            calib::CLIENT_BUSY_BACKOFF_S,
+            2.0,
+            calib::CLIENT_BUSY_RETRIES,
+        )
+        .with_timeout(self.svc.cfg.op_timeout)
+        .with_jitter(Jitter::Centered)
+        .with_counter("store.sdk_retries")
+    }
+
     async fn with_sdk_semantics<F, Fut>(&self, op: F) -> Result<()>
     where
         F: Fn() -> Fut,
         Fut: std::future::Future<Output = Result<()>>,
     {
         let svc = &self.svc;
-        let mut backoff = calib::CLIENT_BUSY_BACKOFF_S;
-        for attempt in 0..=calib::CLIENT_BUSY_RETRIES {
-            if svc.fault(svc.cfg.faults.connection_fail_p) {
-                return Err(StorageError::ConnectionFailed);
-            }
-            match timeout(&svc.sim, svc.cfg.op_timeout, op()).await {
-                Ok(Ok(())) => return Ok(()),
-                Ok(Err(StorageError::ServerBusy)) if attempt < calib::CLIENT_BUSY_RETRIES => {
-                    // Jittered exponential backoff, then retry.
-                    simtrace::counter("store.sdk_retries", 1);
-                    let j = 0.5 + self.rng.borrow_mut().f64();
-                    svc.sim.delay(SimDuration::from_secs_f64(backoff * j)).await;
-                    backoff *= 2.0;
-                }
-                Ok(Err(e)) => return Err(e),
-                // Client-side timeout: the paper's clients surface these
-                // as "timeout exceptions from the server".
-                Err(_) => return Err(StorageError::Timeout),
-            }
-        }
-        Err(StorageError::Timeout)
+        self.sdk_policy()
+            .run(
+                &svc.sim,
+                Some(&self.rng),
+                || svc.connection_precheck(),
+                |_| op(),
+                |e| *e == StorageError::ServerBusy,
+                || StorageError::Timeout,
+            )
+            .await
     }
 
     /// Insert a new entity; `AlreadyExists` if (pk, rk) is taken.
@@ -344,6 +357,7 @@ impl TableClient {
                 let table = table.clone();
                 let entity = entity.borrow().clone();
                 async move {
+                    crate::injected_frontend_fault(&svc.sim).await?;
                     let entity = entity.expect("entity consumed");
                     let mut rng = svc.rng.borrow_mut().fork("ins");
                     let fe = sp.child("frontend", || "insert_station".into());
@@ -357,6 +371,7 @@ impl TableClient {
                         // Multi-extent write path: a large serialized commit.
                         hold_factor += calib::TABLE_LARGE_COMMIT_S / calib::TABLE_INSERT_HOLD_S;
                     }
+                    crate::injected_commit_stall(&svc.sim).await;
                     let cm = sp.child("partition.commit", || "partition_latch".into());
                     latch.commit(hold_factor, &mut rng).await?;
                     cm.end();
@@ -390,12 +405,9 @@ impl TableClient {
             format!("table:{table}")
         });
         let svc = &self.svc;
-        if svc.fault(svc.cfg.faults.connection_fail_p) {
-            trace_outcome::<()>(&sp, &Err(StorageError::ConnectionFailed));
-            return Err(StorageError::ConnectionFailed);
-        }
-        let mut rng = svc.rng.borrow_mut().fork("q");
         let op = async {
+            crate::injected_frontend_fault(&svc.sim).await?;
+            let mut rng = svc.rng.borrow_mut().fork("q");
             let fe = sp.child("frontend", || "query_station".into());
             svc.query_station.serve(0.0, &mut rng).await;
             fe.end();
@@ -409,10 +421,15 @@ impl TableClient {
             svc.bump();
             found.ok_or(StorageError::NotFound)
         };
-        let res = match timeout(&svc.sim, svc.cfg.op_timeout, op).await {
-            Ok(r) => r,
-            Err(_) => Err(StorageError::Timeout),
-        };
+        let res = RetryPolicy::none()
+            .with_timeout(svc.cfg.op_timeout)
+            .run_once(
+                &svc.sim,
+                || svc.connection_precheck(),
+                op,
+                || StorageError::Timeout,
+            )
+            .await;
         trace_outcome(&sp, &res);
         res
     }
@@ -434,13 +451,10 @@ impl TableClient {
             format!("table:{table}")
         });
         let svc = &self.svc;
-        if svc.fault(svc.cfg.faults.connection_fail_p) {
-            trace_outcome::<()>(&sp, &Err(StorageError::ConnectionFailed));
-            return Err(StorageError::ConnectionFailed);
-        }
         let limit = limit.clamp(1, 1000);
-        let mut rng = svc.rng.borrow_mut().fork("range");
         let op = async {
+            crate::injected_frontend_fault(&svc.sim).await?;
+            let mut rng = svc.rng.borrow_mut().fork("range");
             // Index seek plus a small per-returned-entity cost.
             let hits: Vec<Entity> = svc
                 .tables
@@ -462,10 +476,15 @@ impl TableClient {
             svc.bump();
             Ok(hits)
         };
-        let res = match timeout(&svc.sim, svc.cfg.op_timeout, op).await {
-            Ok(r) => r,
-            Err(_) => Err(StorageError::Timeout),
-        };
+        let res = RetryPolicy::none()
+            .with_timeout(svc.cfg.op_timeout)
+            .run_once(
+                &svc.sim,
+                || svc.connection_precheck(),
+                op,
+                || StorageError::Timeout,
+            )
+            .await;
         trace_outcome(&sp, &res);
         res
     }
@@ -483,17 +502,14 @@ impl TableClient {
             format!("table:{table}")
         });
         let svc = &self.svc;
-        if svc.fault(svc.cfg.faults.connection_fail_p) {
-            trace_outcome::<()>(&sp, &Err(StorageError::ConnectionFailed));
-            return Err(StorageError::ConnectionFailed);
-        }
         let n = svc.partition_len(table, pk);
         if sp.is_recording() {
             sp.attr("partition_len", n);
         }
         let scan_cost = n as f64 * calib::TABLE_SCAN_S_PER_ENTITY;
-        let mut rng = svc.rng.borrow_mut().fork("scan");
         let op = async {
+            crate::injected_frontend_fault(&svc.sim).await?;
+            let mut rng = svc.rng.borrow_mut().fork("scan");
             let fe = sp.child("frontend", || "query_station".into());
             svc.query_station.serve(scan_cost, &mut rng).await;
             fe.end();
@@ -507,10 +523,15 @@ impl TableClient {
             svc.bump();
             Ok(hits)
         };
-        let res = match timeout(&svc.sim, svc.cfg.op_timeout, op).await {
-            Ok(r) => r,
-            Err(_) => Err(StorageError::Timeout),
-        };
+        let res = RetryPolicy::none()
+            .with_timeout(svc.cfg.op_timeout)
+            .run_once(
+                &svc.sim,
+                || svc.connection_precheck(),
+                op,
+                || StorageError::Timeout,
+            )
+            .await;
         trace_outcome(&sp, &res);
         res
     }
@@ -533,6 +554,7 @@ impl TableClient {
                 let table = table.clone();
                 let entity = entity.borrow().clone();
                 async move {
+                    crate::injected_frontend_fault(&svc.sim).await?;
                     let entity = entity.expect("entity consumed");
                     let mut rng = svc.rng.borrow_mut().fork("upd");
                     let fe = sp.child("frontend", || "update_station".into());
@@ -542,6 +564,7 @@ impl TableClient {
                     fe.end();
                     let latch = svc.update_latch(&table, &entity.partition_key, &entity.row_key);
                     let hold_factor = (kb / 4.0).max(0.25);
+                    crate::injected_commit_stall(&svc.sim).await;
                     let cm = sp.child("partition.commit", || "entity_latch".into());
                     latch.commit(hold_factor, &mut rng).await?;
                     cm.end();
@@ -576,11 +599,13 @@ impl TableClient {
                 let svc = Rc::clone(&svc);
                 let (table, pk, rk) = (table.clone(), pk.clone(), rk.clone());
                 async move {
+                    crate::injected_frontend_fault(&svc.sim).await?;
                     let mut rng = svc.rng.borrow_mut().fork("del");
                     let fe = sp.child("frontend", || "delete_station".into());
                     svc.delete_station.serve(0.0, &mut rng).await;
                     fe.end();
                     let latch = svc.delete_latch(&table, &pk);
+                    crate::injected_commit_stall(&svc.sim).await;
                     let cm = sp.child("partition.commit", || "partition_latch".into());
                     latch.commit(1.0, &mut rng).await?;
                     cm.end();

@@ -1,18 +1,22 @@
 //! Regenerate Fig 7: percent of daily task executions killed by the VM
 //! execution timeout over the campaign (paper §5.2).
 
-use bench::{print_anchors, quick_mode, run_traced, save, trace_path};
+use bench::{fault_plan, print_anchors, quick_mode, run_traced, save, trace_path};
 use cloudbench::anchors;
 use modis::campaign::run_campaign_on;
 use modis::{run_campaign, ModisConfig};
 use simcore::report::Csv;
 
 fn main() {
-    let cfg = if quick_mode() {
+    let mut cfg = if quick_mode() {
         ModisConfig::quick()
     } else {
         ModisConfig::default()
     };
+    if let Some(plan) = fault_plan() {
+        eprintln!("fig7: fault plan \"{}\"", plan.name);
+        cfg.faults = plan;
+    }
     eprintln!(
         "fig7: {}-day campaign, {} workers ...",
         cfg.days, cfg.workers
@@ -52,7 +56,7 @@ fn main() {
     if let Some(path) = trace_path() {
         eprintln!("fig7: traced mini-campaign ...");
         run_traced(&path, 0x0D15, |sim| {
-            let cfg = ModisConfig {
+            let mut cfg = ModisConfig {
                 workers: 8,
                 days: 2,
                 arrival_scale: 4.0,
@@ -60,6 +64,9 @@ fn main() {
                 request_days: (4, 10),
                 ..ModisConfig::quick()
             };
+            if let Some(plan) = fault_plan() {
+                cfg.faults = plan;
+            }
             let report = run_campaign_on(sim, cfg);
             eprintln!("fig7: traced {} executions", report.executions);
         });

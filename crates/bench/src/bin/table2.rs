@@ -4,17 +4,21 @@
 //! Full scale runs ≈ 3 M task executions (a few minutes of wall time);
 //! `--quick` runs a scaled-down month.
 
-use bench::{print_anchors, quick_mode, run_traced, save, trace_path};
+use bench::{fault_plan, print_anchors, quick_mode, run_traced, save, trace_path};
 use cloudbench::anchors;
 use modis::campaign::run_campaign_on;
 use modis::{run_campaign, ModisConfig};
 
 fn main() {
-    let cfg = if quick_mode() {
+    let mut cfg = if quick_mode() {
         ModisConfig::quick()
     } else {
         ModisConfig::default()
     };
+    if let Some(plan) = fault_plan() {
+        eprintln!("table2: fault plan \"{}\"", plan.name);
+        cfg.faults = plan;
+    }
     eprintln!(
         "table2: {}-day campaign, {} workers (this simulates millions of task executions) ...",
         cfg.days, cfg.workers
@@ -51,7 +55,7 @@ fn main() {
     if let Some(path) = trace_path() {
         eprintln!("table2: traced mini-campaign ...");
         run_traced(&path, 0x0D15, |sim| {
-            let cfg = ModisConfig {
+            let mut cfg = ModisConfig {
                 workers: 8,
                 days: 2,
                 arrival_scale: 4.0,
@@ -59,6 +63,9 @@ fn main() {
                 request_days: (4, 10),
                 ..ModisConfig::quick()
             };
+            if let Some(plan) = fault_plan() {
+                cfg.faults = plan;
+            }
             let report = run_campaign_on(sim, cfg);
             eprintln!("table2: traced {} executions", report.executions);
         });

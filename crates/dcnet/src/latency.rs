@@ -102,6 +102,65 @@ impl LatencyModel {
         let p = self.sample_placement(rng);
         self.sample_rtt(p, rng)
     }
+
+    /// Sample one RTT with any active simfault network episode applied:
+    /// `LinkDegrade` multiplies the sampled value, `NetPartition`
+    /// stretches it by the partition multiplier (≈ a dropped packet's
+    /// worth of time). A single flag read when no injector is installed.
+    pub fn sample_rtt_at(
+        &self,
+        sim: &Sim,
+        placement: PairPlacement,
+        rng: &mut SimRng,
+    ) -> SimDuration {
+        let rtt = self.sample_rtt(placement, rng);
+        let m = simfault::net_rtt_multiplier(sim.now().as_secs_f64());
+        if m == 1.0 {
+            rtt
+        } else {
+            rtt.mul_f64(m)
+        }
+    }
+
+    /// Deterministically allocate placement classes to `pairs` fresh VM
+    /// pairs in the mixture's proportions (largest-remainder rounding,
+    /// ties to the nearer class). Models the fabric's fault-domain
+    /// spreading: a deployment's realized placement mix tracks the
+    /// datacenter-wide mixture instead of wandering with i.i.d.
+    /// sampling noise — which is what lets a 10-pair latency census
+    /// land on Fig 4's anchors instead of on placement luck.
+    pub fn spread_placements(&self, pairs: usize) -> Vec<PairPlacement> {
+        let p_distant = (1.0 - self.p_same_rack - self.p_cross_rack).max(0.0);
+        let mut quota: Vec<(PairPlacement, usize, f64)> = [
+            (PairPlacement::SameRack, self.p_same_rack),
+            (PairPlacement::CrossRack, self.p_cross_rack),
+            (PairPlacement::Distant, p_distant),
+        ]
+        .iter()
+        .map(|&(class, p)| {
+            let exact = p * pairs as f64;
+            (class, exact.floor() as usize, exact - exact.floor())
+        })
+        .collect();
+        let mut assigned: usize = quota.iter().map(|q| q.1).sum();
+        while assigned < pairs {
+            // Largest remainder next; first class wins ties.
+            let mut i = 0;
+            for j in 1..quota.len() {
+                if quota[j].2 > quota[i].2 {
+                    i = j;
+                }
+            }
+            quota[i].1 += 1;
+            quota[i].2 = -1.0;
+            assigned += 1;
+        }
+        let mut out = Vec::with_capacity(pairs);
+        for (class, n, _) in quota {
+            out.extend(std::iter::repeat_n(class, n));
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -161,6 +220,54 @@ mod tests {
         }
         let frac = same as f64 / n as f64;
         assert!((frac - m.p_same_rack).abs() < 0.01, "frac={frac}");
+    }
+
+    #[test]
+    fn injected_link_degradation_scales_rtt() {
+        let sim = Sim::new(11);
+        let plan = simfault::FaultPlan {
+            name: "degrade",
+            storage: simfault::StorageFaults::clean(),
+            episodes: vec![simfault::FaultEpisode {
+                start_s: 0.0,
+                duration_s: 100.0,
+                kind: simfault::FaultKind::LinkDegrade {
+                    rtt_multiplier: 10.0,
+                },
+            }],
+        };
+        let _g = simfault::install(&sim, &plan);
+        let m = LatencyModel::default();
+        let mut a = SimRng::from_seed(3);
+        let mut b = SimRng::from_seed(3);
+        let plain = m.sample_rtt(PairPlacement::SameRack, &mut a);
+        let scaled = m.sample_rtt_at(&sim, PairPlacement::SameRack, &mut b);
+        let ratio = scaled.as_secs_f64() / plain.as_secs_f64();
+        assert!((ratio - 10.0).abs() < 1e-9, "ratio={ratio}");
+    }
+
+    #[test]
+    fn spread_placements_follows_the_mixture_exactly() {
+        let m = LatencyModel::default();
+        // 10 pairs at 0.55/0.33/0.12: floors 5/3/1, the spare slot goes
+        // to the largest remainder (same-rack, .5).
+        let ten = m.spread_placements(10);
+        let count = |c: PairPlacement| ten.iter().filter(|&&p| p == c).count();
+        assert_eq!(count(PairPlacement::SameRack), 6);
+        assert_eq!(count(PairPlacement::CrossRack), 3);
+        assert_eq!(count(PairPlacement::Distant), 1);
+        // Always exactly `pairs` slots, at any scale.
+        for n in 0..50 {
+            assert_eq!(m.spread_placements(n).len(), n);
+        }
+        // At scale the mix converges on the probabilities.
+        let big = m.spread_placements(10_000);
+        let same = big
+            .iter()
+            .filter(|&&p| p == PairPlacement::SameRack)
+            .count() as f64
+            / 10_000.0;
+        assert!((same - m.p_same_rack).abs() < 1e-3, "same={same}");
     }
 
     #[test]

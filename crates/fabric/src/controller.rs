@@ -314,6 +314,26 @@ impl Deployment {
         self.start_instances(0, &offsets, Phase::Run).await
     }
 
+    /// Start the deployment, retrying startup failures under `policy`
+    /// (§4.1: 2.6 % of run/add requests fail and "one simply needs to
+    /// retry the request"). Off the Table 1 measurement path, which
+    /// times single attempts; applications that must come up use this.
+    pub async fn run_with_retry(
+        &self,
+        policy: &simfault::RetryPolicy,
+    ) -> Result<PhaseReport, FabricError> {
+        policy
+            .run(
+                &self.fc.sim,
+                None,
+                || None,
+                |_| self.run(),
+                |e| matches!(e, FabricError::StartupFailure),
+                || FabricError::InvalidState("lifecycle retry timed out"),
+            )
+            .await
+    }
+
     /// Double the instance count (Table 1 "Add"); unsupported for
     /// extra-large (the paper's N/A) and quota-checked.
     pub async fn add_instances(&self) -> Result<PhaseReport, FabricError> {
@@ -835,6 +855,35 @@ mod tests {
         });
         sim.run();
         assert_eq!(h.try_take().unwrap(), 9);
+    }
+
+    #[test]
+    fn run_with_retry_survives_startup_failures() {
+        // 60 % per-attempt failure: the single-attempt run() would fail
+        // most seeds, but the retrying form must come up eventually.
+        let sim = Sim::new(13);
+        let fc = FabricController::new(
+            &sim,
+            FabricConfig {
+                startup_failure_p: 0.6,
+                ..FabricConfig::default()
+            },
+        );
+        let h = sim.spawn(async move {
+            let dep = fc
+                .create_deployment(DeploymentSpec::paper_test(RoleType::Worker, VmSize::Small))
+                .await
+                .unwrap();
+            let report = dep
+                .run_with_retry(&simfault::RetryPolicy::fixed(30.0, simfault::FOREVER))
+                .await
+                .unwrap();
+            (report.phase, dep.instance_status(0))
+        });
+        sim.run();
+        let (phase, status) = h.try_take().unwrap();
+        assert_eq!(phase, Phase::Run);
+        assert_eq!(status, InstanceStatus::Ready);
     }
 
     #[test]

@@ -185,6 +185,18 @@ impl HostPool {
                 }
             }
         }
+        // Injected faults (simfault `HostCrash` / `GrayFailure`)
+        // compose with the endogenous variation process: the slowest
+        // active source wins and the segment ends at the nearest
+        // boundary of either. A single flag read when no injector is
+        // installed.
+        if let Some((inj_speed, inj_until_s)) = simfault::host_speed(host as u64, t.as_secs_f64()) {
+            speed = speed.min(inj_speed);
+            // until is infinite once all of the host's episodes are past.
+            if inj_until_s.is_finite() {
+                until = until.min(SimTime::ZERO + SimDuration::from_secs_f64(inj_until_s));
+            }
+        }
         (speed, until.max(t + SimDuration::from_nanos(1)))
     }
 
@@ -392,6 +404,54 @@ mod tests {
             }
         }
         assert!(crossing, "no midnight-spanning episode observed");
+    }
+
+    #[test]
+    fn injected_host_faults_compose_with_variation() {
+        let sim = Sim::new(20);
+        let plan = simfault::FaultPlan {
+            name: "test-crash",
+            storage: simfault::StorageFaults::clean(),
+            episodes: vec![simfault::FaultEpisode {
+                start_s: 100.0,
+                duration_s: 50.0,
+                kind: simfault::FaultKind::HostCrash { host: 0 },
+            }],
+        };
+        let _g = simfault::install(&sim, &plan);
+        let pool = HostPool::new(&sim, HostPoolConfig::default());
+        let t = SimTime::ZERO + SimDuration::from_secs(120);
+        let (speed, until) = pool.speed_segment(0, t);
+        assert_eq!(speed, 0.0, "crashed host must stop");
+        assert_eq!((until - SimTime::ZERO).as_secs_f64(), 150.0);
+        // A host the plan never names is untouched.
+        assert_eq!(pool.speed_segment(1, t).0, 1.0);
+        // Before the episode the host runs at nominal speed and the
+        // segment ends when the crash begins.
+        let (s0, u0) = pool.speed_segment(0, SimTime::ZERO + SimDuration::from_secs(90));
+        assert_eq!(s0, 1.0);
+        assert_eq!((u0 - SimTime::ZERO).as_secs_f64(), 100.0);
+    }
+
+    #[test]
+    fn crashed_host_stalls_execution_until_the_episode_ends() {
+        let sim = Sim::new(21);
+        let plan = simfault::FaultPlan {
+            name: "test-crash",
+            storage: simfault::StorageFaults::clean(),
+            episodes: vec![simfault::FaultEpisode {
+                start_s: 0.0,
+                duration_s: 300.0,
+                kind: simfault::FaultKind::HostCrash { host: 0 },
+            }],
+        };
+        let _g = simfault::install(&sim, &plan);
+        let pool = HostPool::new(&sim, HostPoolConfig::default());
+        let p = Rc::clone(&pool);
+        let h = sim.spawn(async move { p.execute(0, SimDuration::from_secs(60)).await });
+        sim.run();
+        // 300 s dead, then 60 s of work at nominal speed.
+        assert_eq!(h.try_take().unwrap(), SimDuration::from_secs(360));
     }
 
     #[test]

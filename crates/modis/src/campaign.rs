@@ -54,6 +54,11 @@ pub fn run_campaign(cfg: ModisConfig) -> CampaignReport {
 /// beforehand and the campaign's task/storage/network spans land in it.
 pub fn run_campaign_on(sim: &Sim, cfg: ModisConfig) -> CampaignReport {
     let sim = sim.clone();
+    // Activate the campaign's fault plan: steady-state rates are baked
+    // into the stamp config below; scheduled episodes (if any) need the
+    // injector installed for this sim. Plans without episodes make this
+    // a no-op beyond a thread-local flag.
+    let _faults = simfault::install(&sim, &cfg.faults);
     let sys = ModisSystem::new(&sim, cfg);
 
     let manager = spawn_manager(&sys);

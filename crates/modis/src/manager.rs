@@ -19,9 +19,21 @@ use std::rc::Rc;
 
 use simcore::prelude::*;
 
+use simfault::RetryPolicy;
+
 use crate::calib;
 use crate::system::{ModisSystem, DATA_CONTAINER, TASK_QUEUE};
 use crate::tasks::{TaskSpec, TileDay};
+
+/// The manager never gives up on an enqueue: a 2 s fixed-interval retry
+/// with an unbounded budget.
+const ENQUEUE_RETRY: RetryPolicy = RetryPolicy {
+    backoff: simfault::Backoff::Fixed(2.0),
+    retries: simfault::FOREVER,
+    attempt_timeout: None,
+    jitter: simfault::Jitter::None,
+    retry_counter: None,
+};
 
 /// Counters the manager reports at the end.
 #[derive(Debug, Clone, Copy, Default)]
@@ -129,16 +141,18 @@ pub fn spawn_manager(sys: &Rc<ModisSystem>) -> simcore::JoinHandle<ManagerStats>
                 let id = sys.register_task(spec);
                 stats.tasks_created += 1;
                 // Task descriptors are ~1.5 kB queue messages. The add
-                // is retried on transient faults: losing a task message
-                // would strand its request forever.
-                while manager_client
-                    .queue
-                    .add(TASK_QUEUE, id.to_string(), 1500.0)
-                    .await
-                    .is_err()
-                {
-                    sim.delay(SimDuration::from_secs(2)).await;
-                }
+                // is retried on any error, forever: losing a task
+                // message would strand its request forever.
+                let _ = ENQUEUE_RETRY
+                    .run(
+                        &sim,
+                        None,
+                        || None,
+                        |_| manager_client.queue.add(TASK_QUEUE, id.to_string(), 1500.0),
+                        |_| true,
+                        || azstore::StorageError::Timeout,
+                    )
+                    .await;
             }
         }
         sys.manager_done.set(true);

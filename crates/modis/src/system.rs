@@ -2,7 +2,7 @@
 //! running-execution registry, and the wiring of all substrates.
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
 use azstore::{FaultProfile, StampConfig, StorageStamp};
@@ -39,6 +39,11 @@ pub struct ModisConfig {
     /// Enable the task monitor (§5.2's watchdog). Off = the ablation:
     /// slow executions run to completion instead of being killed at 4x.
     pub watchdog: bool,
+    /// Fault plan: steady-state storage fault rates (Table 2's
+    /// calibration) plus any scheduled fault episodes. The default is
+    /// [`simfault::FaultPlan::paper`] — rates on, no episodes — which
+    /// is exactly the old production profile.
+    pub faults: simfault::FaultPlan,
     /// RNG seed.
     pub seed: u64,
 }
@@ -55,6 +60,7 @@ impl Default for ModisConfig {
             day_pool: calib::DAY_POOL,
             variation: true,
             watchdog: true,
+            faults: simfault::FaultPlan::paper(),
             seed: 0x0D15,
         }
     }
@@ -127,8 +133,11 @@ pub struct ModisSystem {
     /// at the orchestration layer; per-execution status still flows
     /// through the real table service from the workers).
     pub tasks: RefCell<HashMap<TaskId, TaskState>>,
-    /// Executions currently on a worker, by execution id.
-    pub running: RefCell<HashMap<u64, Rc<RunningExec>>>,
+    /// Executions currently on a worker, by execution id. Ordered so
+    /// the monitor's victim scan (and thus kill order) is a pure
+    /// function of the ids — HashMap iteration order is randomized per
+    /// instance, which made same-seed campaigns diverge.
+    pub running: RefCell<BTreeMap<u64, Rc<RunningExec>>>,
     next_task: Cell<TaskId>,
     next_exec: Cell<u64>,
     /// Set when the portal stops generating requests.
@@ -152,7 +161,7 @@ impl ModisSystem {
             sim,
             &net,
             StampConfig {
-                faults: FaultProfile::production(),
+                faults: FaultProfile::from_plan(&cfg.faults),
                 ..StampConfig::default()
             },
         );
@@ -179,7 +188,7 @@ impl ModisSystem {
             catalog,
             telemetry: Telemetry::new(),
             tasks: RefCell::new(HashMap::new()),
-            running: RefCell::new(HashMap::new()),
+            running: RefCell::new(BTreeMap::new()),
             next_task: Cell::new(1),
             next_exec: Cell::new(1),
             manager_done: Cell::new(false),

@@ -11,6 +11,7 @@ use std::rc::Rc;
 use azstore::{Entity, PropValue, StorageAccountClient, StorageError};
 use simcore::combinators::{select2, Either};
 use simcore::prelude::*;
+use simfault::Backoff;
 
 use crate::calib;
 use crate::system::{ModisSystem, RunningExec, DATA_CONTAINER, STATUS_TABLE, TASK_QUEUE};
@@ -58,7 +59,14 @@ async fn worker_loop(sys: Rc<ModisSystem>, idx: usize) -> WorkerStats {
     let host = sys.host_of_worker(idx);
     let mut rng = sim.rng(&format!("modis.worker.{idx}"));
     let mut stats = WorkerStats::default();
-    let mut idle_backoff = 5.0f64;
+    // Idle poll backoff: 5 s doubling to a 10 min cap, rewound whenever
+    // a message arrives (the paper's workers "watch queues").
+    let mut idle_backoff = Backoff::Exponential {
+        base_s: 5.0,
+        factor: 2.0,
+        max_s: 600.0,
+    }
+    .seq();
     let visibility = SimDuration::from_secs_f64(calib::TASK_VISIBILITY_S);
     loop {
         if sys.shutdown.is_fired() {
@@ -66,13 +74,13 @@ async fn worker_loop(sys: Rc<ModisSystem>, idx: usize) -> WorkerStats {
         }
         let msg = match client.queue.receive(TASK_QUEUE, visibility).await {
             Ok(Some(m)) => {
-                idle_backoff = 5.0;
+                idle_backoff.reset();
                 m
             }
             Ok(None) | Err(_) => {
-                let wait = Box::pin(sim.delay(SimDuration::from_secs_f64(idle_backoff)));
+                let wait =
+                    Box::pin(sim.delay(SimDuration::from_secs_f64(idle_backoff.next_delay_s())));
                 let stop = Box::pin(sys.shutdown.wait());
-                idle_backoff = (idle_backoff * 2.0).min(600.0);
                 if matches!(select2(stop, wait).await, Either::Left(())) {
                     break;
                 }

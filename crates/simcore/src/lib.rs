@@ -48,7 +48,7 @@ pub mod stats;
 pub mod sync;
 pub mod time;
 
-pub use sim::{Delay, EventHandle, JoinHandle, KernelEvent, Sim};
+pub use sim::{Delay, EventHandle, JoinHandle, KernelEvent, KernelHook, KernelHookId, Sim};
 pub use time::{SimDuration, SimTime};
 
 /// One-stop imports for model code.

@@ -73,11 +73,12 @@ impl EventHandle {
     }
 }
 
-/// Kernel-level happenings observable through [`Sim::set_kernel_hook`].
+/// Kernel-level happenings observable through [`Sim::add_kernel_hook`].
 ///
-/// The hook exists so an external tracing subsystem (the `simtrace`
-/// crate) can watch executor activity without the kernel depending on
-/// it. When no hook is installed the cost is a single flag check.
+/// Hooks exist so external subsystems (the `simtrace` tracer, the
+/// `simfault` injector) can watch executor activity without the kernel
+/// depending on them. When no hook is installed the cost is a single
+/// flag check.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum KernelEvent {
     /// A simulation process was spawned.
@@ -88,8 +89,12 @@ pub enum KernelEvent {
     CallFired,
 }
 
-/// Shape of the kernel observation hook (see [`Sim::set_kernel_hook`]).
+/// Shape of a kernel observation hook (see [`Sim::add_kernel_hook`]).
 pub type KernelHook = Rc<dyn Fn(&Sim, KernelEvent)>;
+
+/// Handle identifying one installed kernel hook.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelHookId(u64);
 
 struct SimInner {
     now: Cell<SimTime>,
@@ -99,7 +104,8 @@ struct SimInner {
     events_fired: Cell<u64>,
     trace_hash: Cell<u64>,
     base_seed: u64,
-    hook: RefCell<Option<KernelHook>>,
+    hooks: RefCell<Vec<(u64, KernelHook)>>,
+    next_hook_id: Cell<u64>,
     has_hook: Cell<bool>,
 }
 
@@ -121,26 +127,47 @@ impl Sim {
                 events_fired: Cell::new(0),
                 trace_hash: Cell::new(0xcbf2_9ce4_8422_2325),
                 base_seed: seed,
-                hook: RefCell::new(None),
+                hooks: RefCell::new(Vec::new()),
+                next_hook_id: Cell::new(0),
                 has_hook: Cell::new(false),
             }),
         }
     }
 
-    /// Install (or clear) the kernel observation hook. The hook fires on
-    /// process spawn and on every event pop; it must not re-enter the
-    /// simulation. `None` removes the hook and restores the zero-cost
-    /// fast path.
-    pub fn set_kernel_hook(&self, hook: Option<KernelHook>) {
-        self.inner.has_hook.set(hook.is_some());
-        *self.inner.hook.borrow_mut() = hook;
+    /// Install a kernel observation hook. Hooks fire on process spawn
+    /// and on every event pop, in installation order; a hook must not
+    /// re-enter the simulation. Several independent subsystems (tracer,
+    /// fault injector) can each hold one; remove with
+    /// [`remove_kernel_hook`](Self::remove_kernel_hook). With no hooks
+    /// installed the emission cost is a single flag check.
+    pub fn add_kernel_hook(&self, hook: KernelHook) -> KernelHookId {
+        let id = self.inner.next_hook_id.get();
+        self.inner.next_hook_id.set(id + 1);
+        self.inner.hooks.borrow_mut().push((id, hook));
+        self.inner.has_hook.set(true);
+        KernelHookId(id)
+    }
+
+    /// Remove a previously installed kernel hook; unknown ids are a
+    /// no-op (a guard may outlive a hook explicitly removed earlier).
+    pub fn remove_kernel_hook(&self, id: KernelHookId) {
+        let mut hooks = self.inner.hooks.borrow_mut();
+        hooks.retain(|(h, _)| *h != id.0);
+        self.inner.has_hook.set(!hooks.is_empty());
     }
 
     #[inline]
     fn emit_kernel(&self, ev: KernelEvent) {
         if self.inner.has_hook.get() {
-            let hook = self.inner.hook.borrow().clone();
-            if let Some(h) = hook {
+            // Clone out so hooks can (un)install hooks while iterating.
+            let hooks: Vec<KernelHook> = self
+                .inner
+                .hooks
+                .borrow()
+                .iter()
+                .map(|(_, h)| Rc::clone(h))
+                .collect();
+            for h in hooks {
                 h(self, ev);
             }
         }

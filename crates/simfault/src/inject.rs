@@ -1,0 +1,394 @@
+//! The injector: activates a [`FaultPlan`](crate::plan::FaultPlan) for
+//! the current thread's simulation.
+//!
+//! Mirrors simtrace's installation pattern: a thread-local active
+//! injector behind a const-initialised fast flag, installed for a scope
+//! by an RAII guard. Model code queries the module functions
+//! ([`host_speed`], [`net_rtt_multiplier`], [`frontend_fault`],
+//! [`partition_stall`]) at its existing decision points; with no
+//! injector installed every query is a single `Cell` read returning
+//! "no fault", so fault-disabled runs execute the exact same event
+//! sequence as before the subsystem existed.
+//!
+//! Episode lifecycle is observed through the simcore kernel-event hook
+//! (the same mechanism simtrace uses): when a scheduled window opens or
+//! closes, the injector emits a simtrace instant and bumps
+//! `fault.episodes` counters, so fault activity is visible in trace
+//! timelines alongside the spans it perturbs.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use simcore::prelude::*;
+use simtrace::Layer;
+
+use crate::plan::{FaultEpisode, FaultKind, FaultPlan, PARTITION_RTT_MULTIPLIER};
+
+thread_local! {
+    static ACTIVE: RefCell<Option<Injector>> = const { RefCell::new(None) };
+    /// Fast flag: true only while an injector with scheduled episodes is
+    /// installed on this thread.
+    static FAULTS: Cell<bool> = const { Cell::new(false) };
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum EpisodeState {
+    Pending,
+    Active,
+    Done,
+}
+
+struct InjectorInner {
+    sim: Sim,
+    plan: FaultPlan,
+    /// The injector's own draw stream (front-end storm errors).
+    rng: RefCell<SimRng>,
+    /// Edge-detection state, one slot per plan episode.
+    states: RefCell<Vec<EpisodeState>>,
+}
+
+/// A fault plan activated on the current thread.
+#[derive(Clone)]
+pub struct Injector {
+    inner: Rc<InjectorInner>,
+}
+
+impl Injector {
+    fn new(sim: &Sim, plan: FaultPlan) -> Injector {
+        let states = vec![EpisodeState::Pending; plan.episodes.len()];
+        Injector {
+            inner: Rc::new(InjectorInner {
+                sim: sim.clone(),
+                rng: RefCell::new(sim.rng("simfault.frontend")),
+                states: RefCell::new(states),
+                plan,
+            }),
+        }
+    }
+
+    /// The installed plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.inner.plan
+    }
+
+    /// Walk episode windows against the clock, emitting trace events on
+    /// open/close edges. Called from the kernel hook, so edges appear
+    /// at the first kernel activity inside (or after) each window.
+    fn observe_edges(&self) {
+        let t = self.inner.sim.now().as_secs_f64();
+        let mut states = self.inner.states.borrow_mut();
+        for (i, ep) in self.inner.plan.episodes.iter().enumerate() {
+            let next = match states[i] {
+                EpisodeState::Pending if ep.active_at(t) => EpisodeState::Active,
+                EpisodeState::Pending if t >= ep.end_s() => EpisodeState::Done,
+                EpisodeState::Active if t >= ep.end_s() => EpisodeState::Done,
+                s => s,
+            };
+            if next != states[i] {
+                if next == EpisodeState::Active {
+                    simtrace::counter("fault.episodes.started", 1);
+                    simtrace::instant(layer_of(ep), "fault.start", || ep.label().to_string());
+                } else if states[i] == EpisodeState::Active {
+                    simtrace::counter("fault.episodes.ended", 1);
+                    simtrace::instant(layer_of(ep), "fault.end", || ep.label().to_string());
+                }
+                states[i] = next;
+            }
+        }
+    }
+}
+
+fn layer_of(ep: &FaultEpisode) -> Layer {
+    match ep.kind {
+        FaultKind::LinkDegrade { .. } | FaultKind::NetPartition => Layer::Net,
+        FaultKind::FrontendStorm { .. } | FaultKind::PartitionStall { .. } => Layer::Store,
+        FaultKind::HostCrash { .. } | FaultKind::GrayFailure { .. } => Layer::Fabric,
+    }
+}
+
+/// Uninstalls the injector (and its kernel hook) when dropped.
+pub struct InstallGuard {
+    sim: Sim,
+    hook: Option<simcore::KernelHookId>,
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        if let Some(hook) = self.hook.take() {
+            self.sim.remove_kernel_hook(hook);
+        }
+        ACTIVE.with(|a| a.borrow_mut().take());
+        FAULTS.with(|f| f.set(false));
+    }
+}
+
+/// Install `plan` as the current thread's fault schedule. Storage-rate
+/// faults flow through the stamp configuration separately; this
+/// activates the *episode* machinery (and is a cheap no-op for plans
+/// without episodes).
+pub fn install(sim: &Sim, plan: &FaultPlan) -> InstallGuard {
+    let injector = Injector::new(sim, plan.clone());
+    let hook = if plan.episodes.is_empty() {
+        None
+    } else {
+        let edge = injector.clone();
+        Some(sim.add_kernel_hook(Rc::new(move |_sim, _ev| edge.observe_edges())))
+    };
+    FAULTS.with(|f| f.set(!plan.episodes.is_empty()));
+    ACTIVE.with(|a| *a.borrow_mut() = Some(injector));
+    InstallGuard {
+        sim: sim.clone(),
+        hook,
+    }
+}
+
+/// True while an injector with scheduled episodes is installed.
+pub fn enabled() -> bool {
+    FAULTS.with(|f| f.get())
+}
+
+fn with_active<T>(f: impl FnOnce(&Injector) -> T) -> Option<T> {
+    if !enabled() {
+        return None;
+    }
+    ACTIVE.with(|a| a.borrow().as_ref().map(f))
+}
+
+/// Combined RTT multiplier from active link-degradation / partition
+/// episodes at `t_s`. `1.0` when nothing is active.
+pub fn net_rtt_multiplier(t_s: f64) -> f64 {
+    with_active(|inj| {
+        let mut m = 1.0;
+        for ep in &inj.inner.plan.episodes {
+            if !ep.active_at(t_s) {
+                continue;
+            }
+            match ep.kind {
+                FaultKind::LinkDegrade { rtt_multiplier } => m *= rtt_multiplier,
+                FaultKind::NetPartition => m *= PARTITION_RTT_MULTIPLIER,
+                _ => {}
+            }
+        }
+        m
+    })
+    .unwrap_or(1.0)
+}
+
+/// Compute-speed multiplier for `host` at `t_s`, with the time until
+/// which it stays valid (the next episode boundary for this host).
+/// `None` when no installed episode ever touches this host — callers
+/// keep their fault-free segment math on that path.
+pub fn host_speed(host: u64, t_s: f64) -> Option<(f64, f64)> {
+    with_active(|inj| {
+        let mut touched = false;
+        let mut mult = 1.0f64;
+        let mut until = f64::INFINITY;
+        for ep in &inj.inner.plan.episodes {
+            let h = match ep.kind {
+                FaultKind::HostCrash { host } => host,
+                FaultKind::GrayFailure { host, .. } => host,
+                _ => continue,
+            };
+            if h != host {
+                continue;
+            }
+            touched = true;
+            if ep.active_at(t_s) {
+                let speed = match ep.kind {
+                    FaultKind::HostCrash { .. } => 0.0,
+                    FaultKind::GrayFailure { speed, .. } => speed,
+                    _ => unreachable!(),
+                };
+                mult = mult.min(speed);
+                until = until.min(ep.end_s());
+            } else if t_s < ep.start_s {
+                until = until.min(ep.start_s);
+            }
+        }
+        if touched {
+            Some((mult, until))
+        } else {
+            None
+        }
+    })
+    .flatten()
+}
+
+/// What a storage front-end does to one operation during a storm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrontendFault {
+    /// The op fails with an internal server error (after the stall).
+    pub error: bool,
+    /// Added front-end stall, seconds.
+    pub stall_s: f64,
+}
+
+/// Per-operation front-end fault draw at `t_s`. `None` outside storm
+/// windows (the overwhelmingly common case — one `Cell` read).
+pub fn frontend_fault(t_s: f64) -> Option<FrontendFault> {
+    with_active(|inj| {
+        for ep in &inj.inner.plan.episodes {
+            if !ep.active_at(t_s) {
+                continue;
+            }
+            if let FaultKind::FrontendStorm { error_p, stall_s } = ep.kind {
+                let error = inj.inner.rng.borrow_mut().chance(error_p);
+                if error {
+                    simtrace::counter("fault.frontend.errors", 1);
+                }
+                return Some(FrontendFault { error, stall_s });
+            }
+        }
+        None
+    })
+    .flatten()
+}
+
+/// Added mutation-commit stall from an active partition-reassignment
+/// episode at `t_s`.
+pub fn partition_stall(t_s: f64) -> Option<f64> {
+    with_active(|inj| {
+        for ep in &inj.inner.plan.episodes {
+            if !ep.active_at(t_s) {
+                continue;
+            }
+            if let FaultKind::PartitionStall { stall_s } = ep.kind {
+                simtrace::counter("fault.partition.stalls", 1);
+                return Some(stall_s);
+            }
+        }
+        None
+    })
+    .flatten()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultEpisode;
+
+    fn chaos_plan() -> FaultPlan {
+        FaultPlan {
+            name: "test",
+            storage: crate::plan::StorageFaults::clean(),
+            episodes: vec![
+                FaultEpisode {
+                    start_s: 10.0,
+                    duration_s: 10.0,
+                    kind: FaultKind::NetPartition,
+                },
+                FaultEpisode {
+                    start_s: 30.0,
+                    duration_s: 10.0,
+                    kind: FaultKind::HostCrash { host: 2 },
+                },
+                FaultEpisode {
+                    start_s: 35.0,
+                    duration_s: 20.0,
+                    kind: FaultKind::GrayFailure {
+                        host: 2,
+                        speed: 0.5,
+                    },
+                },
+                FaultEpisode {
+                    start_s: 60.0,
+                    duration_s: 5.0,
+                    kind: FaultKind::FrontendStorm {
+                        error_p: 1.0,
+                        stall_s: 2.0,
+                    },
+                },
+                FaultEpisode {
+                    start_s: 70.0,
+                    duration_s: 5.0,
+                    kind: FaultKind::PartitionStall { stall_s: 3.0 },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn queries_are_inert_without_an_injector() {
+        assert!(!enabled());
+        assert_eq!(net_rtt_multiplier(15.0), 1.0);
+        assert_eq!(host_speed(2, 35.0), None);
+        assert_eq!(frontend_fault(62.0), None);
+        assert_eq!(partition_stall(72.0), None);
+    }
+
+    #[test]
+    fn rtt_multiplier_tracks_partition_window() {
+        let sim = Sim::new(1);
+        let _g = install(&sim, &chaos_plan());
+        assert!(enabled());
+        assert_eq!(net_rtt_multiplier(5.0), 1.0);
+        assert_eq!(net_rtt_multiplier(15.0), PARTITION_RTT_MULTIPLIER);
+        assert_eq!(net_rtt_multiplier(25.0), 1.0);
+    }
+
+    #[test]
+    fn host_speed_combines_overlapping_episodes() {
+        let sim = Sim::new(2);
+        let _g = install(&sim, &chaos_plan());
+        // Untouched host: fault-free path.
+        assert_eq!(host_speed(0, 35.0), None);
+        // Before any window: full speed, valid until the crash starts.
+        assert_eq!(host_speed(2, 5.0), Some((1.0, 30.0)));
+        // Crash alone — segment still ends when the gray window opens.
+        assert_eq!(host_speed(2, 32.0), Some((0.0, 35.0)));
+        // Crash overlapping gray failure: min speed wins, earliest end.
+        assert_eq!(host_speed(2, 36.0), Some((0.0, 40.0)));
+        // Gray failure alone.
+        assert_eq!(host_speed(2, 45.0), Some((0.5, 55.0)));
+        // After everything: full speed forever.
+        assert_eq!(host_speed(2, 60.0), Some((1.0, f64::INFINITY)));
+    }
+
+    #[test]
+    fn frontend_and_partition_faults_fire_in_window() {
+        let sim = Sim::new(3);
+        let _g = install(&sim, &chaos_plan());
+        let f = frontend_fault(62.0).expect("inside the storm");
+        assert!(f.error, "error_p = 1.0");
+        assert_eq!(f.stall_s, 2.0);
+        assert_eq!(frontend_fault(68.0), None);
+        assert_eq!(partition_stall(72.0), Some(3.0));
+        assert_eq!(partition_stall(78.0), None);
+    }
+
+    #[test]
+    fn guard_drop_uninstalls() {
+        let sim = Sim::new(4);
+        {
+            let _g = install(&sim, &chaos_plan());
+            assert!(enabled());
+        }
+        assert!(!enabled());
+        assert_eq!(net_rtt_multiplier(15.0), 1.0);
+    }
+
+    #[test]
+    fn noop_plan_installs_no_hook_and_stays_disabled() {
+        let sim = Sim::new(5);
+        let _g = install(&sim, &FaultPlan::paper());
+        assert!(!enabled(), "rates-only plan needs no episode machinery");
+    }
+
+    #[test]
+    fn episode_edges_emit_trace_instants() {
+        let sim = Sim::new(6);
+        let tracer = simtrace::Tracer::new(&sim);
+        let _t = tracer.install();
+        let _g = install(&sim, &chaos_plan());
+        let s = sim.clone();
+        sim.spawn(async move {
+            // Step through every window so the hook sees each edge.
+            for _ in 0..20 {
+                s.delay(SimDuration::from_secs_f64(5.0)).await;
+            }
+        });
+        sim.run();
+        assert_eq!(tracer.counter("fault.episodes.started"), 5);
+        assert_eq!(tracer.counter("fault.episodes.ended"), 5);
+    }
+}

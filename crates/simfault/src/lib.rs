@@ -1,0 +1,61 @@
+//! # simfault — deterministic fault injection & unified retry policy
+//!
+//! The reproduction's chaos harness. The paper's most distinctive data
+//! is its failure study (Table 2: ~3.05 M ModisAzure task executions
+//! classified into outcome classes), and a simulator that only models
+//! the happy path can't reproduce it mechanistically. This crate
+//! supplies the two missing pieces:
+//!
+//! * [`plan`] — declarative [`FaultPlan`]s: steady-state storage fault
+//!   rates (the Table 2 calibration, moved here from `azstore::calib`)
+//!   plus scheduled structural episodes — host crashes, gray failures,
+//!   network partitions, storage front-end storms, partition-server
+//!   stalls.
+//! * [`inject`] — the thread-local injector that activates a plan for
+//!   one simulation, observing episode edges through the simcore
+//!   kernel-event hook and answering model-layer queries
+//!   ([`host_speed`], [`net_rtt_multiplier`], [`frontend_fault`],
+//!   [`partition_stall`]) on their existing decision points.
+//! * [`retry`] — the unified [`RetryPolicy`] (fixed / exponential /
+//!   jittered backoff, per-attempt timeouts, retry budgets) that
+//!   replaced the ad-hoc retry loops previously copied across the
+//!   storage SDK clients, the ModisAzure worker/manager and fabric
+//!   lifecycle code.
+//!
+//! ## Determinism
+//!
+//! Everything is a pure function of the seed and the plan: the injector
+//! draws from its own named RNG streams (`simfault.*`), so installing a
+//! plan with no episodes leaves every other stream — and therefore the
+//! entire event sequence — untouched. Identical seed + identical plan
+//! ⇒ byte-identical traces (property-tested in the workspace root).
+//!
+//! ## Example
+//! ```
+//! use simcore::prelude::*;
+//! use simfault::{FaultKind, FaultPlan};
+//!
+//! let sim = Sim::new(7);
+//! let mut plan = FaultPlan::paper();
+//! plan.episodes.push(simfault::FaultEpisode {
+//!     start_s: 60.0,
+//!     duration_s: 30.0,
+//!     kind: FaultKind::HostCrash { host: 0 },
+//! });
+//! let _guard = simfault::install(&sim, &plan);
+//! // Model code now sees host 0 at zero speed inside [60, 90).
+//! assert_eq!(simfault::host_speed(0, 75.0), Some((0.0, 90.0)));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod inject;
+pub mod plan;
+pub mod retry;
+
+pub use inject::{
+    enabled, frontend_fault, host_speed, install, net_rtt_multiplier, partition_stall,
+    FrontendFault, InstallGuard,
+};
+pub use plan::{rates, FaultEpisode, FaultKind, FaultPlan, StorageFaults};
+pub use retry::{Backoff, BackoffSeq, Jitter, RetryPolicy, FOREVER};

@@ -1,0 +1,317 @@
+//! Declarative fault plans.
+//!
+//! A [`FaultPlan`] is everything the injector needs to know about what
+//! should go wrong in a run: steady-state storage fault *rates* (the
+//! paper's Table 2 calibration, drawn per-operation by the storage
+//! services) plus scheduled *episodes* — windows of virtual time during
+//! which a structural fault is active (a host crash, a network
+//! partition, a front-end error storm).
+//!
+//! Rates model the background failure floor a healthy deployment shows;
+//! episodes model the correlated incidents a chaos harness injects.
+//! The default [`FaultPlan::paper`] has rates only, so a fault-enabled
+//! ModisAzure campaign reproduces the Table 2 outcome shares as an
+//! emergent property while staying byte-identical to the pre-simfault
+//! calibration.
+
+/// Steady-state storage fault rates (per-operation probabilities).
+///
+/// The paper's Table 2 rates are *observed at app level*; these
+/// service-level rates are set so ModisAzure's operation mix reproduces
+/// them (see each constant's derivation in [`rates`]).
+pub mod rates {
+    /// Probability a blob GET returns payload that fails verification
+    /// ("Corrupt blob read": 3 107 of ~3.05 M task executions ≈ 0.10 %;
+    /// a ModisAzure task does ~3.5 reads, so per-GET ≈ 0.10 % / 3.5).
+    pub const BLOB_CORRUPT_READ_P: f64 = 5.8e-4;
+
+    /// Probability a blob GET aborts mid-transfer ("Blob read fail" 0.02 %).
+    pub const BLOB_READ_FAIL_P: f64 = 1.1e-4;
+
+    /// Probability any storage call fails at connection setup
+    /// ("Connection failure" 0.29 % of task executions at ~8 storage calls
+    /// per execution ⇒ per-op ≈ 3.5e-4).
+    pub const CONNECTION_FAIL_P: f64 = 6.8e-4;
+
+    /// Probability of an unclassified internal server error, per operation
+    /// ("Internal storage client error": 10 occurrences in 3 M executions).
+    pub const INTERNAL_ERROR_P: f64 = 9.0e-7;
+
+    /// Probability a blob op hits a transient server-busy episode even
+    /// without queue overload ("Server busy" 0.04 % of executions at ~5
+    /// blob ops per execution). Blob ops have no SDK retry, so these
+    /// surface directly.
+    pub const SPURIOUS_BUSY_P: f64 = 1.6e-4;
+}
+
+/// Steady-state storage fault switches, consumed by `azstore` when a
+/// stamp is built from a plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StorageFaults {
+    /// Master switch; microbenchmarks run clean, ModisAzure runs faulty.
+    pub enabled: bool,
+    /// P(connection setup failure) per operation.
+    pub connection_fail_p: f64,
+    /// P(payload corruption) per blob GET.
+    pub corrupt_read_p: f64,
+    /// P(mid-transfer abort) per blob GET.
+    pub read_fail_p: f64,
+    /// P(spurious ServerBusy) per operation.
+    pub spurious_busy_p: f64,
+    /// P(internal error) per operation.
+    pub internal_error_p: f64,
+}
+
+impl StorageFaults {
+    /// Everything off — microbenchmark conditions.
+    pub fn clean() -> Self {
+        StorageFaults {
+            enabled: false,
+            connection_fail_p: 0.0,
+            corrupt_read_p: 0.0,
+            read_fail_p: 0.0,
+            spurious_busy_p: 0.0,
+            internal_error_p: 0.0,
+        }
+    }
+
+    /// Rates calibrated to the ModisAzure Table 2 breakdown.
+    pub fn paper() -> Self {
+        StorageFaults {
+            enabled: true,
+            connection_fail_p: rates::CONNECTION_FAIL_P,
+            corrupt_read_p: rates::BLOB_CORRUPT_READ_P,
+            read_fail_p: rates::BLOB_READ_FAIL_P,
+            spurious_busy_p: rates::SPURIOUS_BUSY_P,
+            internal_error_p: rates::INTERNAL_ERROR_P,
+        }
+    }
+}
+
+/// What kind of structural fault an episode injects.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Datacenter link degradation: RTTs multiply by this factor.
+    LinkDegrade {
+        /// RTT multiplier (> 1).
+        rtt_multiplier: f64,
+    },
+    /// Network partition: traffic effectively stops (RTTs stretch past
+    /// every client timeout, so ops surface as timeouts, not magic).
+    NetPartition,
+    /// Storage front-end error storm: ops stall then may 500.
+    FrontendStorm {
+        /// P(InternalError) per operation during the storm.
+        error_p: f64,
+        /// Added front-end stall per operation (seconds).
+        stall_s: f64,
+    },
+    /// Partition-server reassignment: mutations stall while the range
+    /// map moves (the paper's partition layer is a black box; this is
+    /// its visible symptom).
+    PartitionStall {
+        /// Added commit stall per mutation (seconds).
+        stall_s: f64,
+    },
+    /// Fabric host crash: compute speed drops to zero until the window
+    /// ends (VM restart).
+    HostCrash {
+        /// Index of the crashed host in the pool.
+        host: u64,
+    },
+    /// Gray failure: the host keeps running at a fraction of its speed.
+    GrayFailure {
+        /// Index of the slow host.
+        host: u64,
+        /// Residual speed multiplier in (0, 1).
+        speed: f64,
+    },
+}
+
+/// The RTT multiplier a [`FaultKind::NetPartition`] applies: large
+/// enough that any operation spanning the partition outlives every
+/// client timeout in the system, so partitions surface as the timeouts
+/// the paper's clients actually saw.
+pub const PARTITION_RTT_MULTIPLIER: f64 = 1.0e4;
+
+/// One scheduled fault window on the virtual-time axis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEpisode {
+    /// Window start (virtual seconds).
+    pub start_s: f64,
+    /// Window length (virtual seconds).
+    pub duration_s: f64,
+    /// What goes wrong during the window.
+    pub kind: FaultKind,
+}
+
+impl FaultEpisode {
+    /// Window end (virtual seconds).
+    pub fn end_s(&self) -> f64 {
+        self.start_s + self.duration_s
+    }
+
+    /// Is the window active at `t_s`?
+    pub fn active_at(&self, t_s: f64) -> bool {
+        t_s >= self.start_s && t_s < self.end_s()
+    }
+
+    /// Short label for traces ("host_crash", "net_partition", …).
+    pub fn label(&self) -> &'static str {
+        match self.kind {
+            FaultKind::LinkDegrade { .. } => "link_degrade",
+            FaultKind::NetPartition => "net_partition",
+            FaultKind::FrontendStorm { .. } => "frontend_storm",
+            FaultKind::PartitionStall { .. } => "partition_stall",
+            FaultKind::HostCrash { .. } => "host_crash",
+            FaultKind::GrayFailure { .. } => "gray_failure",
+        }
+    }
+}
+
+/// A complete, declarative fault schedule for one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Preset name (for `--faults <name>` and trace labels).
+    pub name: &'static str,
+    /// Steady-state storage fault rates.
+    pub storage: StorageFaults,
+    /// Scheduled structural fault windows.
+    pub episodes: Vec<FaultEpisode>,
+}
+
+impl FaultPlan {
+    /// No faults at all — microbenchmark conditions.
+    pub fn none() -> Self {
+        FaultPlan {
+            name: "none",
+            storage: StorageFaults::clean(),
+            episodes: Vec::new(),
+        }
+    }
+
+    /// The paper-calibrated plan: Table 2 steady-state rates, no
+    /// structural episodes. This is the ModisAzure default.
+    pub fn paper() -> Self {
+        FaultPlan {
+            name: "paper",
+            storage: StorageFaults::paper(),
+            episodes: Vec::new(),
+        }
+    }
+
+    /// Chaos preset for the CI smoke scenario: paper rates plus a
+    /// front-end storm, a partition-server stall, a host crash, a
+    /// network partition and a lingering gray failure, spread over the
+    /// first day of the campaign.
+    pub fn crash_partition() -> Self {
+        FaultPlan {
+            name: "crash-partition",
+            storage: StorageFaults::paper(),
+            episodes: vec![
+                FaultEpisode {
+                    start_s: 3_600.0,
+                    duration_s: 900.0,
+                    kind: FaultKind::FrontendStorm {
+                        error_p: 0.15,
+                        stall_s: 2.5,
+                    },
+                },
+                FaultEpisode {
+                    start_s: 5_400.0,
+                    duration_s: 600.0,
+                    kind: FaultKind::PartitionStall { stall_s: 12.0 },
+                },
+                FaultEpisode {
+                    start_s: 7_200.0,
+                    duration_s: 3_600.0,
+                    kind: FaultKind::HostCrash { host: 3 },
+                },
+                FaultEpisode {
+                    start_s: 14_400.0,
+                    duration_s: 1_800.0,
+                    kind: FaultKind::NetPartition,
+                },
+                FaultEpisode {
+                    start_s: 21_600.0,
+                    duration_s: 7_200.0,
+                    kind: FaultKind::GrayFailure {
+                        host: 5,
+                        speed: 0.35,
+                    },
+                },
+            ],
+        }
+    }
+
+    /// Look a preset up by its `--faults` name.
+    pub fn by_name(name: &str) -> Option<FaultPlan> {
+        match name {
+            "none" | "off" => Some(FaultPlan::none()),
+            "paper" | "default" => Some(FaultPlan::paper()),
+            "crash-partition" | "crash_partition" => Some(FaultPlan::crash_partition()),
+            _ => None,
+        }
+    }
+
+    /// Names accepted by [`FaultPlan::by_name`] (for usage messages).
+    pub const PRESETS: &'static [&'static str] = &["none", "paper", "crash-partition"];
+
+    /// True when installing this plan changes nothing.
+    pub fn is_noop(&self) -> bool {
+        !self.storage.enabled && self.episodes.is_empty()
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_resolve_by_name() {
+        for name in FaultPlan::PRESETS {
+            assert!(FaultPlan::by_name(name).is_some(), "{name}");
+        }
+        assert_eq!(FaultPlan::by_name("off"), Some(FaultPlan::none()));
+        assert!(FaultPlan::by_name("bogus").is_none());
+    }
+
+    #[test]
+    fn paper_plan_is_rates_only() {
+        let p = FaultPlan::paper();
+        assert!(p.storage.enabled);
+        assert!(p.episodes.is_empty());
+        assert!(!p.is_noop());
+        assert!(FaultPlan::none().is_noop());
+    }
+
+    #[test]
+    fn episode_windows_are_half_open() {
+        let e = FaultEpisode {
+            start_s: 100.0,
+            duration_s: 50.0,
+            kind: FaultKind::NetPartition,
+        };
+        assert!(!e.active_at(99.9));
+        assert!(e.active_at(100.0));
+        assert!(e.active_at(149.9));
+        assert!(!e.active_at(150.0));
+        assert_eq!(e.label(), "net_partition");
+    }
+
+    #[test]
+    fn crash_partition_episodes_are_ordered_and_disjoint_kinds() {
+        let p = FaultPlan::crash_partition();
+        assert_eq!(p.episodes.len(), 5);
+        for w in p.episodes.windows(2) {
+            assert!(w[0].start_s <= w[1].start_s);
+        }
+        assert!(p.storage.enabled, "chaos preset keeps the paper rates");
+    }
+}

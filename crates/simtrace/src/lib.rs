@@ -208,20 +208,19 @@ impl Tracer {
     /// `kernel.wakes` / `kernel.calls`. Dropping the guard unbinds both.
     pub fn install(&self) -> InstallGuard {
         let t = self.clone();
-        self.inner
-            .sim
-            .set_kernel_hook(Some(Rc::new(move |_sim, ev| {
-                let name = match ev {
-                    KernelEvent::TaskSpawned => "kernel.tasks_spawned",
-                    KernelEvent::WakeFired => "kernel.wakes",
-                    KernelEvent::CallFired => "kernel.calls",
-                };
-                t.counter_bump(name, 1);
-            })));
+        let hook = self.inner.sim.add_kernel_hook(Rc::new(move |_sim, ev| {
+            let name = match ev {
+                KernelEvent::TaskSpawned => "kernel.tasks_spawned",
+                KernelEvent::WakeFired => "kernel.wakes",
+                KernelEvent::CallFired => "kernel.calls",
+            };
+            t.counter_bump(name, 1);
+        }));
         ACTIVE.with(|a| *a.borrow_mut() = Some(self.clone()));
         TRACING.with(|t| t.set(true));
         InstallGuard {
             sim: self.inner.sim.clone(),
+            hook,
         }
     }
 
@@ -671,13 +670,14 @@ thread_local! {
 /// dropped (returned by [`Tracer::install`]).
 pub struct InstallGuard {
     sim: Sim,
+    hook: simcore::KernelHookId,
 }
 
 impl Drop for InstallGuard {
     fn drop(&mut self) {
         TRACING.with(|t| t.set(false));
         ACTIVE.with(|a| *a.borrow_mut() = None);
-        self.sim.set_kernel_hook(None);
+        self.sim.remove_kernel_hook(self.hook);
     }
 }
 

@@ -4,6 +4,9 @@
 //! downstream users need a single dependency:
 //!
 //! * [`simcore`] — deterministic discrete-event simulation kernel
+//! * [`simtrace`] — cross-layer tracing and metrics over the kernel
+//! * [`simfault`] — fault injection (declarative [`simfault::FaultPlan`]
+//!   schedules) and the unified retry/backoff policies every layer uses
 //! * [`dcnet`] — fluid-flow datacenter network (max-min fair sharing)
 //! * [`azstore`] — the storage stamp: blob / table / queue services
 //! * [`fabric`] — the fabric controller: deployments, roles, sizes,
@@ -34,6 +37,8 @@ pub use dcnet;
 pub use fabric;
 pub use modis;
 pub use simcore;
+pub use simfault;
+pub use simtrace;
 
 /// Convenience imports covering the common surface of the whole stack.
 pub mod prelude {
@@ -52,4 +57,5 @@ pub mod prelude {
     };
     pub use modis::{run_campaign, ModisConfig, Outcome, TaskKind};
     pub use simcore::prelude::*;
+    pub use simfault::{Backoff, FaultEpisode, FaultKind, FaultPlan, RetryPolicy};
 }
