@@ -1,160 +1,8 @@
 //! Ablation studies for the design choices DESIGN.md calls out: turn
 //! each mechanism off and show which paper observation disappears.
-//!
-//! | Mechanism | Paper artifact it generates |
-//! |---|---|
-//! | per-flow front-end ceiling | Fig 1's per-client decline (halving at 32) |
-//! | latch contention inflation | Fig 3's Add/Receive decline past 64 clients |
-//! | background tenant traffic  | Fig 5's ≤30 MB/s contended tail |
-//! | host performance variation | Fig 7's VM-timeout spikes |
-//! | the 4× watchdog            | bounded retries instead of a slow tail |
-//!
-//! Run with: `cargo run -p bench --release --bin ablations [--quick]`
-
-use azstore::{StampConfig, StorageStamp};
-use bench::save;
-use cloudbench::experiments::tcp::{self, TcpBandwidthConfig};
-use modis::{run_campaign, ModisConfig, Outcome};
-use simcore::prelude::*;
-use simcore::report::AsciiTable;
-
-/// Per-client download bandwidth at `clients` with/without the front-end
-/// ceiling.
-fn blob_per_client(clients: usize, ablate: bool) -> f64 {
-    let sim = Sim::new(31);
-    let stamp = StorageStamp::standalone(
-        &sim,
-        StampConfig {
-            ablate_no_frontend_ceiling: ablate,
-            ..StampConfig::default()
-        },
-    );
-    stamp.blob_service().seed("b", "x", 200.0e6);
-    let rates = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
-    for _ in 0..clients {
-        let c = stamp.attach_small_client();
-        let r = rates.clone();
-        sim.spawn(async move {
-            let dl = c.blob.get("b", "x").await.unwrap();
-            r.borrow_mut().push(dl.rate_bps() / 1.0e6);
-        });
-    }
-    sim.run();
-    let v = rates.borrow();
-    v.iter().sum::<f64>() / v.len() as f64
-}
-
-/// Queue Add aggregate at `clients` with/without latch inflation.
-fn queue_add_aggregate(clients: usize, ablate: bool) -> f64 {
-    let sim = Sim::new(32);
-    let stamp = StorageStamp::standalone(
-        &sim,
-        StampConfig {
-            ablate_no_latch_inflation: ablate,
-            ..StampConfig::default()
-        },
-    );
-    let ops = 40usize;
-    let t0 = sim.now();
-    for _ in 0..clients {
-        let c = stamp.attach_small_client();
-        sim.spawn(async move {
-            for i in 0..ops {
-                c.queue.add("q", format!("m{i}"), 512.0).await.unwrap();
-            }
-        });
-    }
-    sim.run();
-    (clients * ops) as f64 / (sim.now() - t0).as_secs_f64()
-}
+//! Thin wrapper over the `ablations` campaign — equivalent to `azlab
+//! run ablations`.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let mut out = String::new();
-
-    // --- 1. Front-end ceiling vs Fig 1 ---
-    let mut t = AsciiTable::new(vec!["clients", "with ceiling MB/s", "without MB/s"])
-        .with_title("Ablation 1 — per-flow front-end ceiling (Fig 1's per-client decline)");
-    for clients in [1usize, 32] {
-        t.row(vec![
-            clients.to_string(),
-            format!("{:.2}", blob_per_client(clients, false)),
-            format!("{:.2}", blob_per_client(clients, true)),
-        ]);
-    }
-    out.push_str(&t.render());
-    out.push_str("paper: 32 clients get HALF a lone client's bandwidth; without the\nceiling they would keep nearly all of it until the 400 MB/s pipe binds.\n\n");
-
-    // --- 2. Latch inflation vs Fig 3 ---
-    let mut t = AsciiTable::new(vec!["clients", "with inflation ops/s", "without ops/s"])
-        .with_title("Ablation 2 — latch contention inflation (Fig 3's decline past 64)");
-    for clients in [64usize, 192] {
-        t.row(vec![
-            clients.to_string(),
-            format!("{:.0}", queue_add_aggregate(clients, false)),
-            format!("{:.0}", queue_add_aggregate(clients, true)),
-        ]);
-    }
-    out.push_str(&t.render());
-    out.push_str("paper: Add peaks at 64 clients (569 ops/s) and DECLINES at 192;\nwithout hold inflation throughput plateaus instead of declining.\n\n");
-
-    // --- 3. Background traffic vs Fig 5 ---
-    let mut cfg = TcpBandwidthConfig::quick();
-    if !quick {
-        cfg.rounds = 16;
-    }
-    let with_bg = tcp::run_bandwidth(&cfg);
-    cfg.background = false;
-    let without_bg = tcp::run_bandwidth(&cfg);
-    let mut t = AsciiTable::new(vec!["metric", "with background", "without"])
-        .with_title("Ablation 3 — background tenant traffic (Fig 5's contended tail)");
-    t.row(vec![
-        "P(<= 30 MB/s)".to_string(),
-        format!("{:.1}%", with_bg.fraction_at_most(30.0) * 100.0),
-        format!("{:.1}%", without_bg.fraction_at_most(30.0) * 100.0),
-    ]);
-    t.row(vec![
-        "P(>= 90 MB/s)".to_string(),
-        format!("{:.1}%", with_bg.fraction_at_least(90.0) * 100.0),
-        format!("{:.1}%", without_bg.fraction_at_least(90.0) * 100.0),
-    ]);
-    out.push_str(&t.render());
-    out.push_str("paper: ~15% of transfers fall to <=30 MB/s; the tail is entirely\nco-tenant traffic — removing it leaves nearly all transfers >=90 MB/s.\n\n");
-
-    // --- 4 & 5. Host variation and the watchdog vs Fig 7 ---
-    let base = ModisConfig::quick();
-    let with_all = run_campaign(base.clone());
-    let mut no_var = base.clone();
-    no_var.variation = false;
-    let without_variation = run_campaign(no_var);
-    let mut no_dog = base.clone();
-    no_dog.watchdog = false;
-    let without_watchdog = run_campaign(no_dog);
-
-    let mut t = AsciiTable::new(vec![
-        "configuration",
-        "vm timeouts",
-        "max daily %",
-        "campaign length",
-    ])
-    .with_title("Ablations 4 & 5 — host variation and the 4x watchdog (Fig 7)");
-    for (name, r) in [
-        ("full system", &with_all),
-        ("no host variation", &without_variation),
-        ("no watchdog", &without_watchdog),
-    ] {
-        t.row(vec![
-            name.to_string(),
-            r.telemetry.count(Outcome::VmExecutionTimeout).to_string(),
-            format!("{:.2}", r.telemetry.max_daily_timeout_fraction() * 100.0),
-            r.elapsed.to_string(),
-        ]);
-    }
-    out.push_str(&t.render());
-    out.push_str(
-        "paper: sporadic >4x slowdowns hit up to 16% of a day's tasks; without\nhost variation no timeouts exist, and without the watchdog the same\nslowdowns surface as a silent long tail instead of bounded retries.\n",
-    );
-
-    print!("{out}");
-    save("ablations.txt", &out);
+    bench::campaigns::standalone_main("ablations");
 }

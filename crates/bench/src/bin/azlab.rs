@@ -1,0 +1,168 @@
+//! `azlab` — the campaign driver. One binary supersedes the per-figure
+//! regeneration mains:
+//!
+//! ```text
+//! azlab run all [--quick] [--shards N] [--faults <preset>]
+//! azlab run <target> [--quick] [--shards N] [--faults <preset>] [--trace <path>]
+//! azlab bench [--shards N] [--out <path>]
+//! ```
+//!
+//! `run` executes the selected campaigns through the deterministic
+//! sharded runner, writes their artifacts into `results/` (or
+//! `results/quick/` under `--quick`) and finishes with a
+//! machine-readable `manifest.json` recording per-campaign cell counts,
+//! wall-clock and anchor verdicts. The merged output is byte-identical
+//! for any `--shards N`.
+//!
+//! `bench` times the quick campaign set and the ModisAzure campaign at
+//! 1 vs 4 shards, writing a `BENCH_pr4.json` wall-clock report.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use bench::campaigns;
+use simlab::{CampaignEntry, Manifest, RunOpts, TraceSpec};
+
+const USAGE: &str = "azlab <run|bench> [target] [--quick] [--shards N] [--faults <preset>] [--trace <path>] [--out <path>]\n  targets: all fig1 fig2 fig3 fig4 fig5 table1 table2 fig7 modis ablations";
+
+fn usage_exit(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: {USAGE}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let flags = simlab::cli::parse_or_exit(USAGE);
+    match flags.words.first().map(String::as_str) {
+        Some("run") => cmd_run(flags),
+        Some("bench") => cmd_bench(flags),
+        Some(other) => usage_exit(&format!("unknown subcommand {other:?}")),
+        None => usage_exit("missing subcommand"),
+    }
+}
+
+fn cmd_run(flags: simlab::Flags) {
+    if flags.words.len() > 2 {
+        usage_exit(&format!("unexpected argument {:?}", flags.words[2]));
+    }
+    let target = flags.words.get(1).map(String::as_str).unwrap_or("all");
+    let names: Vec<&'static str> = if target == "all" {
+        campaigns::ALL.to_vec()
+    } else {
+        match campaigns::canonical(target) {
+            Some(name) => vec![name],
+            None => usage_exit(&format!("unknown target {target:?}")),
+        }
+    };
+    if flags.trace.is_some() && names.len() > 1 {
+        usage_exit(
+            "--trace needs a single target (it captures one campaign's representative cell)",
+        );
+    }
+    let shards = flags.shards.unwrap_or_else(campaigns::default_shards);
+    let dir = bench::results_dir_for(flags.quick);
+
+    let mut manifest = Manifest {
+        quick: flags.quick,
+        shards,
+        faults: flags
+            .faults
+            .as_ref()
+            .map(|p| p.name.to_string())
+            .unwrap_or_else(|| "none".to_string()),
+        campaigns: Vec::new(),
+    };
+    for name in names {
+        let opts = RunOpts {
+            shards,
+            faults: flags.faults.clone(),
+            trace: flags.trace.clone().map(|path| TraceSpec { cell: 0, path }),
+        };
+        let t0 = Instant::now();
+        let out = campaigns::run(name, flags.quick, &opts).expect("names are canonical");
+        let wall_ms = t0.elapsed().as_millis() as u64;
+        campaigns::emit(&out, &dir);
+        manifest.campaigns.push(CampaignEntry {
+            name: out.name.to_string(),
+            cells: out.cells,
+            wall_ms,
+            anchors: out.anchors,
+            artifacts: out.files.into_iter().map(|(n, _)| n).collect(),
+        });
+    }
+    let path = dir.join("manifest.json");
+    if std::fs::write(&path, manifest.to_json()).is_ok() {
+        println!("[saved {}]", path.display());
+    }
+}
+
+fn cmd_bench(flags: simlab::Flags) {
+    if flags.words.len() > 1 {
+        usage_exit(&format!("unexpected argument {:?}", flags.words[1]));
+    }
+    let shards = flags.shards.unwrap_or(4);
+    let time = |name: &str, shards: usize| -> (usize, u64) {
+        let opts = RunOpts {
+            shards,
+            faults: None,
+            trace: None,
+        };
+        let t0 = Instant::now();
+        let out = campaigns::run(name, true, &opts).expect("canonical name");
+        (out.cells, t0.elapsed().as_millis() as u64)
+    };
+
+    // The acceptance measurement: the day-segmented ModisAzure campaign
+    // (the old serial table2) at 1 shard vs 4.
+    eprintln!("azlab bench: modis --quick serial vs 4 shards ...");
+    let (_, modis_serial_ms) = time("modis", 1);
+    let (_, modis_shards4_ms) = time("modis", 4);
+    let speedup = modis_serial_ms as f64 / modis_shards4_ms.max(1) as f64;
+
+    eprintln!("azlab bench: full quick campaign set at {shards} shards ...");
+    let mut rows = Vec::new();
+    let mut total_ms = 0u64;
+    for name in campaigns::ALL {
+        let (cells, ms) = time(name, shards);
+        total_ms += ms;
+        rows.push((name, cells, ms));
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"azlab\",\n  \"quick\": true,\n");
+    json.push_str(&format!("  \"shards\": {shards},\n"));
+    // The speedup is only interpretable against the cores that backed
+    // the worker threads (a 1-core host measures ~1.0x by physics).
+    json.push_str(&format!(
+        "  \"host_cpus\": {},\n",
+        campaigns::default_shards()
+    ));
+    json.push_str(&format!(
+        "  \"modis_serial_ms\": {modis_serial_ms},\n  \"modis_shards4_ms\": {modis_shards4_ms},\n"
+    ));
+    json.push_str(&format!("  \"modis_speedup_4shards\": {speedup:.2},\n"));
+    json.push_str("  \"campaigns\": [\n");
+    for (i, (name, cells, ms)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"cells\": {cells}, \"wall_ms\": {ms}}}{}\n",
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"total_ms\": {total_ms}\n}}\n"));
+
+    let path = flags.out.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_pr4.json")
+    });
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!(
+            "[saved {}]  modis quick: {}ms serial, {}ms at 4 shards ({speedup:.2}x)",
+            path.display(),
+            modis_serial_ms,
+            modis_shards4_ms
+        ),
+        Err(e) => eprintln!("bench: failed to write {}: {e}", path.display()),
+    }
+}

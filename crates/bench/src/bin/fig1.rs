@@ -1,83 +1,7 @@
 //! Regenerate Fig 1: average per-client blob download/upload bandwidth
-//! as a function of the number of concurrent clients (paper §3.1).
-
-use azstore::{StampConfig, StorageStamp};
-use bench::{print_anchors, quick_mode, run_traced, save, trace_path};
-use cloudbench::anchors;
-use cloudbench::experiments::blob::{self, BlobScalingConfig};
-use simcore::report::Csv;
+//! vs concurrency (paper §3.1). Thin wrapper over the `fig1` campaign —
+//! equivalent to `azlab run fig1`.
 
 fn main() {
-    let cfg = if quick_mode() {
-        BlobScalingConfig::quick()
-    } else {
-        BlobScalingConfig::default()
-    };
-    eprintln!(
-        "fig1: sweeping {:?} clients, {} runs each, {:.0} MB blob ...",
-        cfg.client_counts,
-        cfg.runs,
-        cfg.blob_bytes / 1.0e6
-    );
-    let result = blob::run(&cfg);
-    println!("{}", result.render());
-
-    let mut csv = Csv::new();
-    csv.row(&[
-        "clients",
-        "download_per_client_mbps",
-        "download_aggregate_mbps",
-        "upload_per_client_mbps",
-        "upload_aggregate_mbps",
-    ]);
-    for r in &result.rows {
-        csv.row(&[
-            r.clients.to_string(),
-            format!("{:.3}", r.download_per_client_mbps),
-            format!("{:.2}", r.download_aggregate_mbps),
-            format!("{:.3}", r.upload_per_client_mbps),
-            format!("{:.2}", r.upload_aggregate_mbps),
-        ]);
-    }
-    save("fig1.csv", csv.as_str());
-
-    let mut checks = Vec::new();
-    if let Some(r1) = result.at(1) {
-        checks.push((anchors::FIG1_DL_1CLIENT_MBPS, r1.download_per_client_mbps));
-        if let Some(r32) = result.at(32) {
-            checks.push((
-                anchors::FIG1_DL_32CLIENT_RATIO,
-                r32.download_per_client_mbps / r1.download_per_client_mbps,
-            ));
-        }
-    }
-    if let Some(r128) = result.at(128) {
-        checks.push((anchors::FIG1_DL_PEAK_MBPS, r128.download_aggregate_mbps));
-    }
-    if let Some(r64) = result.at(64) {
-        checks.push((anchors::FIG1_UL_64CLIENT_MBPS, r64.upload_per_client_mbps));
-    }
-    if let Some(r192) = result.at(192) {
-        checks.push((anchors::FIG1_UL_192CLIENT_MBPS, r192.upload_per_client_mbps));
-        checks.push((anchors::FIG1_UL_PEAK_MBPS, r192.upload_aggregate_mbps));
-    }
-    let block = print_anchors("Paper anchors (Fig 1):", &checks);
-    save("fig1.anchors.txt", &block);
-
-    // Traced single-point run: 8 concurrent downloaders + uploaders
-    // against one stamp (the Fig 1 protocol in miniature).
-    if let Some(path) = trace_path() {
-        eprintln!("fig1: traced 8-client blob scenario ...");
-        run_traced(&path, 0xF161, |sim| {
-            let stamp = StorageStamp::standalone(sim, StampConfig::default());
-            stamp.blob_service().seed("bench", "blob", 50.0e6);
-            for i in 0..8 {
-                let c = stamp.attach_small_client();
-                sim.spawn(async move {
-                    let _ = c.blob.get("bench", "blob").await;
-                    let _ = c.blob.put("bench", &format!("up{i}"), 8.0e6).await;
-                });
-            }
-        });
-    }
+    bench::campaigns::standalone_main("fig1");
 }

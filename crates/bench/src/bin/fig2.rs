@@ -1,118 +1,7 @@
-//! Regenerate Fig 2: average per-client table performance vs concurrency
-//! (paper §3.2), including the 64 kB high-concurrency timeout behaviour.
-
-use azstore::{Entity, StampConfig, StorageStamp};
-use bench::{quick_mode, run_traced, save, trace_path};
-use cloudbench::experiments::table::{self, TableOp, TableScalingConfig};
-use simcore::report::Csv;
+//! Regenerate Fig 2: average per-client table performance vs
+//! concurrency (paper §3.2), including the 64 kB insert cliff. Thin
+//! wrapper over the `fig2` campaign — equivalent to `azlab run fig2`.
 
 fn main() {
-    let base = if quick_mode() {
-        TableScalingConfig::quick()
-    } else {
-        TableScalingConfig::default()
-    };
-
-    // The headline figure at 4 kB.
-    eprintln!("fig2: 4 kB sweep over {:?} clients ...", base.client_counts);
-    let result = table::run(&base);
-    println!("{}", result.render());
-
-    let mut csv = Csv::new();
-    csv.row(&[
-        "op",
-        "clients",
-        "per_client_ops_s",
-        "aggregate_ops_s",
-        "ok",
-        "timeouts",
-        "busy",
-        "clients_fully_ok",
-    ]);
-    for r in &result.rows {
-        csv.row(&[
-            r.op.to_string(),
-            r.clients.to_string(),
-            format!("{:.3}", r.per_client_ops_s),
-            format!("{:.2}", r.aggregate_ops_s),
-            r.ok.to_string(),
-            r.timeouts.to_string(),
-            r.busy.to_string(),
-            r.clients_fully_ok.to_string(),
-        ]);
-    }
-    save("fig2.csv", csv.as_str());
-
-    let mut summary = String::new();
-    summary.push_str("Paper anchors (Fig 2, shapes):\n");
-    for op in TableOp::ALL {
-        let peak = result.peak_clients(op);
-        summary.push_str(&format!(
-            "  {op}: aggregate throughput peaks at {peak} clients\n"
-        ));
-    }
-    summary.push_str(
-        "  paper: Insert/Query unsaturated at 192; Update peaks at 8; Delete peaks at 128\n",
-    );
-
-    // The 64 kB cliff (only the insert phase matters).
-    let cliff_cfg = TableScalingConfig {
-        entity_kb: 64,
-        client_counts: vec![64, 128, 192],
-        inserts_per_client: if quick_mode() { 60 } else { 500 },
-        queries_per_client: 0,
-        updates_per_client: 0,
-        ..base
-    };
-    eprintln!(
-        "fig2: 64 kB insert cliff at {:?} clients ...",
-        cliff_cfg.client_counts
-    );
-    let cliff = table::run(&cliff_cfg);
-    summary.push_str("\n64 kB Insert (paper: 94/128 and 89/192 clients finished cleanly):\n");
-    for clients in [64usize, 128, 192] {
-        if let Some(r) = cliff.at(TableOp::Insert, clients) {
-            summary.push_str(&format!(
-                "  {} clients: {} finished without errors, {} timeouts\n",
-                clients, r.clients_fully_ok, r.timeouts
-            ));
-        }
-    }
-    print!("{summary}");
-    save("fig2.anchors.txt", &summary);
-
-    // Traced single-point run: 4 clients through the full four-phase
-    // protocol (the Fig 2 workload in miniature). Spans cover the SDK
-    // call, the front-end station and the partition commit of every op.
-    if let Some(path) = trace_path() {
-        eprintln!("fig2: traced 4-client table scenario ...");
-        run_traced(&path, 0xF162, |sim| {
-            let stamp = StorageStamp::standalone(sim, StampConfig::default());
-            stamp
-                .table_service()
-                .seed("bench", Entity::benchmark("part0", "shared", 4));
-            for ci in 0..4 {
-                let acct = stamp.attach_small_client();
-                sim.spawn(async move {
-                    for k in 0..10 {
-                        let e = Entity::benchmark("part0", &format!("c{ci}-r{k}"), 4);
-                        let _ = acct.table.insert("bench", e).await;
-                    }
-                    for _ in 0..10 {
-                        let _ = acct.table.query_point("bench", "part0", "shared").await;
-                    }
-                    for _ in 0..5 {
-                        let e = Entity::benchmark("part0", "shared", 4);
-                        let _ = acct.table.update("bench", e).await;
-                    }
-                    for k in 0..10 {
-                        let _ = acct
-                            .table
-                            .delete("bench", "part0", &format!("c{ci}-r{k}"))
-                            .await;
-                    }
-                });
-            }
-        });
-    }
+    bench::campaigns::standalone_main("fig2");
 }

@@ -1,94 +1,8 @@
-//! Regenerate Fig 3: average per-client queue performance vs concurrency
-//! (paper §3.3), plus the queue-length invariance check.
-
-use azstore::{StampConfig, StorageStamp};
-use bench::{print_anchors, quick_mode, run_traced, save, trace_path};
-use cloudbench::anchors;
-use cloudbench::experiments::queue::{self, QueueOp, QueueScalingConfig};
-use simcore::report::Csv;
+//! Regenerate Fig 3: average per-client queue performance vs
+//! concurrency (paper §3.3), plus the queue-length invariance check.
+//! Thin wrapper over the `fig3` campaign — equivalent to `azlab run
+//! fig3`.
 
 fn main() {
-    let cfg = if quick_mode() {
-        QueueScalingConfig::quick()
-    } else {
-        QueueScalingConfig::default()
-    };
-    eprintln!(
-        "fig3: sweeping {:?} clients, {} ops each, {} B messages ...",
-        cfg.client_counts, cfg.ops_per_client, cfg.message_bytes
-    );
-    let result = queue::run(&cfg);
-    println!("{}", result.render());
-
-    let mut csv = Csv::new();
-    csv.row(&[
-        "op",
-        "clients",
-        "per_client_ops_s",
-        "aggregate_ops_s",
-        "ok",
-        "failed",
-    ]);
-    for r in &result.rows {
-        csv.row(&[
-            r.op.to_string(),
-            r.clients.to_string(),
-            format!("{:.3}", r.per_client_ops_s),
-            format!("{:.2}", r.aggregate_ops_s),
-            r.ok.to_string(),
-            r.failed.to_string(),
-        ]);
-    }
-    save("fig3.csv", csv.as_str());
-
-    let mut checks = Vec::new();
-    if let Some(r) = result.at(QueueOp::Add, 64) {
-        checks.push((anchors::FIG3_ADD_PEAK_OPS, r.aggregate_ops_s));
-    }
-    if let Some(r) = result.at(QueueOp::Receive, 64) {
-        checks.push((anchors::FIG3_RECV_PEAK_OPS, r.aggregate_ops_s));
-    }
-    if let Some(r) = result.at(QueueOp::Peek, 128) {
-        checks.push((anchors::FIG3_PEEK_128_OPS, r.aggregate_ops_s));
-    }
-    if let Some(r) = result.at(QueueOp::Peek, 192) {
-        checks.push((anchors::FIG3_PEEK_192_OPS, r.aggregate_ops_s));
-    }
-    let mut block = print_anchors("Paper anchors (Fig 3):", &checks);
-
-    // Queue-length invariance (200 k vs 2 M messages; scaled when quick).
-    let scale = if quick_mode() { 0.05 } else { 1.0 };
-    let (small, large) = queue::length_invariance(77, scale);
-    let extra = format!(
-        "  queue length invariance: {:.1} ops/s at {}k msgs vs {:.1} ops/s at {}k msgs (paper: no variation)\n",
-        small,
-        (200.0 * scale) as u64,
-        large,
-        (2000.0 * scale) as u64
-    );
-    print!("{extra}");
-    block.push_str(&extra);
-    save("fig3.anchors.txt", &block);
-
-    // Traced single-point run: 4 clients producing then draining one
-    // queue (Add/Peek/Receive/Delete spans with their replica-sync
-    // commit children).
-    if let Some(path) = trace_path() {
-        eprintln!("fig3: traced 4-client queue scenario ...");
-        run_traced(&path, 0xF163, |sim| {
-            let stamp = StorageStamp::standalone(sim, StampConfig::default());
-            for i in 0..4 {
-                let c = stamp.attach_small_client();
-                sim.spawn(async move {
-                    for k in 0..8 {
-                        let _ = c.queue.add("q", format!("m{i}-{k}"), 512.0).await;
-                    }
-                    let _ = c.queue.peek("q").await;
-                    while let Ok(Some(m)) = c.queue.receive_default("q").await {
-                        let _ = c.queue.delete_message("q", m.receipt).await;
-                    }
-                });
-            }
-        });
-    }
+    bench::campaigns::standalone_main("fig3");
 }

@@ -1,61 +1,7 @@
 //! Regenerate Fig 4: cumulative TCP latency between two small VMs
-//! communicating through TCP internal endpoints (paper §4.2).
-
-use bench::{print_anchors, quick_mode, run_traced, save, trace_path};
-use cloudbench::anchors;
-use cloudbench::experiments::tcp::{self, TcpLatencyConfig};
-use dcnet::{LinkModel, Network};
-use simcore::report::Csv;
+//! (paper §4.2). Thin wrapper over the `fig4` campaign — equivalent to
+//! `azlab run fig4`.
 
 fn main() {
-    let cfg = if quick_mode() {
-        TcpLatencyConfig {
-            pairs: 10,
-            samples_per_pair: 200,
-            ..TcpLatencyConfig::default()
-        }
-    } else {
-        TcpLatencyConfig::default()
-    };
-    eprintln!(
-        "fig4: {} pairs x {} RTT samples ...",
-        cfg.pairs, cfg.samples_per_pair
-    );
-    let result = tcp::run_latency(&cfg);
-    println!("{}", result.render());
-
-    let mut csv = Csv::new();
-    csv.row(&["latency_ms", "cumulative_fraction"]);
-    for (v, f) in result.samples_ms.cdf().into_iter().step_by(25) {
-        csv.row(&[format!("{v:.4}"), format!("{f:.4}")]);
-    }
-    save("fig4.csv", csv.as_str());
-
-    let block = print_anchors(
-        "Paper anchors (Fig 4):",
-        &[
-            (anchors::FIG4_LE_1MS, result.fraction_at_most(1.0)),
-            (anchors::FIG4_LE_2MS, result.fraction_at_most(2.0)),
-        ],
-    );
-    save("fig4.anchors.txt", &block);
-
-    // Traced single-point run: a few 1-byte-scale ping flows across a VM
-    // pair's NIC links (net.flow spans + bandwidth-share counters).
-    if let Some(path) = trace_path() {
-        eprintln!("fig4: traced VM-pair ping scenario ...");
-        run_traced(&path, 0xF164, |sim| {
-            let net = Network::new(sim);
-            let tx = net.add_link("vm_a.tx", LinkModel::Shared { capacity: 125.0e6 });
-            let rx = net.add_link("vm_b.rx", LinkModel::Shared { capacity: 125.0e6 });
-            for _ in 0..5 {
-                let net = net.clone();
-                sim.spawn(async move {
-                    for _ in 0..4 {
-                        net.transfer(&[tx, rx], 1.0e3, f64::INFINITY).await;
-                    }
-                });
-            }
-        });
-    }
+    bench::campaigns::standalone_main("fig4");
 }

@@ -1,59 +1,7 @@
 //! Regenerate Fig 5: cumulative TCP bandwidth between two small VMs
-//! sending 2 GB through TCP internal endpoints (paper §4.2).
-
-use bench::{print_anchors, quick_mode, run_traced, save, trace_path};
-use cloudbench::anchors;
-use cloudbench::experiments::tcp::{self, TcpBandwidthConfig};
-use dcnet::{LinkModel, Network};
-use simcore::report::Csv;
+//! sending 2 GB through TCP internal endpoints (paper §4.2). Thin
+//! wrapper over the `fig5` campaign — equivalent to `azlab run fig5`.
 
 fn main() {
-    let cfg = if quick_mode() {
-        TcpBandwidthConfig::quick()
-    } else {
-        TcpBandwidthConfig::default()
-    };
-    eprintln!(
-        "fig5: {} rounds x {} pairs x {} transfers of {:.1} GB ...",
-        cfg.rounds,
-        cfg.pairs_per_round,
-        cfg.transfers_per_pair,
-        cfg.bytes / 1.0e9
-    );
-    let result = tcp::run_bandwidth(&cfg);
-    println!("{}", result.render());
-
-    let mut csv = Csv::new();
-    csv.row(&["bandwidth_mbps", "cumulative_fraction"]);
-    for (v, f) in result.samples_mbps.cdf() {
-        csv.row(&[format!("{v:.2}"), format!("{f:.4}")]);
-    }
-    save("fig5.csv", csv.as_str());
-
-    let block = print_anchors(
-        "Paper anchors (Fig 5):",
-        &[
-            (anchors::FIG5_GE_90MBPS, result.fraction_at_least(90.0)),
-            (anchors::FIG5_LE_30MBPS, result.fraction_at_most(30.0)),
-        ],
-    );
-    save("fig5.anchors.txt", &block);
-
-    // Traced single-point run: 4 bulk sender pairs sharing a core link
-    // (net.flow spans with rate-update counters as shares rebalance).
-    if let Some(path) = trace_path() {
-        eprintln!("fig5: traced bulk-transfer scenario ...");
-        run_traced(&path, 0xF165, |sim| {
-            let net = Network::new(sim);
-            let core = net.add_link("rack.core", LinkModel::Shared { capacity: 250.0e6 });
-            for i in 0..4 {
-                let net = net.clone();
-                let nic =
-                    net.add_link(format!("vm{i}.tx"), LinkModel::Shared { capacity: 125.0e6 });
-                sim.spawn(async move {
-                    net.transfer(&[nic, core], 100.0e6, f64::INFINITY).await;
-                });
-            }
-        });
-    }
+    bench::campaigns::standalone_main("fig5");
 }

@@ -1,74 +1,9 @@
 //! Regenerate Fig 7: percent of daily task executions killed by the VM
-//! execution timeout over the campaign (paper §5.2).
-
-use bench::{fault_plan, print_anchors, quick_mode, run_traced, save, trace_path};
-use cloudbench::anchors;
-use modis::campaign::run_campaign_on;
-use modis::{run_campaign, ModisConfig};
-use simcore::report::Csv;
+//! execution timeout over the campaign (paper §5.2). Thin wrapper over
+//! the combined `modis` campaign (equivalent to `azlab run fig7`),
+//! which also emits the Table 2 artifacts — the two figures come from
+//! the same simulated run.
 
 fn main() {
-    let mut cfg = if quick_mode() {
-        ModisConfig::quick()
-    } else {
-        ModisConfig::default()
-    };
-    if let Some(plan) = fault_plan() {
-        eprintln!("fig7: fault plan \"{}\"", plan.name);
-        cfg.faults = plan;
-    }
-    eprintln!(
-        "fig7: {}-day campaign, {} workers ...",
-        cfg.days, cfg.workers
-    );
-    let report = run_campaign(cfg);
-    println!("{}", report.telemetry.render_fig7());
-
-    let mut csv = Csv::new();
-    csv.row(&["day", "executions", "vm_timeouts", "fraction"]);
-    for (day, total, hits, frac) in report.telemetry.daily_timeout_rows() {
-        csv.row(&[
-            day.to_string(),
-            total.to_string(),
-            hits.to_string(),
-            format!("{frac:.5}"),
-        ]);
-    }
-    save("fig7.csv", csv.as_str());
-
-    let block = print_anchors(
-        "Paper anchors (Fig 7):",
-        &[
-            (
-                anchors::TAB2_VM_TIMEOUT_RATE,
-                report.telemetry.overall_timeout_fraction(),
-            ),
-            (
-                anchors::FIG7_MAX_DAILY,
-                report.telemetry.max_daily_timeout_fraction(),
-            ),
-        ],
-    );
-    save("fig7.anchors.txt", &block);
-
-    // Traced single-point run: a miniature campaign (task.execute spans
-    // tagged with failure class, over the real storage/network spans).
-    if let Some(path) = trace_path() {
-        eprintln!("fig7: traced mini-campaign ...");
-        run_traced(&path, 0x0D15, |sim| {
-            let mut cfg = ModisConfig {
-                workers: 8,
-                days: 2,
-                arrival_scale: 4.0,
-                request_tiles: (2, 4),
-                request_days: (4, 10),
-                ..ModisConfig::quick()
-            };
-            if let Some(plan) = fault_plan() {
-                cfg.faults = plan;
-            }
-            let report = run_campaign_on(sim, cfg);
-            eprintln!("fig7: traced {} executions", report.executions);
-        });
-    }
+    bench::campaigns::standalone_main("fig7");
 }

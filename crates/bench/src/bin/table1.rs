@@ -1,81 +1,7 @@
 //! Regenerate Table 1: worker/web role VM request times across the five
-//! lifecycle phases (paper §4.1; 431 successful runs).
-
-use bench::{print_anchors, quick_mode, run_traced, save, trace_path};
-use cloudbench::anchors;
-use cloudbench::experiments::vm::{self, VmLifecycleConfig};
-use fabric::{DeploymentSpec, FabricConfig, FabricController, Phase, RoleType, VmSize};
-use simcore::report::Csv;
+//! lifecycle phases (paper §4.1; 431 successful runs). Thin wrapper
+//! over the `table1` campaign — equivalent to `azlab run table1`.
 
 fn main() {
-    let cfg = if quick_mode() {
-        VmLifecycleConfig::quick()
-    } else {
-        VmLifecycleConfig::default()
-    };
-    eprintln!(
-        "table1: collecting {} successful runs ...",
-        cfg.successful_runs
-    );
-    let result = vm::run(&cfg);
-    println!("{}", result.render());
-    println!(
-        "startup failures: {} of {} start requests ({:.2}%)  [paper: 2.6%]",
-        result.failures,
-        result.start_requests,
-        result.failure_rate() * 100.0
-    );
-
-    let mut csv = Csv::new();
-    csv.row(&["role", "size", "phase", "avg_s", "std_s", "n"]);
-    for role in RoleType::ALL {
-        for size in VmSize::ALL {
-            for phase in Phase::ALL {
-                if let Some(stats) = result.cells.get(&(role, size, phase)) {
-                    csv.row(&[
-                        role.to_string(),
-                        size.to_string(),
-                        phase.to_string(),
-                        format!("{:.1}", stats.mean()),
-                        format!("{:.1}", stats.std()),
-                        stats.count().to_string(),
-                    ]);
-                }
-            }
-        }
-    }
-    save("table1.csv", csv.as_str());
-
-    let small_worker_startup = result
-        .mean(RoleType::Worker, VmSize::Small, Phase::Create)
-        .unwrap_or(0.0)
-        + result
-            .mean(RoleType::Worker, VmSize::Small, Phase::Run)
-            .unwrap_or(0.0);
-    let block = print_anchors(
-        "Paper anchors (Table 1):",
-        &[
-            (anchors::TAB1_SMALL_WORKER_STARTUP_S, small_worker_startup),
-            (anchors::TAB1_STARTUP_FAILURE_RATE, result.failure_rate()),
-        ],
-    );
-    save("table1.anchors.txt", &block);
-
-    // Traced single-point run: one small-worker deployment through all
-    // five Table 1 phases, with per-instance boot spans.
-    if let Some(path) = trace_path() {
-        eprintln!("table1: traced lifecycle scenario ...");
-        run_traced(&path, 0x7AB1, |sim| {
-            let fc = FabricController::new(sim, FabricConfig::default());
-            sim.spawn(async move {
-                let spec = DeploymentSpec::paper_test(RoleType::Worker, VmSize::Small);
-                if let Ok(dep) = fc.create_deployment(spec).await {
-                    let _ = dep.run().await;
-                    let _ = dep.add_instances().await;
-                    let _ = dep.suspend().await;
-                    let _ = dep.delete().await;
-                }
-            });
-        });
-    }
+    bench::campaigns::standalone_main("table1");
 }

@@ -1,73 +1,9 @@
 //! Regenerate Table 2: the ModisAzure task breakdown and failure
-//! taxonomy over the Feb–Sep 2010 campaign (paper §5.2).
-//!
-//! Full scale runs ≈ 3 M task executions (a few minutes of wall time);
-//! `--quick` runs a scaled-down month.
-
-use bench::{fault_plan, print_anchors, quick_mode, run_traced, save, trace_path};
-use cloudbench::anchors;
-use modis::campaign::run_campaign_on;
-use modis::{run_campaign, ModisConfig};
+//! taxonomy over the Feb–Sep 2010 campaign (paper §5.2). Thin wrapper
+//! over the combined `modis` campaign (equivalent to `azlab run
+//! table2`), which also emits the Fig 7 artifacts — the two figures
+//! come from the same simulated run.
 
 fn main() {
-    let mut cfg = if quick_mode() {
-        ModisConfig::quick()
-    } else {
-        ModisConfig::default()
-    };
-    if let Some(plan) = fault_plan() {
-        eprintln!("table2: fault plan \"{}\"", plan.name);
-        cfg.faults = plan;
-    }
-    eprintln!(
-        "table2: {}-day campaign, {} workers (this simulates millions of task executions) ...",
-        cfg.days, cfg.workers
-    );
-    let report = run_campaign(cfg);
-    println!("{}", report.telemetry.render_table2());
-    println!(
-        "distinct tasks: {}   executions: {}   executions/task: {:.3}  [paper: ~2.7M distinct, 3.05M executions, 1.13]",
-        report.distinct_tasks,
-        report.executions,
-        report.executions_per_task()
-    );
-    println!(
-        "campaign: {} requests, {} monitor kills, {} sim events, drained in {}",
-        report.manager.requests, report.monitor_kills, report.events, report.elapsed
-    );
-    save("table2.txt", &report.telemetry.render_table2());
-
-    let t = &report.telemetry;
-    let block = print_anchors(
-        "Paper anchors (Table 2):",
-        &[
-            (
-                anchors::TAB2_SUCCESS_RATE,
-                t.fraction(modis::Outcome::Success),
-            ),
-            (anchors::TAB2_VM_TIMEOUT_RATE, t.overall_timeout_fraction()),
-        ],
-    );
-    save("table2.anchors.txt", &block);
-
-    // Traced single-point run: a miniature campaign (task.execute spans
-    // tagged with failure class, over the real storage/network spans).
-    if let Some(path) = trace_path() {
-        eprintln!("table2: traced mini-campaign ...");
-        run_traced(&path, 0x0D15, |sim| {
-            let mut cfg = ModisConfig {
-                workers: 8,
-                days: 2,
-                arrival_scale: 4.0,
-                request_tiles: (2, 4),
-                request_days: (4, 10),
-                ..ModisConfig::quick()
-            };
-            if let Some(plan) = fault_plan() {
-                cfg.faults = plan;
-            }
-            let report = run_campaign_on(sim, cfg);
-            eprintln!("table2: traced {} executions", report.executions);
-        });
-    }
+    bench::campaigns::standalone_main("table2");
 }

@@ -1,0 +1,140 @@
+//! The paper's campaigns as library functions.
+//!
+//! Each regeneration target (Figs 1–5 and 7, Tables 1–2, the ablation
+//! suite) is a pure function `run(quick, &RunOpts) -> CampaignOutput`:
+//! it decomposes the campaign into deterministic cells, drives them
+//! through [`simlab::run_cells`] (so `--shards`, `--faults` and
+//! `--trace` all apply uniformly), and returns everything the campaign
+//! produces — rendered stdout, result files, anchor verdicts — without
+//! touching the filesystem. The `azlab` driver (and the thin per-figure
+//! wrapper binaries via [`standalone_main`]) handle printing, saving
+//! and the manifest.
+//!
+//! Table 2 and Fig 7 come from the same ModisAzure campaign, so they
+//! share one entry ([`modis`]) that emits both artifacts; `azlab run
+//! table2` and `azlab run fig7` are aliases for it.
+
+use std::path::Path;
+
+use cloudbench::Anchor;
+use simlab::{AnchorCheck, RunOpts};
+
+pub mod ablations;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod modis;
+pub mod table1;
+
+/// Everything one campaign produces, computed without side effects.
+#[derive(Debug)]
+pub struct CampaignOutput {
+    /// Canonical campaign name (`fig1` ... `ablations`).
+    pub name: &'static str,
+    /// Cells the sharded runner executed.
+    pub cells: usize,
+    /// Exactly what the campaign prints on stdout (tables + anchor
+    /// blocks), byte-identical for any shard count.
+    pub stdout: String,
+    /// Result files as `(file name, contents)`, to be written into the
+    /// run's results directory.
+    pub files: Vec<(String, String)>,
+    /// Anchor verdicts for the manifest.
+    pub anchors: Vec<AnchorCheck>,
+    /// Latency breakdown + file note of the traced cell, if any.
+    pub trace_summary: Option<String>,
+}
+
+/// Canonical campaign names, in `azlab run all` execution order.
+pub const ALL: [&str; 8] = [
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "table1",
+    "modis",
+    "ablations",
+];
+
+/// Resolve a CLI target (including the `table2`/`fig7` aliases) to its
+/// canonical campaign name.
+pub fn canonical(target: &str) -> Option<&'static str> {
+    match target {
+        "table2" | "fig7" => Some("modis"),
+        t => ALL.iter().find(|n| **n == t).copied(),
+    }
+}
+
+/// Run one campaign by canonical name.
+pub fn run(name: &str, quick: bool, opts: &RunOpts) -> Option<CampaignOutput> {
+    Some(match canonical(name)? {
+        "fig1" => fig1::run(quick, opts),
+        "fig2" => fig2::run(quick, opts),
+        "fig3" => fig3::run(quick, opts),
+        "fig4" => fig4::run(quick, opts),
+        "fig5" => fig5::run(quick, opts),
+        "table1" => table1::run(quick, opts),
+        "modis" => modis::run(quick, opts),
+        "ablations" => ablations::run(quick, opts),
+        _ => unreachable!("canonical() returned an unknown name"),
+    })
+}
+
+/// Turn a `cloudbench` anchor constant plus a measurement into the
+/// unified check record.
+pub fn check(a: Anchor, measured: f64) -> AnchorCheck {
+    AnchorCheck {
+        name: a.name,
+        paper: a.paper,
+        rel_tol: a.rel_tol,
+        measured,
+    }
+}
+
+/// Print a campaign's stdout, write its files into `dir` (announcing
+/// each on stdout like the pre-simlab binaries did), and print the
+/// trace summary if one was captured.
+pub fn emit(out: &CampaignOutput, dir: &Path) {
+    print!("{}", out.stdout);
+    for (name, contents) in &out.files {
+        let path = dir.join(name);
+        if std::fs::write(&path, contents).is_ok() {
+            println!("[saved {}]", path.display());
+        }
+    }
+    if let Some(t) = &out.trace_summary {
+        print!("{t}");
+    }
+}
+
+/// Default shard count: one per available core.
+pub fn default_shards() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Shared `main` of the per-figure wrapper binaries: parse the common
+/// flags, run the named campaign sharded across the machine's cores,
+/// and emit into `results/` (or `results/quick/` under `--quick`).
+pub fn standalone_main(target: &str) {
+    let usage = format!(
+        "{target} [--quick] [--shards N] [--faults <preset>] [--trace <path>]  (or: azlab run {target})"
+    );
+    let flags = simlab::cli::parse_or_exit(&usage);
+    if !flags.words.is_empty() {
+        eprintln!("error: unexpected argument {:?}", flags.words[0]);
+        eprintln!("usage: {usage}");
+        std::process::exit(2);
+    }
+    let opts = RunOpts {
+        shards: flags.shards.unwrap_or_else(default_shards),
+        faults: flags.faults,
+        trace: flags.trace.map(|path| simlab::TraceSpec { cell: 0, path }),
+    };
+    let out = run(target, flags.quick, &opts).expect("wrapper binaries use canonical targets");
+    emit(&out, &crate::results_dir_for(flags.quick));
+}

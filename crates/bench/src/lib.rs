@@ -1,157 +1,59 @@
-//! Shared plumbing for the regeneration binaries: anchor comparison
-//! printing and CSV output into `results/` at the workspace root.
+//! Campaign library and regeneration binaries.
 //!
-//! Every binary regenerates one paper artifact:
+//! The [`campaigns`] module holds every paper artifact as a library
+//! function driven by the `simlab` sharded runner; the `azlab` binary
+//! is the driver:
 //!
-//! | Binary   | Artifact | Full-scale runtime (release) |
-//! |----------|----------|------------------------------|
-//! | `fig1`   | Fig 1 — blob bandwidth vs concurrency | ~1 min |
-//! | `fig2`   | Fig 2 — table ops vs concurrency | ~2 min |
-//! | `fig3`   | Fig 3 — queue ops vs concurrency | ~1 min |
-//! | `fig4`   | Fig 4 — TCP latency histogram | seconds |
-//! | `fig5`   | Fig 5 — TCP bandwidth histogram | ~1 min |
-//! | `table1` | Table 1 — VM lifecycle campaign (431 runs) | ~1 min |
-//! | `table2` | Table 2 — ModisAzure task breakdown | minutes |
-//! | `fig7`   | Fig 7 — daily VM-timeout percentages | minutes |
+//! | Campaign | Artifact | Full-scale runtime (release, 1 core) |
+//! |----------|----------|--------------------------------------|
+//! | `fig1`   | Fig 1 — blob bandwidth vs concurrency | <1 s |
+//! | `fig2`   | Fig 2 — table ops vs concurrency | ~25 s serial; sharded, its slowest cell |
+//! | `fig3`   | Fig 3 — queue ops vs concurrency | ~3 s |
+//! | `fig4`   | Fig 4 — TCP latency histogram | <1 s |
+//! | `fig5`   | Fig 5 — TCP bandwidth histogram | ~23 s serial; sharded, its slowest cell |
+//! | `table1` | Table 1 — VM lifecycle campaign (431 runs) | <1 s (one cell) |
+//! | `modis`  | Table 2 + Fig 7 — ModisAzure campaign | ~3 min serial; scales toward 1/8th sharded |
+//! | `ablations` | the DESIGN.md mechanism ablations | ~10 s |
 //!
-//! All accept `--quick` for a scaled-down run, and `--trace <path>` to
-//! additionally run one representative single-point scenario with
-//! `simtrace` enabled, dumping a Chrome trace-event JSON file to
-//! `<path>` and printing the per-layer latency breakdown.
+//! Run everything with `azlab run all [--quick] [--shards N]`, or one
+//! campaign with e.g. `azlab run fig3` (`table2` and `fig7` are aliases
+//! for `modis`, which emits both artifact sets). The per-figure
+//! binaries (`fig1` ... `fig7`, `table1`, `table2`, `ablations`) remain
+//! as thin wrappers over the same campaign functions.
 //!
-//! All also accept `--faults <preset>` to run under a `simfault` fault
-//! plan (`none`, `paper`, `crash-partition`). The campaign binaries
-//! (`table2`, `fig7`) apply the plan to their main run; every binary
-//! applies it to the `--trace` replay. The sweep-parallel main runs of
-//! the microbenchmarks execute on worker threads the thread-local
-//! injector does not reach, so for those the flag only shapes the
-//! traced scenario.
+//! All targets accept `--quick` for a scaled-down run (artifacts then
+//! land in `results/quick/`), `--shards N` to spread cells over worker
+//! threads (the merged output is byte-identical for any `N` — the
+//! determinism contract in DESIGN.md §6), `--faults <preset>` to run
+//! every cell under a `simfault` plan (`none`, `paper`,
+//! `crash-partition`), and `--trace <path>` to dump a Chrome
+//! trace-event JSON of the campaign's representative cell. Fault and
+//! trace installation happen on whichever worker thread runs each cell,
+//! so the flags apply to sharded sweeps exactly as to serial runs.
 
 use std::fs;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 
-use cloudbench::Anchor;
-use simcore::Sim;
+pub mod campaigns;
 
-/// True if `--quick` was passed.
-pub fn quick_mode() -> bool {
-    std::env::args().any(|a| a == "--quick")
-}
-
-/// The path given with `--trace <path>`, if any.
-pub fn trace_path() -> Option<PathBuf> {
-    let mut args = std::env::args();
-    while let Some(a) = args.next() {
-        if a == "--trace" {
-            return args.next().map(PathBuf::from);
-        }
-    }
-    None
-}
-
-/// The fault plan selected with `--faults <preset>`, if any.
-///
-/// An unknown preset name is a usage error: the process prints the
-/// available presets and exits with status 2.
-pub fn fault_plan() -> Option<simfault::FaultPlan> {
-    let mut args = std::env::args();
-    while let Some(a) = args.next() {
-        if a == "--faults" {
-            let name = args.next().unwrap_or_default();
-            return match simfault::FaultPlan::by_name(&name) {
-                Some(plan) => Some(plan),
-                None => {
-                    eprintln!(
-                        "--faults {name:?}: unknown preset (expected one of: {})",
-                        simfault::FaultPlan::PRESETS.join(", ")
-                    );
-                    std::process::exit(2);
-                }
-            };
-        }
-    }
-    None
-}
-
-/// Run one representative scenario with tracing enabled and dump the
-/// results: a Chrome trace-event JSON file (load it at
-/// `chrome://tracing` or <https://ui.perfetto.dev>) plus the per-layer
-/// latency-breakdown table on stdout.
-///
-/// The scenario runs inline on the current thread (the tracer is
-/// thread-local, so the sweep parallelism of the main experiment cannot
-/// be traced); it gets a fresh `Sim` and must spawn its workload on it.
-/// Any events still pending when the scenario returns are run to
-/// completion before the trace is serialized.
-pub fn run_traced(path: &Path, seed: u64, scenario: impl FnOnce(&Sim)) {
-    let sim = Sim::new(seed);
-    // `--faults` applies to the traced replay too. Scenarios that
-    // install their own plan (the modis campaigns route it through
-    // `ModisConfig::faults`) shadow this guard while they run.
-    let plan = fault_plan();
-    let _faults = plan.as_ref().map(|p| simfault::install(&sim, p));
-    let tracer = simtrace::Tracer::new(&sim);
-    let guard = tracer.install();
-    scenario(&sim);
-    sim.run();
-    drop(guard);
-
-    println!("\n{}", tracer.latency_breakdown());
-    let json = tracer.chrome_trace();
-    match fs::write(path, &json) {
-        Ok(()) => println!(
-            "[trace: {} spans, {} bytes -> {}]",
-            tracer.span_count(),
-            json.len(),
-            path.display()
-        ),
-        Err(e) => eprintln!("trace: failed to write {}: {e}", path.display()),
-    }
-}
-
-/// Directory regeneration outputs land in (`results/` in the workspace).
+/// Directory full-scale regeneration outputs land in (`results/` at the
+/// workspace root).
 pub fn results_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+    results_dir_for(false)
+}
+
+/// Results directory for a run: `results/` at full scale,
+/// `results/quick/` under `--quick` (so quick runs never clobber the
+/// checked-in full-scale artifacts).
+pub fn results_dir_for(quick: bool) -> PathBuf {
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
         .join("results");
+    if quick {
+        dir = dir.join("quick");
+    }
     let _ = fs::create_dir_all(&dir);
     dir
-}
-
-/// Write a text artifact into `results/`.
-pub fn save(name: &str, contents: &str) {
-    let path = results_dir().join(name);
-    if fs::write(&path, contents).is_ok() {
-        println!("[saved {}]", path.display());
-    }
-}
-
-/// Render one paper-vs-measured anchor line.
-pub fn anchor_line(anchor: &Anchor, measured: f64) -> String {
-    let verdict = if anchor.matches(measured) {
-        "OK "
-    } else {
-        "OFF"
-    };
-    format!(
-        "  [{verdict}] {:<40} paper {:>10.3}  measured {:>10.3}  ({:+.1}%)",
-        anchor.name,
-        anchor.paper,
-        measured,
-        anchor.rel_err(measured) * 100.0
-    )
-}
-
-/// Print a block of anchor comparisons with a heading.
-pub fn print_anchors(title: &str, rows: &[(Anchor, f64)]) -> String {
-    let mut out = String::new();
-    out.push_str(&format!("{title}\n"));
-    for (a, m) in rows {
-        out.push_str(&anchor_line(a, *m));
-        out.push('\n');
-    }
-    print!("{out}");
-    out
 }
 
 #[cfg(test)]
@@ -159,19 +61,18 @@ mod tests {
     use super::*;
 
     #[test]
-    fn anchor_line_marks_hits_and_misses() {
-        let a = Anchor {
-            name: "x",
-            paper: 10.0,
-            rel_tol: 0.1,
-        };
-        assert!(anchor_line(&a, 10.5).contains("OK"));
-        assert!(anchor_line(&a, 20.0).contains("OFF"));
+    fn results_dirs_are_creatable() {
+        assert!(results_dir().ends_with("results"));
+        assert!(results_dir_for(true).ends_with("results/quick"));
     }
 
     #[test]
-    fn results_dir_is_creatable() {
-        let d = results_dir();
-        assert!(d.ends_with("results"));
+    fn every_target_resolves() {
+        for name in campaigns::ALL {
+            assert_eq!(campaigns::canonical(name), Some(name));
+        }
+        assert_eq!(campaigns::canonical("table2"), Some("modis"));
+        assert_eq!(campaigns::canonical("fig7"), Some("modis"));
+        assert_eq!(campaigns::canonical("fig9"), None);
     }
 }

@@ -10,9 +10,9 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use azstore::{StampConfig, StorageStamp};
-use simcore::prelude::*;
+use azstore::StorageStamp;
 use simcore::report::{num, AsciiTable};
+use simlab::CellCtx;
 
 use crate::runner::{mean, parallel_sweep, CLIENT_COUNTS};
 
@@ -116,72 +116,82 @@ impl BlobScalingResult {
     }
 }
 
-fn one_download_run(clients: usize, bytes: f64, seed: u64) -> (f64, f64) {
-    let sim = Sim::new(seed);
-    let stamp = StorageStamp::standalone(&sim, StampConfig::default());
-    stamp.blob_service().seed("bench", "theblob", bytes);
-    let rates: Rc<RefCell<Vec<f64>>> = Rc::default();
-    let t0 = sim.now();
-    for _ in 0..clients {
-        let c = stamp.attach_small_client();
-        let r = rates.clone();
-        sim.spawn(async move {
-            let dl = c.blob.get("bench", "theblob").await.expect("clean run");
-            r.borrow_mut().push(dl.rate_bps() / 1.0e6);
-        });
-    }
-    sim.run();
-    let elapsed = (sim.now() - t0).as_secs_f64();
-    let per_client = mean(&rates.borrow());
-    let aggregate = clients as f64 * bytes / 1.0e6 / elapsed;
-    (per_client, aggregate)
+fn one_download_run(clients: usize, bytes: f64, seed: u64, ctx: &CellCtx) -> (f64, f64) {
+    ctx.with_sim(seed, |sim| {
+        let stamp = StorageStamp::standalone(sim, super::stamp_config(ctx));
+        stamp.blob_service().seed("bench", "theblob", bytes);
+        let rates: Rc<RefCell<Vec<f64>>> = Rc::default();
+        let t0 = sim.now();
+        for _ in 0..clients {
+            let c = stamp.attach_small_client();
+            let r = rates.clone();
+            sim.spawn(async move {
+                if let Ok(dl) = c.blob.get("bench", "theblob").await {
+                    r.borrow_mut().push(dl.rate_bps() / 1.0e6);
+                }
+            });
+        }
+        sim.run();
+        let elapsed = (sim.now() - t0).as_secs_f64();
+        let per_client = mean(&rates.borrow());
+        let aggregate = clients as f64 * bytes / 1.0e6 / elapsed;
+        (per_client, aggregate)
+    })
 }
 
-fn one_upload_run(clients: usize, bytes: f64, seed: u64) -> (f64, f64) {
-    let sim = Sim::new(seed);
-    let stamp = StorageStamp::standalone(&sim, StampConfig::default());
-    let rates: Rc<RefCell<Vec<f64>>> = Rc::default();
-    let t0 = sim.now();
-    for i in 0..clients {
-        let c = stamp.attach_small_client();
-        let r = rates.clone();
-        sim.spawn(async move {
-            let name = format!("upload-{i}");
-            let ul = c.blob.put("bench", &name, bytes).await.expect("clean run");
-            r.borrow_mut()
-                .push(ul.bytes / ul.elapsed.as_secs_f64() / 1.0e6);
-        });
+fn one_upload_run(clients: usize, bytes: f64, seed: u64, ctx: &CellCtx) -> (f64, f64) {
+    ctx.with_sim(seed, |sim| {
+        let stamp = StorageStamp::standalone(sim, super::stamp_config(ctx));
+        let rates: Rc<RefCell<Vec<f64>>> = Rc::default();
+        let t0 = sim.now();
+        for i in 0..clients {
+            let c = stamp.attach_small_client();
+            let r = rates.clone();
+            sim.spawn(async move {
+                let name = format!("upload-{i}");
+                if let Ok(ul) = c.blob.put("bench", &name, bytes).await {
+                    r.borrow_mut()
+                        .push(ul.bytes / ul.elapsed.as_secs_f64() / 1.0e6);
+                }
+            });
+        }
+        sim.run();
+        let elapsed = (sim.now() - t0).as_secs_f64();
+        let per_client = mean(&rates.borrow());
+        let aggregate = clients as f64 * bytes / 1.0e6 / elapsed;
+        (per_client, aggregate)
+    })
+}
+
+/// Run one sweep point (all repeated runs of one client count) — the
+/// per-cell entry the sharded campaign runner drives.
+pub fn run_point(cfg: &BlobScalingConfig, clients: usize, ctx: &CellCtx) -> BlobScalingRow {
+    let mut dl_pc = Vec::with_capacity(cfg.runs);
+    let mut dl_ag = Vec::with_capacity(cfg.runs);
+    let mut ul_pc = Vec::with_capacity(cfg.runs);
+    let mut ul_ag = Vec::with_capacity(cfg.runs);
+    for run in 0..cfg.runs {
+        let seed = cfg.seed ^ ((clients as u64) << 16) ^ run as u64;
+        let (pc, ag) = one_download_run(clients, cfg.blob_bytes, seed, ctx);
+        dl_pc.push(pc);
+        dl_ag.push(ag);
+        let (pc, ag) = one_upload_run(clients, cfg.blob_bytes, seed ^ 0xABCD, ctx);
+        ul_pc.push(pc);
+        ul_ag.push(ag);
     }
-    sim.run();
-    let elapsed = (sim.now() - t0).as_secs_f64();
-    let per_client = mean(&rates.borrow());
-    let aggregate = clients as f64 * bytes / 1.0e6 / elapsed;
-    (per_client, aggregate)
+    BlobScalingRow {
+        clients,
+        download_per_client_mbps: mean(&dl_pc),
+        download_aggregate_mbps: mean(&dl_ag),
+        upload_per_client_mbps: mean(&ul_pc),
+        upload_aggregate_mbps: mean(&ul_ag),
+    }
 }
 
 /// Run the full Fig 1 experiment.
 pub fn run(cfg: &BlobScalingConfig) -> BlobScalingResult {
     let rows = parallel_sweep(cfg.client_counts.clone(), |clients| {
-        let mut dl_pc = Vec::with_capacity(cfg.runs);
-        let mut dl_ag = Vec::with_capacity(cfg.runs);
-        let mut ul_pc = Vec::with_capacity(cfg.runs);
-        let mut ul_ag = Vec::with_capacity(cfg.runs);
-        for run in 0..cfg.runs {
-            let seed = cfg.seed ^ ((clients as u64) << 16) ^ run as u64;
-            let (pc, ag) = one_download_run(clients, cfg.blob_bytes, seed);
-            dl_pc.push(pc);
-            dl_ag.push(ag);
-            let (pc, ag) = one_upload_run(clients, cfg.blob_bytes, seed ^ 0xABCD);
-            ul_pc.push(pc);
-            ul_ag.push(ag);
-        }
-        BlobScalingRow {
-            clients,
-            download_per_client_mbps: mean(&dl_pc),
-            download_aggregate_mbps: mean(&dl_ag),
-            upload_per_client_mbps: mean(&ul_pc),
-            upload_aggregate_mbps: mean(&ul_ag),
-        }
+        run_point(cfg, clients, &CellCtx::detached())
     });
     BlobScalingResult { rows }
 }

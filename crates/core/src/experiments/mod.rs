@@ -9,9 +9,33 @@
 //! | [`tcp`]   | Figs 4 & 5 — TCP latency / bandwidth | `fig4`, `fig5` |
 //!
 //! (Table 2 and Fig 7 come from the `modis` crate's campaign.)
+//!
+//! Every experiment exposes two entry points: the serial `run(cfg)`
+//! that sweeps all points on its own (the library/test path), and
+//! per-cell functions taking a [`simlab::CellCtx`] so the sharded
+//! campaign runner can execute individual cells on worker threads with
+//! the fault plan and tracer installed there. `run(cfg)` itself goes
+//! through a detached context, so both paths execute the exact same
+//! event sequences.
+
+use azstore::{FaultProfile, StampConfig};
+use simlab::CellCtx;
 
 pub mod blob;
 pub mod queue;
 pub mod table;
 pub mod tcp;
 pub mod vm;
+
+/// Stamp configuration for a cell: steady-state storage fault rates
+/// come from the cell's fault plan (microbenchmarks are clean without
+/// `--faults`, exactly the pre-simlab behaviour).
+fn stamp_config(ctx: &CellCtx) -> StampConfig {
+    match ctx.fault_plan() {
+        Some(plan) => StampConfig {
+            faults: FaultProfile::from_plan(plan),
+            ..StampConfig::default()
+        },
+        None => StampConfig::default(),
+    }
+}

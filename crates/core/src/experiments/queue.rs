@@ -8,10 +8,11 @@
 
 use std::rc::Rc;
 
-use azstore::{StampConfig, StorageAccountClient, StorageError, StorageStamp};
+use azstore::{StorageAccountClient, StorageError, StorageStamp};
 use simcore::combinators::join_all;
 use simcore::prelude::*;
 use simcore::report::{num, AsciiTable};
+use simlab::CellCtx;
 
 use crate::runner::{mean, parallel_sweep, CLIENT_COUNTS};
 
@@ -154,9 +155,26 @@ impl QueueScalingResult {
     }
 }
 
-fn one_phase(op: QueueOp, clients: usize, cfg: &QueueScalingConfig) -> QueueScalingRow {
-    let sim = Sim::new(cfg.seed ^ ((clients as u64) << 24) ^ (op as u64) << 40);
-    let stamp = StorageStamp::standalone(&sim, StampConfig::default());
+/// Run one (op, clients) phase — the per-cell entry the sharded
+/// campaign runner drives.
+pub fn run_phase(
+    cfg: &QueueScalingConfig,
+    op: QueueOp,
+    clients: usize,
+    ctx: &CellCtx,
+) -> QueueScalingRow {
+    let seed = cfg.seed ^ ((clients as u64) << 24) ^ (op as u64) << 40;
+    ctx.with_sim(seed, |sim| one_phase_on(sim, op, clients, cfg, ctx))
+}
+
+fn one_phase_on(
+    sim: &Sim,
+    op: QueueOp,
+    clients: usize,
+    cfg: &QueueScalingConfig,
+    ctx: &CellCtx,
+) -> QueueScalingRow {
+    let stamp = StorageStamp::standalone(sim, super::stamp_config(ctx));
     // Peek/Receive phases need a populated queue.
     if matches!(op, QueueOp::Peek | QueueOp::Receive) {
         stamp.queue_service().seed_messages(
@@ -234,7 +252,9 @@ pub fn run(cfg: &QueueScalingConfig) -> QueueScalingResult {
         .iter()
         .flat_map(|op| cfg.client_counts.iter().map(move |c| (*op, *c)))
         .collect();
-    let rows = parallel_sweep(points, |(op, clients)| one_phase(op, clients, cfg));
+    let rows = parallel_sweep(points, |(op, clients)| {
+        run_phase(cfg, op, clients, &CellCtx::detached())
+    });
     QueueScalingResult {
         message_bytes: cfg.message_bytes,
         rows,
@@ -283,30 +303,43 @@ pub fn curve_similarity(a: &QueueScalingResult, b: &QueueScalingResult, op: Queu
     1.0 - mean_rel_diff
 }
 
-/// The §3.3 queue-length invariance check: per-client Receive rates on a
-/// 200 k-message vs a 2 M-message queue (scaled by `scale` for quick
-/// runs). Returns (rate_small, rate_large) in ops/s.
-pub fn length_invariance(seed: u64, scale: f64) -> (f64, f64) {
-    let run_with = |n_msgs: usize| {
-        let sim = Sim::new(seed);
-        let stamp = StorageStamp::standalone(&sim, StampConfig::default());
+/// One arm of the §3.3 queue-length invariance check: the per-client
+/// Receive rate (ops/s) on a queue preloaded with `n_msgs` messages.
+pub fn length_invariance_at(seed: u64, n_msgs: usize, ctx: &CellCtx) -> f64 {
+    ctx.with_sim(seed, |sim| {
+        let stamp = StorageStamp::standalone(sim, super::stamp_config(ctx));
         stamp.queue_service().seed_messages("big", n_msgs, 512.0);
         let acct = stamp.attach_small_client();
         let s = sim.clone();
         let h = sim.spawn(async move {
             let t0 = s.now();
-            let k = 100;
-            for _ in 0..k {
-                acct.queue.receive_default("big").await.unwrap().unwrap();
+            let k = 100u64;
+            let mut got = 0u64;
+            // A faulted receive doesn't count; cap attempts so a fault
+            // plan can't stall the cell forever.
+            for _ in 0..k * 10 {
+                if got == k {
+                    break;
+                }
+                if let Ok(Some(_)) = acct.queue.receive_default("big").await {
+                    got += 1;
+                }
             }
-            k as f64 / (s.now() - t0).as_secs_f64()
+            got as f64 / (s.now() - t0).as_secs_f64()
         });
         sim.run();
         h.try_take().unwrap()
-    };
+    })
+}
+
+/// The §3.3 queue-length invariance check: per-client Receive rates on a
+/// 200 k-message vs a 2 M-message queue (scaled by `scale` for quick
+/// runs). Returns (rate_small, rate_large) in ops/s.
+pub fn length_invariance(seed: u64, scale: f64) -> (f64, f64) {
+    let ctx = CellCtx::detached();
     (
-        run_with((200_000.0 * scale) as usize),
-        run_with((2_000_000.0 * scale) as usize),
+        length_invariance_at(seed, (200_000.0 * scale) as usize, &ctx),
+        length_invariance_at(seed, (2_000_000.0 * scale) as usize, &ctx),
     )
 }
 

@@ -9,10 +9,11 @@
 
 use std::rc::Rc;
 
-use azstore::{Entity, StampConfig, StorageAccountClient, StorageError, StorageStamp};
+use azstore::{Entity, StorageAccountClient, StorageError, StorageStamp};
 use simcore::combinators::join_all;
 use simcore::prelude::*;
 use simcore::report::{num, AsciiTable};
+use simlab::CellCtx;
 
 use crate::runner::{mean, parallel_sweep, CLIENT_COUNTS};
 
@@ -237,10 +238,20 @@ fn summarize(op: TableOp, clients: usize, out: &PhaseOutcome) -> TableScalingRow
 }
 
 /// Run the whole four-phase protocol for one client count; returns the
-/// four rows in paper order.
-fn one_point(cfg: &TableScalingConfig, clients: usize) -> Vec<TableScalingRow> {
-    let sim = Sim::new(cfg.seed ^ ((clients as u64) << 20) ^ cfg.entity_kb as u64);
-    let stamp = StorageStamp::standalone(&sim, StampConfig::default());
+/// four rows in paper order. This is the per-cell entry the sharded
+/// campaign runner drives.
+pub fn run_point(cfg: &TableScalingConfig, clients: usize, ctx: &CellCtx) -> Vec<TableScalingRow> {
+    let seed = cfg.seed ^ ((clients as u64) << 20) ^ cfg.entity_kb as u64;
+    ctx.with_sim(seed, |sim| one_point_on(sim, cfg, clients, ctx))
+}
+
+fn one_point_on(
+    sim: &Sim,
+    cfg: &TableScalingConfig,
+    clients: usize,
+    ctx: &CellCtx,
+) -> Vec<TableScalingRow> {
+    let stamp = StorageStamp::standalone(sim, super::stamp_config(ctx));
     // The shared entity targeted by the query and update phases.
     stamp
         .table_service()
@@ -399,7 +410,9 @@ fn one_point(cfg: &TableScalingConfig, clients: usize) -> Vec<TableScalingRow> {
 
 /// Run the full Fig 2 experiment at the configured entity size.
 pub fn run(cfg: &TableScalingConfig) -> TableScalingResult {
-    let per_point = parallel_sweep(cfg.client_counts.clone(), |clients| one_point(cfg, clients));
+    let per_point = parallel_sweep(cfg.client_counts.clone(), |clients| {
+        run_point(cfg, clients, &CellCtx::detached())
+    });
     TableScalingResult {
         entity_kb: cfg.entity_kb,
         rows: per_point.into_iter().flatten().collect(),

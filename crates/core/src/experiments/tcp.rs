@@ -16,6 +16,7 @@ use dcnet::{
 };
 use simcore::prelude::*;
 use simcore::report::{num, pct, AsciiTable};
+use simlab::CellCtx;
 
 use crate::runner::parallel_sweep;
 
@@ -85,14 +86,29 @@ pub fn run_latency(cfg: &TcpLatencyConfig) -> TcpLatencyResult {
     let mut samples = SampleSet::with_capacity(cfg.pairs * cfg.samples_per_pair);
     let placements = model.spread_placements(cfg.pairs);
     for (pair, &placement) in placements.iter().enumerate() {
-        let mut rng = SimRng::from_seed(cfg.seed ^ ((pair as u64) << 8));
-        for _ in 0..cfg.samples_per_pair {
-            samples.push(model.sample_rtt(placement, &mut rng).as_millis_f64());
+        for v in latency_pair(cfg, pair, placement) {
+            samples.push(v);
         }
     }
     TcpLatencyResult {
         samples_ms: samples,
     }
+}
+
+/// One pair's RTT samples (ms) — the per-cell entry the sharded runner
+/// drives. The latency model is a closed-form draw with no `Sim` behind
+/// it, so it is transparent to fault plans (the paper's Fig 4 ran on a
+/// healthy deployment; faults act on the storage and fabric figures).
+pub fn latency_pair(
+    cfg: &TcpLatencyConfig,
+    pair: usize,
+    placement: dcnet::PairPlacement,
+) -> Vec<f64> {
+    let model = LatencyModel::default();
+    let mut rng = SimRng::from_seed(cfg.seed ^ ((pair as u64) << 8));
+    (0..cfg.samples_per_pair)
+        .map(|_| model.sample_rtt(placement, &mut rng).as_millis_f64())
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -196,9 +212,15 @@ fn place_pair(topo: &Topology, p_same: f64, rng: &mut SimRng) -> (HostId, HostId
     }
 }
 
-fn one_round(cfg: &TcpBandwidthConfig, round: usize) -> Vec<f64> {
-    let sim = Sim::new(cfg.seed ^ ((round as u64) << 12));
-    let net = Network::new(&sim);
+/// One deployment round's transfer rates (MB/s) — the per-cell entry
+/// the sharded campaign runner drives.
+pub fn bandwidth_round(cfg: &TcpBandwidthConfig, round: usize, ctx: &CellCtx) -> Vec<f64> {
+    let seed = cfg.seed ^ ((round as u64) << 12);
+    ctx.with_sim(seed, |sim| one_round_on(sim, cfg))
+}
+
+fn one_round_on(sim: &Sim, cfg: &TcpBandwidthConfig) -> Vec<f64> {
+    let net = Network::new(sim);
     let topo = Rc::new(Topology::build(&net, &TopologyConfig::default()));
     let bg_cfg = if cfg.background {
         BackgroundConfig::default()
@@ -253,7 +275,9 @@ fn one_round(cfg: &TcpBandwidthConfig, round: usize) -> Vec<f64> {
 /// Run the bandwidth measurement across all rounds (parallelized).
 pub fn run_bandwidth(cfg: &TcpBandwidthConfig) -> TcpBandwidthResult {
     let rounds: Vec<usize> = (0..cfg.rounds).collect();
-    let all = parallel_sweep(rounds, |round| one_round(cfg, round));
+    let all = parallel_sweep(rounds, |round| {
+        bandwidth_round(cfg, round, &CellCtx::detached())
+    });
     let mut samples = SampleSet::new();
     for chunk in all {
         for v in chunk {

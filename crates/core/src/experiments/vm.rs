@@ -13,6 +13,7 @@ use fabric::{
 };
 use simcore::prelude::*;
 use simcore::report::{num, AsciiTable};
+use simlab::CellCtx;
 
 /// Configuration of the lifecycle campaign.
 #[derive(Debug, Clone)]
@@ -116,8 +117,18 @@ impl VmLifecycleResult {
 
 /// Run the campaign.
 pub fn run(cfg: &VmLifecycleConfig) -> VmLifecycleResult {
-    let sim = Sim::new(cfg.seed);
-    let fc = FabricController::new(&sim, FabricConfig::default());
+    run_ctx(cfg, &CellCtx::detached())
+}
+
+/// Run the campaign inside a cell context — the sharded campaign
+/// runner's entry point (Table 1 is a single sequential campaign, so it
+/// stays one cell; the context still routes `--faults` to its thread).
+pub fn run_ctx(cfg: &VmLifecycleConfig, ctx: &CellCtx) -> VmLifecycleResult {
+    ctx.with_sim(cfg.seed, |sim| run_on(sim, cfg))
+}
+
+fn run_on(sim: &Sim, cfg: &VmLifecycleConfig) -> VmLifecycleResult {
+    let fc = FabricController::new(sim, FabricConfig::default());
     let mut rng = sim.rng("vm.campaign");
     let target = cfg.successful_runs;
     let s = sim.clone();

@@ -8,7 +8,7 @@
 //! effect, 1st→4th instance lag, web-role suspend cost, flat deletes)
 //! fall out of the decomposition.
 //!
-//! Known deliberate deviation (DESIGN.md §7): Table 1's Run averages and
+//! Known deliberate deviation (DESIGN.md §8): Table 1's Run averages and
 //! the text's "first instance ready in 9–10 min" cannot both hold given
 //! the also-stated 4-minute 1st→4th lag; we reproduce the Table 1 grid
 //! and the create+run ≈ 10 min headline, and keep the ~4-min stagger

@@ -1,14 +1,17 @@
 //! Campaign driver: assembles the system, runs the full (or scaled)
 //! Feb–Sep 2010 campaign, and returns everything Table 2 and Fig 7 need.
 
+use std::collections::HashSet;
 use std::rc::Rc;
 
 use simcore::combinators::{select2, Either};
 use simcore::prelude::*;
 
+use crate::calib;
 use crate::manager::{spawn_manager, ManagerStats};
 use crate::monitor::spawn_monitor;
-use crate::system::{ModisConfig, ModisSystem};
+use crate::system::{ModisConfig, ModisSystem, DATA_CONTAINER};
+use crate::tasks::TileDay;
 use crate::telemetry::Telemetry;
 use crate::worker::spawn_workers;
 
@@ -42,6 +45,66 @@ impl CampaignReport {
     }
 }
 
+/// The (tile, day) coordinates covered by the first `days` days of the
+/// campaign's *synthetic request history*: a deterministic
+/// arrival-and-shape sequence drawn from `seed` alone, mirroring the
+/// manager's per-request draws. Every day segment of a sharded campaign
+/// shares this sequence (each consumes the prefix up to its own
+/// offset), so segment `i` can stage the sources a single long run
+/// would have accumulated before its first day — without it, each
+/// cold-started segment re-downloads coordinates the full campaign
+/// fetched once, and the Table 2 task mix skews toward downloads.
+pub fn history_coverage(cfg: &ModisConfig, seed: u64, days: u64) -> Vec<TileDay> {
+    let mut rng = SimRng::for_stream(seed, "modis.prewarm");
+    let mean_gap = calib::REQUEST_INTERARRIVAL_MEAN_S / cfg.arrival_scale;
+    let end = days as f64 * 86_400.0;
+    let mut now = 0.0;
+    let mut covered: HashSet<TileDay> = HashSet::new();
+    loop {
+        now += Exp::with_mean(mean_gap).sample(&mut rng).max(60.0);
+        if now >= end {
+            break;
+        }
+        // Mirror the manager's request-shape draw order exactly (the
+        // reduction coin is consumed even though coverage ignores it).
+        let n_tiles =
+            (rng.u64_in(cfg.request_tiles.0, cfg.request_tiles.1) as u32).min(cfg.tile_pool as u32);
+        let n_days =
+            (rng.u64_in(cfg.request_days.0, cfg.request_days.1) as u32).min(cfg.day_pool as u32);
+        let tile0 = rng.u64_below((cfg.tile_pool as u64 - n_tiles as u64).max(1)) as u32;
+        let day0 = rng.u64_below((cfg.day_pool as u64 - n_days as u64).max(1)) as u32;
+        let _with_reduction = rng.chance(calib::REDUCTION_PER_REPROJECTION);
+        for t in 0..n_tiles {
+            for d in 0..n_days {
+                covered.insert(TileDay {
+                    tile: tile0 + t,
+                    day: day0 + d,
+                });
+            }
+        }
+    }
+    let mut v: Vec<TileDay> = covered.into_iter().collect();
+    v.sort();
+    v
+}
+
+/// Stage every source file the synthetic history has already fetched
+/// into the stamp's blob store, so the manager's existence probes and
+/// the workers' source reads see a warm catalog.
+fn stage_history(sys: &Rc<ModisSystem>) {
+    let coords = history_coverage(&sys.cfg, sys.cfg.prewarm_seed, sys.cfg.prewarm_days);
+    let blobs = sys.stamp.blob_service();
+    for coord in coords {
+        for k in 0..sys.catalog.band_count(coord) {
+            blobs.seed(
+                DATA_CONTAINER,
+                &coord.source_blob(k),
+                sys.catalog.file_bytes(coord, k),
+            );
+        }
+    }
+}
+
 /// Run a campaign to completion (all requests issued, queue drained,
 /// all executions finished).
 pub fn run_campaign(cfg: ModisConfig) -> CampaignReport {
@@ -60,6 +123,9 @@ pub fn run_campaign_on(sim: &Sim, cfg: ModisConfig) -> CampaignReport {
     // a no-op beyond a thread-local flag.
     let _faults = simfault::install(&sim, &cfg.faults);
     let sys = ModisSystem::new(&sim, cfg);
+    if sys.cfg.prewarm_days > 0 {
+        stage_history(&sys);
+    }
 
     let manager = spawn_manager(&sys);
     let monitor = if sys.cfg.watchdog {

@@ -47,4 +47,4 @@ pub use campaign::{run_campaign, CampaignReport};
 pub use catalog::SourceCatalog;
 pub use system::{ModisConfig, ModisSystem};
 pub use tasks::{TaskKind, TaskSpec, TileDay};
-pub use telemetry::{Outcome, Telemetry};
+pub use telemetry::{Outcome, Telemetry, TelemetrySnapshot};

@@ -46,6 +46,16 @@ pub struct ModisConfig {
     pub faults: simfault::FaultPlan,
     /// RNG seed.
     pub seed: u64,
+    /// Warm start for day-segmented campaigns: days of synthetic
+    /// request history whose source coordinates are staged into blob
+    /// storage before the campaign begins, as if a single long run had
+    /// already processed them. 0 = cold start (the default, and the
+    /// whole-campaign behaviour).
+    pub prewarm_days: u64,
+    /// Seed of the shared synthetic history stream (the *campaign*
+    /// seed, identical across all segments, so every segment stages a
+    /// prefix of the same deterministic history).
+    pub prewarm_seed: u64,
 }
 
 impl Default for ModisConfig {
@@ -62,6 +72,8 @@ impl Default for ModisConfig {
             watchdog: true,
             faults: simfault::FaultPlan::paper(),
             seed: 0x0D15,
+            prewarm_days: 0,
+            prewarm_seed: 0,
         }
     }
 }

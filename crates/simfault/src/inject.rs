@@ -106,10 +106,17 @@ fn layer_of(ep: &FaultEpisode) -> Layer {
     }
 }
 
-/// Uninstalls the injector (and its kernel hook) when dropped.
+/// Uninstalls the injector (and its kernel hook) when dropped,
+/// restoring whatever injector was installed before it. Installs nest:
+/// an orchestration layer can hold a plan around a scenario that
+/// installs its own (the ModisAzure campaign does), and dropping the
+/// inner guard brings the outer plan back instead of leaving the thread
+/// fault-free.
 pub struct InstallGuard {
     sim: Sim,
     hook: Option<simcore::KernelHookId>,
+    prev: Option<Injector>,
+    prev_enabled: bool,
 }
 
 impl Drop for InstallGuard {
@@ -117,8 +124,8 @@ impl Drop for InstallGuard {
         if let Some(hook) = self.hook.take() {
             self.sim.remove_kernel_hook(hook);
         }
-        ACTIVE.with(|a| a.borrow_mut().take());
-        FAULTS.with(|f| f.set(false));
+        ACTIVE.with(|a| *a.borrow_mut() = self.prev.take());
+        FAULTS.with(|f| f.set(self.prev_enabled));
     }
 }
 
@@ -126,6 +133,11 @@ impl Drop for InstallGuard {
 /// faults flow through the stamp configuration separately; this
 /// activates the *episode* machinery (and is a cheap no-op for plans
 /// without episodes).
+///
+/// Usable from any thread with its own `Sim` — the campaign runner in
+/// `simlab` installs the plan on every sweep worker — and installs
+/// nest: the guard restores the previously installed injector (if any)
+/// when dropped.
 pub fn install(sim: &Sim, plan: &FaultPlan) -> InstallGuard {
     let injector = Injector::new(sim, plan.clone());
     let hook = if plan.episodes.is_empty() {
@@ -134,11 +146,14 @@ pub fn install(sim: &Sim, plan: &FaultPlan) -> InstallGuard {
         let edge = injector.clone();
         Some(sim.add_kernel_hook(Rc::new(move |_sim, _ev| edge.observe_edges())))
     };
+    let prev_enabled = FAULTS.with(|f| f.get());
+    let prev = ACTIVE.with(|a| a.borrow_mut().replace(injector));
     FAULTS.with(|f| f.set(!plan.episodes.is_empty()));
-    ACTIVE.with(|a| *a.borrow_mut() = Some(injector));
     InstallGuard {
         sim: sim.clone(),
         hook,
+        prev,
+        prev_enabled,
     }
 }
 
@@ -372,6 +387,37 @@ mod tests {
         let sim = Sim::new(5);
         let _g = install(&sim, &FaultPlan::paper());
         assert!(!enabled(), "rates-only plan needs no episode machinery");
+    }
+
+    #[test]
+    fn installs_nest_and_restore_the_outer_plan() {
+        let sim = Sim::new(9);
+        let outer = install(&sim, &chaos_plan());
+        assert!(enabled());
+        {
+            // Inner scope shadows with a rates-only plan ...
+            let _inner = install(&sim, &FaultPlan::paper());
+            assert!(!enabled(), "inner plan has no episodes");
+        }
+        // ... and dropping it brings the outer episodes back.
+        assert!(enabled(), "outer plan must be restored");
+        assert!(net_rtt_multiplier(15.0) > 1.0, "partition window visible");
+        drop(outer);
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn install_works_from_a_spawned_thread() {
+        std::thread::spawn(|| {
+            let sim = Sim::new(11);
+            let _g = install(&sim, &chaos_plan());
+            assert!(enabled());
+            assert!(net_rtt_multiplier(15.0) > 1.0);
+        })
+        .join()
+        .unwrap();
+        // The spawning thread was never touched.
+        assert!(!enabled());
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! The unified anchor-check framework: declare a paper anchor once and
+//! derive the human-readable OK/OFF line, the CSV row and the manifest
+//! entry from the same declaration.
+//!
+//! The report-line format reproduces the pre-simlab `bench::anchor_line`
+//! byte for byte, so regenerated `*.anchors.txt` artifacts do not churn.
+
+/// One paper-vs-measured comparison.
+#[derive(Debug, Clone)]
+pub struct AnchorCheck {
+    /// Anchor name (the `cloudbench::anchors` constant's name string).
+    pub name: &'static str,
+    /// Published value.
+    pub paper: f64,
+    /// Accepted relative tolerance.
+    pub rel_tol: f64,
+    /// What the campaign measured.
+    pub measured: f64,
+}
+
+impl AnchorCheck {
+    /// Relative error of the measurement against the paper value.
+    pub fn rel_err(&self) -> f64 {
+        if self.paper == 0.0 {
+            if self.measured == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (self.measured - self.paper) / self.paper
+        }
+    }
+
+    /// Whether the measurement lands within tolerance.
+    pub fn ok(&self) -> bool {
+        self.rel_err().abs() <= self.rel_tol
+    }
+
+    /// The `  [OK ] name  paper X  measured Y  (+Z%)` report line.
+    pub fn line(&self) -> String {
+        let verdict = if self.ok() { "OK " } else { "OFF" };
+        format!(
+            "  [{verdict}] {:<40} paper {:>10.3}  measured {:>10.3}  ({:+.1}%)",
+            self.name,
+            self.paper,
+            self.measured,
+            self.rel_err() * 100.0
+        )
+    }
+
+    /// CSV row `name,paper,measured,rel_err,ok`.
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{},{:.6},{}",
+            self.name,
+            self.paper,
+            self.measured,
+            self.rel_err(),
+            self.ok()
+        )
+    }
+}
+
+/// Render a titled block of anchor lines (the `*.anchors.txt` format).
+pub fn render_block(title: &str, checks: &[AnchorCheck]) -> String {
+    let mut out = format!("{title}\n");
+    for c in checks {
+        out.push_str(&c.line());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdicts_and_errors() {
+        let a = AnchorCheck {
+            name: "x",
+            paper: 10.0,
+            rel_tol: 0.1,
+            measured: 10.5,
+        };
+        assert!(a.ok());
+        assert!((a.rel_err() - 0.05).abs() < 1e-12);
+        assert!(a.line().contains("[OK ]"));
+        let b = AnchorCheck {
+            measured: 20.0,
+            ..a.clone()
+        };
+        assert!(!b.ok());
+        assert!(b.line().contains("[OFF]"));
+        assert!(b.csv_row().ends_with("false"));
+    }
+
+    #[test]
+    fn line_format_matches_legacy_bench_output() {
+        let a = AnchorCheck {
+            name: "fig1 download, 1 client (MB/s)",
+            paper: 13.0,
+            rel_tol: 0.15,
+            measured: 12.262,
+        };
+        assert_eq!(
+            a.line(),
+            "  [OK ] fig1 download, 1 client (MB/s)           paper     13.000  measured     12.262  (-5.7%)"
+        );
+    }
+
+    #[test]
+    fn zero_paper_value_edge() {
+        let z = AnchorCheck {
+            name: "z",
+            paper: 0.0,
+            rel_tol: 0.5,
+            measured: 0.0,
+        };
+        assert!(z.ok());
+    }
+
+    #[test]
+    fn block_has_title_and_one_line_per_check() {
+        let c = AnchorCheck {
+            name: "a",
+            paper: 1.0,
+            rel_tol: 0.1,
+            measured: 1.0,
+        };
+        let s = render_block("Paper anchors (T):", &[c.clone(), c]);
+        assert_eq!(s.lines().count(), 3);
+        assert!(s.starts_with("Paper anchors (T):\n"));
+    }
+}

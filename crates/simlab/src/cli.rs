@@ -1,0 +1,149 @@
+//! Shared flag parsing for the regeneration binaries.
+//!
+//! The pre-simlab binaries scanned `std::env::args()` ad hoc: `--trace`
+//! with a missing path silently disabled tracing, and `--shards` did
+//! not exist. Here every malformed flag is a hard usage error — parse
+//! errors exit with status 2 after printing the binary's usage line.
+
+use std::path::PathBuf;
+
+use simfault::FaultPlan;
+
+/// Parsed command line of a regeneration binary.
+#[derive(Debug, Default)]
+pub struct Flags {
+    /// `--quick`: scaled-down campaign.
+    pub quick: bool,
+    /// `--shards N`: worker shards (`None` = pick a default).
+    pub shards: Option<usize>,
+    /// `--faults <preset>`: fault plan for every cell.
+    pub faults: Option<FaultPlan>,
+    /// `--trace <path>`: Chrome trace of the representative cell.
+    pub trace: Option<PathBuf>,
+    /// `--out <path>`: output file override (used by `azlab bench`).
+    pub out: Option<PathBuf>,
+    /// Positional words (subcommand + target for `azlab`).
+    pub words: Vec<String>,
+}
+
+/// Parse an argument list (without the program name).
+pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Flags, String> {
+    let mut flags = Flags::default();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => flags.quick = true,
+            "--shards" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--shards: missing value".to_string())?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--shards {v:?}: expected a positive integer"))?;
+                if n == 0 {
+                    return Err("--shards 0: shard count must be >= 1".to_string());
+                }
+                flags.shards = Some(n);
+            }
+            "--faults" => {
+                let name = it
+                    .next()
+                    .ok_or_else(|| "--faults: missing preset name".to_string())?;
+                flags.faults = Some(FaultPlan::by_name(&name).ok_or_else(|| {
+                    format!(
+                        "--faults {name:?}: unknown preset (expected one of: {})",
+                        FaultPlan::PRESETS.join(", ")
+                    )
+                })?);
+            }
+            "--trace" => {
+                let p = it
+                    .next()
+                    .ok_or_else(|| "--trace: missing output path".to_string())?;
+                if p.starts_with("--") {
+                    return Err(format!("--trace: missing output path (got flag {p:?})"));
+                }
+                flags.trace = Some(PathBuf::from(p));
+            }
+            "--out" => {
+                let p = it
+                    .next()
+                    .ok_or_else(|| "--out: missing output path".to_string())?;
+                flags.out = Some(PathBuf::from(p));
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other:?}"));
+            }
+            word => flags.words.push(word.to_string()),
+        }
+    }
+    Ok(flags)
+}
+
+/// Parse the process's arguments; on error print the message plus
+/// `usage` to stderr and exit with status 2.
+pub fn parse_or_exit(usage: &str) -> Flags {
+    match parse(std::env::args().skip(1)) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: {usage}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(args: &[&str]) -> Result<Flags, String> {
+        parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn happy_path() {
+        let f = p(&[
+            "run", "all", "--quick", "--shards", "4", "--faults", "paper", "--trace", "t.json",
+        ])
+        .unwrap();
+        assert_eq!(f.words, vec!["run", "all"]);
+        assert!(f.quick);
+        assert_eq!(f.shards, Some(4));
+        assert_eq!(f.faults.as_ref().unwrap().name, "paper");
+        assert_eq!(f.trace.as_deref(), Some(std::path::Path::new("t.json")));
+    }
+
+    #[test]
+    fn shards_rejects_zero_and_garbage() {
+        assert!(p(&["--shards", "0"]).unwrap_err().contains("--shards 0"));
+        assert!(p(&["--shards", "four"])
+            .unwrap_err()
+            .contains("positive integer"));
+        assert!(p(&["--shards"]).unwrap_err().contains("missing value"));
+    }
+
+    #[test]
+    fn trace_requires_a_path() {
+        assert!(p(&["--trace"]).unwrap_err().contains("missing output path"));
+        assert!(p(&["--trace", "--quick"]).is_err());
+    }
+
+    #[test]
+    fn faults_rejects_unknown_presets() {
+        let e = p(&["--faults", "bogus"]).unwrap_err();
+        assert!(e.contains("unknown preset") && e.contains("crash-partition"));
+        assert!(p(&["--faults"]).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_are_errors() {
+        assert!(p(&["--frobnicate"]).unwrap_err().contains("--frobnicate"));
+    }
+
+    #[test]
+    fn empty_args_are_fine() {
+        let f = p(&[]).unwrap();
+        assert!(!f.quick && f.shards.is_none() && f.words.is_empty());
+    }
+}

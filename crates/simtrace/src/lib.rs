@@ -205,7 +205,10 @@ impl Tracer {
     /// Bind this tracer to the current thread (making the module-level
     /// [`span`]/[`counter`]/[`gauge`]/[`instant`] helpers feed it) and
     /// register the kernel hook counting `kernel.tasks_spawned` /
-    /// `kernel.wakes` / `kernel.calls`. Dropping the guard unbinds both.
+    /// `kernel.wakes` / `kernel.calls`. Dropping the guard unbinds the
+    /// hook and restores the previously installed tracer, if any —
+    /// installs nest, and work on any thread with its own `Sim` (the
+    /// sharded campaign runner installs per worker thread).
     pub fn install(&self) -> InstallGuard {
         let t = self.clone();
         let hook = self.inner.sim.add_kernel_hook(Rc::new(move |_sim, ev| {
@@ -216,11 +219,12 @@ impl Tracer {
             };
             t.counter_bump(name, 1);
         }));
-        ACTIVE.with(|a| *a.borrow_mut() = Some(self.clone()));
+        let prev = ACTIVE.with(|a| a.borrow_mut().replace(self.clone()));
         TRACING.with(|t| t.set(true));
         InstallGuard {
             sim: self.inner.sim.clone(),
             hook,
+            prev,
         }
     }
 
@@ -667,16 +671,18 @@ thread_local! {
 }
 
 /// Unbinds the tracer from the thread and removes the kernel hook when
-/// dropped (returned by [`Tracer::install`]).
+/// dropped, restoring the previously installed tracer if installs were
+/// nested (returned by [`Tracer::install`]).
 pub struct InstallGuard {
     sim: Sim,
     hook: simcore::KernelHookId,
+    prev: Option<Tracer>,
 }
 
 impl Drop for InstallGuard {
     fn drop(&mut self) {
-        TRACING.with(|t| t.set(false));
-        ACTIVE.with(|a| *a.borrow_mut() = None);
+        TRACING.with(|t| t.set(self.prev.is_some()));
+        ACTIVE.with(|a| *a.borrow_mut() = self.prev.take());
         self.sim.remove_kernel_hook(self.hook);
     }
 }

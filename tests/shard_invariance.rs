@@ -1,0 +1,105 @@
+//! The simlab determinism contract (DESIGN.md §6): a campaign's merged
+//! output — stdout, artifact files, anchor verdicts, manifest entry —
+//! is byte-identical for any `--shards N`, because cells are assigned
+//! to shards by a fixed rule and merged in canonical cell order.
+
+use bench::campaigns::{self, CampaignOutput};
+use simfault::FaultPlan;
+use simlab::{CampaignEntry, Manifest, RunOpts};
+
+fn run_at(name: &str, shards: usize, faults: Option<FaultPlan>) -> CampaignOutput {
+    let opts = RunOpts {
+        shards,
+        faults,
+        trace: None,
+    };
+    campaigns::run(name, true, &opts).expect("known campaign name")
+}
+
+/// Wrap a campaign output in a one-campaign manifest with a fixed
+/// header, so the normalized JSON isolates the campaign-dependent part.
+fn manifest_json(out: CampaignOutput) -> String {
+    Manifest {
+        quick: true,
+        shards: 0,
+        faults: "n/a".to_string(),
+        campaigns: vec![CampaignEntry {
+            name: out.name.to_string(),
+            cells: out.cells,
+            wall_ms: 123,
+            anchors: out.anchors,
+            artifacts: out.files.into_iter().map(|(n, _)| n).collect(),
+        }],
+    }
+    .to_json_normalized()
+}
+
+fn assert_shard_invariant(name: &str, faults: Option<FaultPlan>) {
+    let a = run_at(name, 1, faults.clone());
+    let b = run_at(name, 8, faults);
+    assert_eq!(
+        a.stdout, b.stdout,
+        "{name}: stdout differs between 1 and 8 shards"
+    );
+    assert_eq!(
+        a.files, b.files,
+        "{name}: artifact files differ between 1 and 8 shards"
+    );
+    let lines_a: Vec<String> = a.anchors.iter().map(|c| c.line()).collect();
+    let lines_b: Vec<String> = b.anchors.iter().map(|c| c.line()).collect();
+    assert_eq!(
+        lines_a, lines_b,
+        "{name}: anchor verdicts differ between 1 and 8 shards"
+    );
+    assert_eq!(
+        manifest_json(a),
+        manifest_json(b),
+        "{name}: normalized manifest entry differs between 1 and 8 shards"
+    );
+}
+
+#[test]
+fn fig1_quick_is_shard_invariant() {
+    assert_shard_invariant("fig1", None);
+}
+
+#[test]
+fn fig3_quick_is_shard_invariant() {
+    assert_shard_invariant("fig3", None);
+}
+
+#[test]
+fn fig4_quick_is_shard_invariant() {
+    assert_shard_invariant("fig4", None);
+}
+
+/// The day-segmented ModisAzure campaign: segments merge with
+/// cumulative day offsets, so the reassembled Table 2 / Fig 7 must not
+/// depend on which worker simulated which segment.
+#[test]
+fn modis_quick_is_shard_invariant() {
+    assert_shard_invariant("modis", None);
+}
+
+/// Fault injection rides the same contract: the plan is installed on
+/// whichever worker thread runs each cell, so an injected campaign is
+/// as shard-invariant as a clean one.
+#[test]
+fn fig1_quick_under_faults_is_shard_invariant() {
+    let plan = FaultPlan::by_name("crash-partition").expect("preset");
+    assert_shard_invariant("fig1", Some(plan));
+}
+
+/// A fault plan must actually change the outcome (i.e. it reaches the
+/// sweep workers) — guards against the historical gap where `--faults`
+/// only armed the main thread.
+#[test]
+fn faults_reach_sharded_workers() {
+    let clean = run_at("fig1", 8, None);
+    let plan = FaultPlan::by_name("crash-partition").expect("preset");
+    let injected = run_at("fig1", 8, Some(plan));
+    assert_ne!(
+        clean.stdout, injected.stdout,
+        "crash-partition plan had no effect on sharded fig1 cells"
+    );
+}
