@@ -222,6 +222,16 @@ impl StorageStamp {
     pub fn attach_small_client(&self) -> StorageAccountClient {
         self.attach_client(calib::SMALL_VM_STORAGE_BPS)
     }
+
+    /// Attach `n` small-instance clients at once — the issue path for
+    /// open-loop fleets (`simload`), which dispatch each scheduled
+    /// arrival to `clients[arrival_index % n]`. Client ids (and thus
+    /// their throttle-link names and RNG streams) are assigned in
+    /// ascending order, so a fleet is one deterministic unit no matter
+    /// how many arrivals later land on each VM.
+    pub fn attach_small_fleet(&self, n: usize) -> Vec<StorageAccountClient> {
+        (0..n).map(|_| self.attach_small_client()).collect()
+    }
 }
 
 /// Per-VM bundle of service clients.

@@ -15,7 +15,9 @@
 //! for any `--shards N`.
 //!
 //! `bench` times the quick campaign set and the ModisAzure campaign at
-//! 1 vs 4 shards, writing a `BENCH_pr4.json` wall-clock report.
+//! 1 vs 4 shards, writing a `BENCH_pr5.json` wall-clock report. Times
+//! are recorded in microseconds: several quick campaigns finish in
+//! well under a millisecond, where ms-resolution rows read `0`.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -23,7 +25,7 @@ use std::time::Instant;
 use bench::campaigns;
 use simlab::{CampaignEntry, Manifest, RunOpts, TraceSpec};
 
-const USAGE: &str = "azlab <run|bench> [target] [--quick] [--shards N] [--faults <preset>] [--trace <path>] [--out <path>]\n  targets: all fig1 fig2 fig3 fig4 fig5 table1 table2 fig7 modis ablations";
+const USAGE: &str = "azlab <run|bench> [target] [--quick] [--shards N] [--faults <preset>] [--trace <path>] [--out <path>]\n  targets: all fig1 fig2 fig3 fig4 fig5 table1 table2 fig7 modis frontier ablations";
 
 fn usage_exit(msg: &str) -> ! {
     eprintln!("error: {msg}");
@@ -80,12 +82,12 @@ fn cmd_run(flags: simlab::Flags) {
         };
         let t0 = Instant::now();
         let out = campaigns::run(name, flags.quick, &opts).expect("names are canonical");
-        let wall_ms = t0.elapsed().as_millis() as u64;
+        let wall_us = t0.elapsed().as_micros() as u64;
         campaigns::emit(&out, &dir);
         manifest.campaigns.push(CampaignEntry {
             name: out.name.to_string(),
             cells: out.cells,
-            wall_ms,
+            wall_us,
             anchors: out.anchors,
             artifacts: out.files.into_iter().map(|(n, _)| n).collect(),
         });
@@ -109,23 +111,23 @@ fn cmd_bench(flags: simlab::Flags) {
         };
         let t0 = Instant::now();
         let out = campaigns::run(name, true, &opts).expect("canonical name");
-        (out.cells, t0.elapsed().as_millis() as u64)
+        (out.cells, t0.elapsed().as_micros() as u64)
     };
 
     // The acceptance measurement: the day-segmented ModisAzure campaign
     // (the old serial table2) at 1 shard vs 4.
     eprintln!("azlab bench: modis --quick serial vs 4 shards ...");
-    let (_, modis_serial_ms) = time("modis", 1);
-    let (_, modis_shards4_ms) = time("modis", 4);
-    let speedup = modis_serial_ms as f64 / modis_shards4_ms.max(1) as f64;
+    let (_, modis_serial_us) = time("modis", 1);
+    let (_, modis_shards4_us) = time("modis", 4);
+    let speedup = modis_serial_us as f64 / modis_shards4_us.max(1) as f64;
 
     eprintln!("azlab bench: full quick campaign set at {shards} shards ...");
     let mut rows = Vec::new();
-    let mut total_ms = 0u64;
+    let mut total_us = 0u64;
     for name in campaigns::ALL {
-        let (cells, ms) = time(name, shards);
-        total_ms += ms;
-        rows.push((name, cells, ms));
+        let (cells, us) = time(name, shards);
+        total_us += us;
+        rows.push((name, cells, us));
     }
 
     let mut json = String::from("{\n");
@@ -138,30 +140,30 @@ fn cmd_bench(flags: simlab::Flags) {
         campaigns::default_shards()
     ));
     json.push_str(&format!(
-        "  \"modis_serial_ms\": {modis_serial_ms},\n  \"modis_shards4_ms\": {modis_shards4_ms},\n"
+        "  \"modis_serial_us\": {modis_serial_us},\n  \"modis_shards4_us\": {modis_shards4_us},\n"
     ));
     json.push_str(&format!("  \"modis_speedup_4shards\": {speedup:.2},\n"));
     json.push_str("  \"campaigns\": [\n");
-    for (i, (name, cells, ms)) in rows.iter().enumerate() {
+    for (i, (name, cells, us)) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"name\": \"{name}\", \"cells\": {cells}, \"wall_ms\": {ms}}}{}\n",
+            "    {{\"name\": \"{name}\", \"cells\": {cells}, \"wall_us\": {us}}}{}\n",
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
     json.push_str("  ],\n");
-    json.push_str(&format!("  \"total_ms\": {total_ms}\n}}\n"));
+    json.push_str(&format!("  \"total_us\": {total_us}\n}}\n"));
 
     let path = flags.out.unwrap_or_else(|| {
         PathBuf::from(env!("CARGO_MANIFEST_DIR"))
             .join("../..")
-            .join("BENCH_pr4.json")
+            .join("BENCH_pr5.json")
     });
     match std::fs::write(&path, &json) {
         Ok(()) => println!(
-            "[saved {}]  modis quick: {}ms serial, {}ms at 4 shards ({speedup:.2}x)",
+            "[saved {}]  modis quick: {}us serial, {}us at 4 shards ({speedup:.2}x)",
             path.display(),
-            modis_serial_ms,
-            modis_shards4_ms
+            modis_serial_us,
+            modis_shards4_us
         ),
         Err(e) => eprintln!("bench: failed to write {}: {e}", path.display()),
     }

@@ -25,6 +25,7 @@ pub mod fig2;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod frontier;
 pub mod modis;
 pub mod table1;
 
@@ -48,7 +49,7 @@ pub struct CampaignOutput {
 }
 
 /// Canonical campaign names, in `azlab run all` execution order.
-pub const ALL: [&str; 8] = [
+pub const ALL: [&str; 9] = [
     "fig1",
     "fig2",
     "fig3",
@@ -56,6 +57,7 @@ pub const ALL: [&str; 8] = [
     "fig5",
     "table1",
     "modis",
+    "frontier",
     "ablations",
 ];
 
@@ -78,6 +80,7 @@ pub fn run(name: &str, quick: bool, opts: &RunOpts) -> Option<CampaignOutput> {
         "fig5" => fig5::run(quick, opts),
         "table1" => table1::run(quick, opts),
         "modis" => modis::run(quick, opts),
+        "frontier" => frontier::run(quick, opts),
         "ablations" => ablations::run(quick, opts),
         _ => unreachable!("canonical() returned an unknown name"),
     })

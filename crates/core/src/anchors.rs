@@ -170,6 +170,39 @@ pub const TAB2_SUCCESS_RATE: Anchor = Anchor {
     rel_tol: 0.25,
 };
 
+/// Frontier: peak open-loop blob GET goodput under the campaign's SLO
+/// (MB/s) must land on the closed-loop Fig 1 peak ("393.4 MB/s"): the
+/// knee of the offered-load sweep and the concurrency peak probe the
+/// same shared egress pipe from opposite directions. Wider tolerance
+/// than the Fig 1 anchor — the open-loop estimate rides on a deadline
+/// cutoff rather than a steady closed-loop plateau.
+pub const FRONTIER_BLOB_CAPACITY_MBPS: Anchor = Anchor {
+    name: "frontier.blob.peak_goodput_mbs",
+    paper: 393.4,
+    rel_tol: 0.2,
+};
+
+/// Frontier: peak open-loop table Query goodput under SLO (ops/s).
+/// Fig 2 publishes no numeric peak, so the reference is this
+/// reproduction's own closed-loop Query aggregate at 192 clients
+/// (3923 ops/s from `results/fig2.csv`) — internal cross-validation,
+/// not a paper value. The SLO deadline bounds effective concurrency
+/// the way the 192-client cap did; the query station's raw drain rate
+/// asymptotes well above either.
+pub const FRONTIER_TABLE_CAPACITY_OPS: Anchor = Anchor {
+    name: "frontier.table.peak_goodput_ops",
+    paper: 3923.2,
+    rel_tol: 0.2,
+};
+
+/// Frontier: peak open-loop queue Add goodput under SLO (ops/s) vs the
+/// closed-loop Fig 3 peak ("569 messages per second with 64 clients").
+pub const FRONTIER_QUEUE_CAPACITY_OPS: Anchor = Anchor {
+    name: "frontier.queue.peak_goodput_ops",
+    paper: 569.0,
+    rel_tol: 0.2,
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -29,8 +29,10 @@ pub mod vm;
 
 /// Stamp configuration for a cell: steady-state storage fault rates
 /// come from the cell's fault plan (microbenchmarks are clean without
-/// `--faults`, exactly the pre-simlab behaviour).
-fn stamp_config(ctx: &CellCtx) -> StampConfig {
+/// `--faults`, exactly the pre-simlab behaviour). Public so campaigns
+/// outside this crate (the `simload` frontier) build their stamps the
+/// same way.
+pub fn stamp_config(ctx: &CellCtx) -> StampConfig {
     match ctx.fault_plan() {
         Some(plan) => StampConfig {
             faults: FaultProfile::from_plan(plan),

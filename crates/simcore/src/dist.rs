@@ -215,6 +215,78 @@ impl Dist for Pareto {
     }
 }
 
+/// Weibull with scale `lambda` and shape `k`, via inverse CDF
+/// (`lambda * (-ln(1-u))^(1/k)`). `k = 1` reduces to the exponential;
+/// `k < 1` gives the heavy-tailed on/off sojourns that characterize
+/// virtualized-web-app arrival burstiness (Wang et al.), which is what
+/// the open-loop workload generator (`simload`) draws from.
+#[derive(Debug, Clone, Copy)]
+pub struct Weibull {
+    /// Scale parameter (positive).
+    pub lambda: f64,
+    /// Shape parameter (positive); `< 1` is heavier-than-exponential.
+    pub k: f64,
+}
+
+/// `ln Γ(x)` for `x > 0` (Lanczos, g = 7, 9 coefficients) — enough
+/// precision for Weibull moment bookkeeping, with no libm dependency.
+fn ln_gamma(x: f64) -> f64 {
+    const G: f64 = 7.0;
+    // Published Lanczos coefficients, kept digit-for-digit.
+    #[allow(clippy::excessive_precision, clippy::inconsistent_digit_grouping)]
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection: Γ(x)Γ(1-x) = π / sin(πx).
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+impl Weibull {
+    /// Construct from scale and shape; panics on non-positive parameters.
+    pub fn new(lambda: f64, k: f64) -> Self {
+        assert!(lambda > 0.0 && k > 0.0, "Weibull({lambda}, {k})");
+        Weibull { lambda, k }
+    }
+
+    /// Construct so the distribution has the given mean at shape `k`
+    /// (`lambda = mean / Γ(1 + 1/k)`).
+    pub fn with_mean(mean: f64, k: f64) -> Self {
+        assert!(mean > 0.0 && k > 0.0, "Weibull mean {mean}, shape {k}");
+        Weibull {
+            lambda: mean / ln_gamma(1.0 + 1.0 / k).exp(),
+            k,
+        }
+    }
+}
+
+impl Dist for Weibull {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        let u = (1.0 - rng.f64()).max(f64::MIN_POSITIVE);
+        self.lambda * (-u.ln()).powf(1.0 / self.k)
+    }
+    fn mean(&self) -> f64 {
+        self.lambda * ln_gamma(1.0 + 1.0 / self.k).exp()
+    }
+}
+
 /// Empirical distribution given as CDF knots `(value, cum_prob)`;
 /// sampling inverts the CDF with linear interpolation between knots.
 /// This is how the paper's published histograms (Figs 4 and 5) are turned
@@ -422,6 +494,36 @@ mod tests {
         let d = LogNormal::with_mean(7.0, 0.8);
         assert!((d.mean() - 7.0).abs() < 1e-9);
         assert!((sample_mean(&d, 6, 200_000) - 7.0).abs() < 0.25);
+    }
+
+    #[test]
+    fn weibull_shape_one_is_exponential() {
+        // k = 1: Weibull(λ, 1) == Exp(mean = λ).
+        let d = Weibull::new(5.0, 1.0);
+        assert!((d.mean() - 5.0).abs() < 1e-9, "mean={}", d.mean());
+        assert!((sample_mean(&d, 21, 100_000) - 5.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn weibull_with_mean_hits_target_for_bursty_shapes() {
+        for k in [0.5, 0.7, 1.0, 2.0] {
+            let d = Weibull::with_mean(3.0, k);
+            assert!((d.mean() - 3.0).abs() < 1e-6, "k={k} mean={}", d.mean());
+            let m = sample_mean(&d, 22, 300_000);
+            assert!((m - 3.0).abs() < 0.15, "k={k} sample mean={m}");
+        }
+        // Heavy shape (k < 1) has std > mean (burstier than exponential).
+        let heavy = Weibull::with_mean(3.0, 0.5);
+        assert!(sample_std(&heavy, 23, 200_000) > 3.5);
+    }
+
+    #[test]
+    fn ln_gamma_matches_known_values() {
+        // Γ(1) = Γ(2) = 1, Γ(3) = 2, Γ(1/2) = √π.
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert!((ln_gamma(3.0) - 2.0f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
     }
 
     #[test]

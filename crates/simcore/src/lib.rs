@@ -56,6 +56,7 @@ pub mod prelude {
     pub use crate::combinators::{join_all, select2, timeout, Either};
     pub use crate::dist::{
         Constant, Dist, Empirical, Exp, LogNormal, Mixture, Normal, Pareto, TruncNormal, Uniform,
+        Weibull,
     };
     pub use crate::rng::SimRng;
     pub use crate::sim::{JoinHandle, Sim};

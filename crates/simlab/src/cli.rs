@@ -27,9 +27,26 @@ pub struct Flags {
 }
 
 /// Parse an argument list (without the program name).
+///
+/// `--flag value` and `--flag=value` are both accepted; any other
+/// dash-prefixed argument (including single-dash typos like `-quick`
+/// and near-misses like `--sharsd`) is a hard error rather than a
+/// positional word.
 pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Flags, String> {
     let mut flags = Flags::default();
-    let mut it = args.into_iter();
+    // Rewrite `--flag=value` to `--flag value` so both spellings share
+    // one code path.
+    let mut split = Vec::new();
+    for a in args {
+        match a.split_once('=') {
+            Some((f, v)) if f.starts_with("--") => {
+                split.push(f.to_string());
+                split.push(v.to_string());
+            }
+            _ => split.push(a),
+        }
+    }
+    let mut it = split.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => flags.quick = true,
@@ -71,7 +88,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Flags, String> {
                     .ok_or_else(|| "--out: missing output path".to_string())?;
                 flags.out = Some(PathBuf::from(p));
             }
-            other if other.starts_with("--") => {
+            other if other.starts_with('-') && other.len() > 1 => {
                 return Err(format!("unknown flag {other:?}"));
             }
             word => flags.words.push(word.to_string()),
@@ -139,6 +156,24 @@ mod tests {
     #[test]
     fn unknown_flags_are_errors() {
         assert!(p(&["--frobnicate"]).unwrap_err().contains("--frobnicate"));
+        // A typo'd flag must not silently become a positional word (it
+        // used to turn `--sharsd 4` into a bogus subcommand).
+        assert!(p(&["run", "all", "--sharsd", "4"])
+            .unwrap_err()
+            .contains("--sharsd"));
+        // Single-dash spellings are errors too, not positional words.
+        assert!(p(&["-quick"]).unwrap_err().contains("-quick"));
+        assert!(p(&["-q"]).unwrap_err().contains("-q"));
+    }
+
+    #[test]
+    fn equals_form_is_accepted() {
+        let f = p(&["--shards=8", "--faults=paper", "--trace=t.json"]).unwrap();
+        assert_eq!(f.shards, Some(8));
+        assert_eq!(f.faults.as_ref().unwrap().name, "paper");
+        assert_eq!(f.trace.as_deref(), Some(std::path::Path::new("t.json")));
+        assert!(p(&["--shards=zero"]).unwrap_err().contains("integer"));
+        assert!(p(&["--bogus=1"]).unwrap_err().contains("--bogus"));
     }
 
     #[test]

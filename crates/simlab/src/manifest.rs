@@ -3,9 +3,9 @@
 //! Hand-rolled JSON (the workspace builds offline, no serde): fixed
 //! field order, two-space indentation, `\n` line endings, floats via
 //! Rust's shortest round-trip formatting — so the same campaign state
-//! always serializes to the same bytes. Wall-clock is the one
-//! nondeterministic field; [`Manifest::to_json_normalized`] zeroes it
-//! for the shard-invariance comparison.
+//! always serializes to the same bytes. Wall-clock (`wall_us`) is the
+//! one nondeterministic field; [`Manifest::to_json_normalized`] zeroes
+//! it for the shard-invariance comparison.
 
 use crate::anchor::AnchorCheck;
 
@@ -16,8 +16,10 @@ pub struct CampaignEntry {
     pub name: String,
     /// Cells executed.
     pub cells: usize,
-    /// Wall-clock milliseconds for the whole campaign.
-    pub wall_ms: u64,
+    /// Wall-clock microseconds for the whole campaign. Microseconds,
+    /// not milliseconds: several quick campaigns finish in well under a
+    /// millisecond and recorded an unhelpful `0` at ms resolution.
+    pub wall_us: u64,
     /// Anchor verdicts.
     pub anchors: Vec<AnchorCheck>,
     /// Files written into the results directory.
@@ -92,8 +94,8 @@ impl Manifest {
             s.push_str("\n    {\n");
             s.push_str(&format!("      \"name\": \"{}\",\n", json_escape(&c.name)));
             s.push_str(&format!("      \"cells\": {},\n", c.cells));
-            let wall = if normalize { 0 } else { c.wall_ms };
-            s.push_str(&format!("      \"wall_ms\": {wall},\n"));
+            let wall = if normalize { 0 } else { c.wall_us };
+            s.push_str(&format!("      \"wall_us\": {wall},\n"));
             s.push_str("      \"anchors\": [");
             for (j, a) in c.anchors.iter().enumerate() {
                 if j > 0 {
@@ -141,7 +143,7 @@ mod tests {
             campaigns: vec![CampaignEntry {
                 name: "fig1".to_string(),
                 cells: 6,
-                wall_ms: wall,
+                wall_us: wall,
                 anchors: vec![AnchorCheck {
                     name: "fig1 download, 1 client (MB/s)",
                     paper: 13.0,
@@ -165,8 +167,8 @@ mod tests {
             sample(123).to_json_normalized(),
             sample(99999).to_json_normalized()
         );
-        assert!(sample(123).to_json().contains("\"wall_ms\": 123"));
-        assert!(sample(123).to_json_normalized().contains("\"wall_ms\": 0"));
+        assert!(sample(123).to_json().contains("\"wall_us\": 123"));
+        assert!(sample(123).to_json_normalized().contains("\"wall_us\": 0"));
     }
 
     #[test]

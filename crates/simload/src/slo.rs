@@ -1,0 +1,189 @@
+//! SLO accounting over coordinated-omission-free latencies.
+//!
+//! The tracker rides on `simlab`'s mergeable statistics
+//! ([`StreamSummary`] = exact Welford moments + log₂ histogram), so
+//! per-shard trackers merge into byte-identical aggregates no matter
+//! how cells were grouped. Latencies are measured from the *scheduled*
+//! arrival instant, not from when the client got around to issuing the
+//! op — an op that queues behind a saturated service is charged its
+//! full wait, which is what makes the open-loop frontier honest about
+//! overload (no coordinated omission).
+
+use simlab::StreamSummary;
+
+/// Mergeable SLO accounting for one measurement window.
+#[derive(Debug, Clone)]
+pub struct SloTracker {
+    /// The latency SLO (seconds, measured from the scheduled instant).
+    pub deadline_s: f64,
+    /// Latency of successful operations, seconds from scheduled instant.
+    pub latency: StreamSummary,
+    /// Arrivals scheduled inside the measurement window.
+    pub scheduled: u64,
+    /// Operations that completed successfully.
+    pub completed: u64,
+    /// Operations that failed (timeout, busy, error).
+    pub failed: u64,
+    /// Successful operations that finished after the deadline.
+    pub late: u64,
+    /// Latest completion instant seen (seconds on the sim clock).
+    pub last_completion_s: f64,
+}
+
+impl SloTracker {
+    /// Empty tracker for the given deadline.
+    pub fn new(deadline_s: f64) -> Self {
+        assert!(deadline_s > 0.0, "SLO deadline must be positive");
+        SloTracker {
+            deadline_s,
+            latency: StreamSummary::new(),
+            scheduled: 0,
+            completed: 0,
+            failed: 0,
+            late: 0,
+            last_completion_s: 0.0,
+        }
+    }
+
+    /// Note one scheduled arrival inside the window.
+    pub fn note_scheduled(&mut self) {
+        self.scheduled += 1;
+    }
+
+    /// Record a successful operation: latency from the scheduled
+    /// instant and the absolute completion instant.
+    pub fn record_ok(&mut self, latency_s: f64, completion_s: f64) {
+        self.completed += 1;
+        self.latency.push(latency_s);
+        if latency_s > self.deadline_s {
+            self.late += 1;
+        }
+        if completion_s > self.last_completion_s {
+            self.last_completion_s = completion_s;
+        }
+    }
+
+    /// Record a failed operation (its latency does not enter the
+    /// success distribution; it still counts against the SLO).
+    pub fn record_fail(&mut self) {
+        self.failed += 1;
+    }
+
+    /// Successful completions within the deadline.
+    pub fn good(&self) -> u64 {
+        self.completed - self.late
+    }
+
+    /// Fraction of scheduled arrivals that missed the SLO (failed, still
+    /// outstanding at window end, or completed late). `0.0` when nothing
+    /// was scheduled.
+    pub fn violation_fraction(&self) -> f64 {
+        if self.scheduled == 0 {
+            return 0.0;
+        }
+        let good = self.good().min(self.scheduled);
+        (self.scheduled - good) as f64 / self.scheduled as f64
+    }
+
+    /// Latency quantile in milliseconds (p in `[0, 1]`).
+    pub fn quantile_ms(&self, p: f64) -> f64 {
+        self.latency.quantile(p) * 1e3
+    }
+
+    /// Mean latency in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        if self.latency.count() == 0 {
+            0.0
+        } else {
+            self.latency.mean() * 1e3
+        }
+    }
+
+    /// Merge another tracker (same deadline) into this one. Exact in the
+    /// `simlab` sense: any grouping or order of merges yields identical
+    /// state, so sharded cells aggregate byte-identically.
+    pub fn merge(&mut self, other: &SloTracker) {
+        assert!(
+            (self.deadline_s - other.deadline_s).abs() < 1e-12,
+            "merging SLO trackers with different deadlines"
+        );
+        self.latency.merge(&other.latency);
+        self.scheduled += other.scheduled;
+        self.completed += other.completed;
+        self.failed += other.failed;
+        self.late += other.late;
+        if other.last_completion_s > self.last_completion_s {
+            self.last_completion_s = other.last_completion_s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(latencies: &[f64], deadline: f64) -> SloTracker {
+        let mut t = SloTracker::new(deadline);
+        for (i, &l) in latencies.iter().enumerate() {
+            t.note_scheduled();
+            t.record_ok(l, 10.0 + i as f64);
+        }
+        t
+    }
+
+    #[test]
+    fn counts_and_violations() {
+        let mut t = filled(&[0.1, 0.2, 0.9, 1.5], 1.0);
+        t.note_scheduled();
+        t.record_fail();
+        assert_eq!(t.scheduled, 5);
+        assert_eq!(t.completed, 4);
+        assert_eq!(t.failed, 1);
+        assert_eq!(t.late, 1);
+        assert_eq!(t.good(), 3);
+        // 2 of 5 scheduled missed the SLO (one late, one failed).
+        assert!((t.violation_fraction() - 0.4).abs() < 1e-12);
+        assert_eq!(t.last_completion_s, 13.0);
+    }
+
+    #[test]
+    fn empty_tracker_is_benign() {
+        let t = SloTracker::new(1.0);
+        assert_eq!(t.violation_fraction(), 0.0);
+        assert_eq!(t.mean_ms(), 0.0);
+        assert_eq!(t.quantile_ms(0.99), 0.0);
+    }
+
+    #[test]
+    fn merge_matches_single_stream_any_grouping() {
+        let all: Vec<f64> = (1..=60).map(|i| 0.01 * i as f64).collect();
+        let single = filled(&all, 0.3);
+
+        let mut left = filled(&all[..20], 0.3);
+        let mid = filled(&all[20..45], 0.3);
+        let right = filled(&all[45..], 0.3);
+        // last_completion offsets differ per chunk; realign for equality.
+        let mut a = left.clone();
+        a.merge(&mid);
+        a.merge(&right);
+        let mut bc = mid.clone();
+        bc.merge(&right);
+        left.merge(&bc);
+
+        for t in [&a, &left] {
+            assert_eq!(t.scheduled, single.scheduled);
+            assert_eq!(t.completed, single.completed);
+            assert_eq!(t.late, single.late);
+            assert_eq!(t.latency.hist, single.latency.hist);
+            assert!((t.latency.mean() - single.latency.mean()).abs() < 1e-12);
+        }
+        assert_eq!(a.latency.hist, left.latency.hist);
+    }
+
+    #[test]
+    #[should_panic(expected = "different deadlines")]
+    fn merge_rejects_mismatched_deadlines() {
+        let mut a = SloTracker::new(1.0);
+        a.merge(&SloTracker::new(2.0));
+    }
+}

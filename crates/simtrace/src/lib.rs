@@ -77,16 +77,21 @@ pub enum Layer {
     Fabric,
     /// `modis` — application workload (ModisAzure).
     App,
+    /// `simload` — open-loop workload generation (arrivals, SLO
+    /// deadlines). Separate from [`Layer::App`] so intended-arrival
+    /// annotations don't mix with the application's own spans.
+    Load,
 }
 
 impl Layer {
     /// All layers in display order.
-    pub const ALL: [Layer; 5] = [
+    pub const ALL: [Layer; 6] = [
         Layer::Kernel,
         Layer::Net,
         Layer::Store,
         Layer::Fabric,
         Layer::App,
+        Layer::Load,
     ];
 
     /// Short lowercase name (used as the Chrome `cat` and in tables).
@@ -97,6 +102,7 @@ impl Layer {
             Layer::Store => "store",
             Layer::Fabric => "fabric",
             Layer::App => "app",
+            Layer::Load => "load",
         }
     }
 
@@ -108,6 +114,7 @@ impl Layer {
             Layer::Store => "store (azstore)",
             Layer::Fabric => "fabric",
             Layer::App => "app (modis)",
+            Layer::Load => "load (simload)",
         }
     }
 
@@ -118,6 +125,7 @@ impl Layer {
             Layer::Store => 3,
             Layer::Fabric => 4,
             Layer::App => 5,
+            Layer::Load => 6,
         }
     }
 }

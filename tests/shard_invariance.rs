@@ -26,7 +26,7 @@ fn manifest_json(out: CampaignOutput) -> String {
         campaigns: vec![CampaignEntry {
             name: out.name.to_string(),
             cells: out.cells,
-            wall_ms: 123,
+            wall_us: 123,
             anchors: out.anchors,
             artifacts: out.files.into_iter().map(|(n, _)| n).collect(),
         }],
@@ -79,6 +79,22 @@ fn fig4_quick_is_shard_invariant() {
 #[test]
 fn modis_quick_is_shard_invariant() {
     assert_shard_invariant("modis", None);
+}
+
+/// The open-loop frontier campaign: arrival schedules are drawn
+/// up-front from a dedicated RNG stream per cell, so the sweep (and the
+/// knee/anchor lines derived from it) must not depend on sharding.
+#[test]
+fn frontier_quick_is_shard_invariant() {
+    assert_shard_invariant("frontier", None);
+}
+
+/// Frontier under fault injection: crashes and partitions perturb the
+/// open-loop measurements, but identically on every shard layout.
+#[test]
+fn frontier_quick_under_faults_is_shard_invariant() {
+    let plan = FaultPlan::by_name("crash-partition").expect("preset");
+    assert_shard_invariant("frontier", Some(plan));
 }
 
 /// Fault injection rides the same contract: the plan is installed on
