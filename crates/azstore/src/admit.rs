@@ -1,0 +1,546 @@
+//! Front-end admission control: shed work at the door instead of
+//! letting it rot in the queue.
+//!
+//! The frontier campaign (PR 5) showed the failure mode the paper
+//! hints at: past the saturation knee the stations keep *draining* at
+//! capacity, but almost nothing finishes inside its SLO — goodput
+//! collapses while raw throughput looks healthy. The fix practised by
+//! every production front door is to reject excess work on arrival,
+//! when rejection is cheap, rather than time it out after it has
+//! already inflated everyone else's sojourn.
+//!
+//! This module provides the [`FrontDoor`] each service consults at op
+//! entry and four deterministic [`AdmissionPolicy`] implementations:
+//!
+//! * [`TokenBucket`] — classic rate + burst pacing of *admissions*;
+//! * [`QueueBound`] — bound on in-flight admitted operations, the
+//!   service-level generalisation of `ContendedLatch::busy_queue_limit`;
+//! * [`DeadlineAware`] — estimate the drain time of the work already
+//!   admitted (in-flight × EWMA per-op service share) and reject a
+//!   request whose remaining SLO budget the backlog would already
+//!   consume;
+//! * [`CoDel`] — the CoDel drain-time controller: once completion
+//!   sojourns have stayed above `target_s` for one `interval_s`, shed
+//!   at an increasing cadence (`interval / sqrt(count)`), backing off
+//!   as soon as a sojourn dips below target.
+//!
+//! All policies are pure state machines over the simulation clock — no
+//! RNG — so an admission sequence is a deterministic function of the
+//! arrival schedule and shard-invariance is free.
+//!
+//! # Remaining-budget plumbing
+//!
+//! The deadline-aware policy needs the request's absolute SLO deadline,
+//! which only the *client* knows (the open-loop fleet charges latency
+//! from the scheduled arrival instant, so by the time a retry reaches
+//! the door part of the budget is already spent). Callers stash the
+//! absolute deadline with [`stash_deadline`] immediately before issuing
+//! the operation; the next front-door admission consumes it. The sim
+//! is single-threaded and cooperative, and every service gate runs
+//! synchronously on the op future's first poll — before any await
+//! point — so the stash cannot leak across tasks.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use simcore::prelude::*;
+
+use crate::error::{Result, StorageError};
+
+thread_local! {
+    /// Absolute deadline (sim seconds) of the next admitted operation.
+    static PENDING_DEADLINE: Cell<Option<f64>> = const { Cell::new(None) };
+}
+
+/// Declare the absolute SLO deadline (seconds on the sim clock) of the
+/// operation issued *next* on this thread. Consumed — exactly once —
+/// by the first front-door admission check that follows; unread
+/// stashes are simply overwritten by the next one.
+pub fn stash_deadline(abs_deadline_s: f64) {
+    PENDING_DEADLINE.with(|d| d.set(Some(abs_deadline_s)));
+}
+
+/// Consume the stashed deadline, if any.
+fn take_deadline() -> Option<f64> {
+    PENDING_DEADLINE.with(|d| d.take())
+}
+
+/// What the door can tell a policy about the service right now.
+#[derive(Debug, Clone, Copy)]
+pub struct DoorObs {
+    /// Operations admitted and not yet completed.
+    pub in_flight: usize,
+    /// EWMA of the per-op service share (completion sojourn divided by
+    /// the concurrency it was served at); `0.0` until the first
+    /// completion.
+    pub service_share_s: f64,
+}
+
+/// A deterministic admission state machine. Implementations must not
+/// consult any RNG: the decision sequence has to be a pure function of
+/// the observed arrival/completion history so campaigns stay
+/// shard-invariant.
+pub trait AdmissionPolicy {
+    /// Short policy name (CSV/trace label).
+    fn name(&self) -> &'static str;
+    /// Decide one arrival. `budget_s` is the request's remaining SLO
+    /// budget when the caller declared one (see [`stash_deadline`]).
+    fn admit(&mut self, now_s: f64, obs: &DoorObs, budget_s: Option<f64>) -> bool;
+    /// Observe one completion and its door sojourn.
+    fn on_complete(&mut self, _now_s: f64, _sojourn_s: f64) {}
+}
+
+/// Which policy (if any) guards each service's front door.
+#[derive(Debug, Clone, Default)]
+pub enum AdmissionConfig {
+    /// No admission control — every arrival reaches the stations.
+    #[default]
+    None,
+    /// Pace admissions to `rate_ops_s` with a `burst`-deep bucket.
+    TokenBucket {
+        /// Sustained admission rate (ops/s).
+        rate_ops_s: f64,
+        /// Bucket depth in whole operations.
+        burst: f64,
+    },
+    /// Shed once `limit` admitted operations are in flight.
+    QueueBound {
+        /// Maximum in-flight admitted operations.
+        limit: usize,
+    },
+    /// Shed when the estimated drain time of the admitted backlog
+    /// exceeds the request's remaining SLO budget.
+    DeadlineAware {
+        /// Budget assumed for requests that declared none.
+        default_budget_s: f64,
+    },
+    /// CoDel-style controller on completion sojourns.
+    CoDel {
+        /// Acceptable standing sojourn (seconds).
+        target_s: f64,
+        /// How long sojourns must stay above target before shedding
+        /// starts; also the base of the shedding cadence.
+        interval_s: f64,
+    },
+}
+
+impl AdmissionConfig {
+    /// Stable name (CSV column values, campaign labels).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AdmissionConfig::None => "none",
+            AdmissionConfig::TokenBucket { .. } => "token_bucket",
+            AdmissionConfig::QueueBound { .. } => "queue_bound",
+            AdmissionConfig::DeadlineAware { .. } => "deadline",
+            AdmissionConfig::CoDel { .. } => "codel",
+        }
+    }
+
+    /// Instantiate the policy state machine, or `None` for no gate.
+    pub fn build_policy(&self) -> Option<Box<dyn AdmissionPolicy>> {
+        match *self {
+            AdmissionConfig::None => None,
+            AdmissionConfig::TokenBucket { rate_ops_s, burst } => {
+                Some(Box::new(TokenBucket::new(rate_ops_s, burst)))
+            }
+            AdmissionConfig::QueueBound { limit } => Some(Box::new(QueueBound { limit })),
+            AdmissionConfig::DeadlineAware { default_budget_s } => {
+                Some(Box::new(DeadlineAware { default_budget_s }))
+            }
+            AdmissionConfig::CoDel {
+                target_s,
+                interval_s,
+            } => Some(Box::new(CoDel::new(target_s, interval_s))),
+        }
+    }
+}
+
+/// Token-bucket admission: refill at `rate_ops_s`, cap at `burst`.
+pub struct TokenBucket {
+    rate_ops_s: f64,
+    burst: f64,
+    tokens: f64,
+    last_s: f64,
+}
+
+impl TokenBucket {
+    /// Bucket starting full.
+    pub fn new(rate_ops_s: f64, burst: f64) -> Self {
+        assert!(rate_ops_s > 0.0 && burst >= 1.0);
+        TokenBucket {
+            rate_ops_s,
+            burst,
+            tokens: burst,
+            last_s: 0.0,
+        }
+    }
+}
+
+impl AdmissionPolicy for TokenBucket {
+    fn name(&self) -> &'static str {
+        "token_bucket"
+    }
+
+    fn admit(&mut self, now_s: f64, _obs: &DoorObs, _budget_s: Option<f64>) -> bool {
+        let dt = (now_s - self.last_s).max(0.0);
+        self.last_s = now_s;
+        self.tokens = (self.tokens + dt * self.rate_ops_s).min(self.burst);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Bound on admitted in-flight operations.
+pub struct QueueBound {
+    /// Maximum concurrent admitted operations.
+    pub limit: usize,
+}
+
+impl AdmissionPolicy for QueueBound {
+    fn name(&self) -> &'static str {
+        "queue_bound"
+    }
+
+    fn admit(&mut self, _now_s: f64, obs: &DoorObs, _budget_s: Option<f64>) -> bool {
+        obs.in_flight < self.limit
+    }
+}
+
+/// Deadline-aware shedding: admit only if the admitted backlog can
+/// drain inside the request's remaining budget.
+pub struct DeadlineAware {
+    /// Budget assumed when the request declared none.
+    pub default_budget_s: f64,
+}
+
+impl AdmissionPolicy for DeadlineAware {
+    fn name(&self) -> &'static str {
+        "deadline"
+    }
+
+    fn admit(&mut self, _now_s: f64, obs: &DoorObs, budget_s: Option<f64>) -> bool {
+        let budget = budget_s.unwrap_or(self.default_budget_s);
+        if budget <= 0.0 {
+            // Already past its deadline: serving it is pure waste.
+            return false;
+        }
+        // Under processor sharing n concurrent ops drain in about
+        // n × (per-op share); charge the candidate as the (n+1)-th.
+        let est_drain_s = (obs.in_flight + 1) as f64 * obs.service_share_s;
+        est_drain_s <= budget
+    }
+}
+
+/// CoDel-style admission: shed at square-root-increasing cadence while
+/// completion sojourns stay above target.
+pub struct CoDel {
+    target_s: f64,
+    interval_s: f64,
+    /// Instant the "sojourn continuously above target" episode would
+    /// mature into shedding (set on the first above-target completion).
+    first_above_s: Option<f64>,
+    /// Currently in a shedding episode.
+    dropping: bool,
+    /// Next scheduled shed instant while dropping.
+    drop_next_s: f64,
+    /// Sheds in the current episode (drives the √-decrease cadence).
+    count: u32,
+    /// `count` of the previous episode (CoDel's fast-restart hint).
+    last_count: u32,
+    /// Most recent completion sojourn.
+    recent_sojourn_s: f64,
+}
+
+impl CoDel {
+    /// Fresh controller (not dropping).
+    pub fn new(target_s: f64, interval_s: f64) -> Self {
+        assert!(target_s > 0.0 && interval_s > 0.0);
+        CoDel {
+            target_s,
+            interval_s,
+            first_above_s: None,
+            dropping: false,
+            drop_next_s: 0.0,
+            count: 0,
+            last_count: 0,
+            recent_sojourn_s: 0.0,
+        }
+    }
+
+    fn above_matured(&self, now_s: f64) -> bool {
+        matches!(self.first_above_s, Some(t) if now_s >= t)
+    }
+}
+
+impl AdmissionPolicy for CoDel {
+    fn name(&self) -> &'static str {
+        "codel"
+    }
+
+    fn admit(&mut self, now_s: f64, _obs: &DoorObs, _budget_s: Option<f64>) -> bool {
+        if self.dropping {
+            if self.recent_sojourn_s < self.target_s || self.first_above_s.is_none() {
+                self.dropping = false;
+                return true;
+            }
+            if now_s >= self.drop_next_s {
+                self.count += 1;
+                self.drop_next_s += self.interval_s / (self.count as f64).sqrt();
+                return false;
+            }
+            true
+        } else if self.above_matured(now_s) {
+            // Enter a shedding episode; restart near the previous
+            // cadence if the last episode ended recently enough that
+            // the overload is plausibly the same one.
+            self.dropping = true;
+            self.count = if self.last_count > 2 {
+                self.last_count - 2
+            } else {
+                1
+            };
+            self.last_count = self.count;
+            self.drop_next_s = now_s + self.interval_s / (self.count as f64).sqrt();
+            false
+        } else {
+            true
+        }
+    }
+
+    fn on_complete(&mut self, now_s: f64, sojourn_s: f64) {
+        self.recent_sojourn_s = sojourn_s;
+        if sojourn_s < self.target_s {
+            self.first_above_s = None;
+            if self.dropping {
+                self.dropping = false;
+                self.last_count = self.count;
+            }
+        } else if self.first_above_s.is_none() {
+            self.first_above_s = Some(now_s + self.interval_s);
+        }
+    }
+}
+
+/// EWMA weight for the per-op service-share estimate.
+const SHARE_EWMA_ALPHA: f64 = 0.2;
+
+/// One service's admission gate: owns the policy state machine, tracks
+/// in-flight/sojourn observations and the accepted/shed counters, and
+/// reports them through `simtrace` (`admit.accepted`, `admit.shed`,
+/// `admit.deadline_budget_us`).
+pub struct FrontDoor {
+    sim: Sim,
+    policy: RefCell<Box<dyn AdmissionPolicy>>,
+    in_flight: Cell<usize>,
+    share_s: Cell<f64>,
+    accepted: Cell<u64>,
+    shed: Cell<u64>,
+}
+
+impl FrontDoor {
+    /// Build the door for a config, or `None` when admission is off.
+    pub fn build(sim: &Sim, cfg: &AdmissionConfig) -> Option<Rc<FrontDoor>> {
+        cfg.build_policy().map(|policy| {
+            Rc::new(FrontDoor {
+                sim: sim.clone(),
+                policy: RefCell::new(policy),
+                in_flight: Cell::new(0),
+                share_s: Cell::new(0.0),
+                accepted: Cell::new(0),
+                shed: Cell::new(0),
+            })
+        })
+    }
+
+    /// Decide one arrival. On acceptance the returned permit counts the
+    /// op as in flight until dropped (normal completion, error return
+    /// and timeout-cancel all release it — the drop runs either way).
+    /// On rejection the op fails with [`StorageError::ServerBusy`],
+    /// indistinguishable on the wire from a station-level shed.
+    pub fn admit(self: &Rc<Self>) -> Result<AdmitPermit> {
+        let now_s = self.sim.now().as_secs_f64();
+        let budget_s = take_deadline().map(|d| d - now_s);
+        let obs = DoorObs {
+            in_flight: self.in_flight.get(),
+            service_share_s: self.share_s.get(),
+        };
+        let accept = self.policy.borrow_mut().admit(now_s, &obs, budget_s);
+        if accept {
+            self.accepted.set(self.accepted.get() + 1);
+            self.in_flight.set(self.in_flight.get() + 1);
+            simtrace::counter("admit.accepted", 1);
+            if let Some(b) = budget_s {
+                simtrace::counter("admit.deadline_budget_us", (b * 1e6) as i64);
+            }
+            Ok(AdmitPermit {
+                door: Rc::clone(self),
+                admitted_s: now_s,
+            })
+        } else {
+            self.shed.set(self.shed.get() + 1);
+            simtrace::counter("admit.shed", 1);
+            Err(StorageError::ServerBusy)
+        }
+    }
+
+    /// Operations admitted so far.
+    pub fn accepted(&self) -> u64 {
+        self.accepted.get()
+    }
+
+    /// Operations shed at the door so far.
+    pub fn shed(&self) -> u64 {
+        self.shed.get()
+    }
+
+    /// Admitted operations currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.get()
+    }
+
+    fn release(&self, admitted_s: f64) {
+        let n = self.in_flight.get().max(1);
+        self.in_flight.set(n - 1);
+        let now_s = self.sim.now().as_secs_f64();
+        let sojourn_s = (now_s - admitted_s).max(0.0);
+        // Per-op share: under processor sharing an op served at
+        // concurrency n holds the door for about n × its own work.
+        let share = sojourn_s / n as f64;
+        let prev = self.share_s.get();
+        self.share_s.set(if prev == 0.0 {
+            share
+        } else {
+            SHARE_EWMA_ALPHA * share + (1.0 - SHARE_EWMA_ALPHA) * prev
+        });
+        self.policy.borrow_mut().on_complete(now_s, sojourn_s);
+    }
+}
+
+/// RAII in-flight token handed out by [`FrontDoor::admit`].
+pub struct AdmitPermit {
+    door: Rc<FrontDoor>,
+    admitted_s: f64,
+}
+
+impl Drop for AdmitPermit {
+    fn drop(&mut self) {
+        self.door.release(self.admitted_s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(in_flight: usize, share: f64) -> DoorObs {
+        DoorObs {
+            in_flight,
+            service_share_s: share,
+        }
+    }
+
+    #[test]
+    fn token_bucket_paces_to_rate() {
+        let mut tb = TokenBucket::new(10.0, 2.0);
+        // Burst of 2 admitted instantly, third shed.
+        assert!(tb.admit(0.0, &obs(0, 0.0), None));
+        assert!(tb.admit(0.0, &obs(1, 0.0), None));
+        assert!(!tb.admit(0.0, &obs(2, 0.0), None));
+        // 0.1 s refills exactly one token.
+        assert!(tb.admit(0.1, &obs(2, 0.0), None));
+        assert!(!tb.admit(0.1, &obs(3, 0.0), None));
+        // Over a long quiet period the bucket caps at burst.
+        assert!(tb.admit(10.0, &obs(0, 0.0), None));
+        assert!(tb.admit(10.0, &obs(1, 0.0), None));
+        assert!(!tb.admit(10.0, &obs(2, 0.0), None));
+    }
+
+    #[test]
+    fn queue_bound_binds_in_flight() {
+        let mut qb = QueueBound { limit: 3 };
+        assert!(qb.admit(0.0, &obs(2, 0.0), None));
+        assert!(!qb.admit(0.0, &obs(3, 0.0), None));
+        assert!(!qb.admit(0.0, &obs(10, 0.0), None));
+    }
+
+    #[test]
+    fn deadline_aware_sheds_on_insufficient_budget() {
+        let mut da = DeadlineAware {
+            default_budget_s: 1.0,
+        };
+        // No completions yet (share 0): always admit.
+        assert!(da.admit(0.0, &obs(100, 0.0), Some(0.01)));
+        // 10 ms per op, 50 in flight → 0.51 s drain estimate.
+        assert!(da.admit(0.0, &obs(50, 0.01), Some(0.6)));
+        assert!(!da.admit(0.0, &obs(50, 0.01), Some(0.4)));
+        // Exhausted budget is shed outright.
+        assert!(!da.admit(0.0, &obs(0, 0.0), Some(-0.1)));
+        // Undeclared budget falls back to the default.
+        assert!(da.admit(0.0, &obs(50, 0.01), None));
+        assert!(!da.admit(0.0, &obs(150, 0.01), None));
+    }
+
+    #[test]
+    fn codel_sheds_after_interval_above_target_and_recovers() {
+        let mut cd = CoDel::new(0.1, 1.0);
+        // Below target: admits freely.
+        cd.on_complete(0.0, 0.05);
+        assert!(cd.admit(0.1, &obs(1, 0.0), None));
+        // Sojourns rise above target at t=1; maturity at t=2.
+        cd.on_complete(1.0, 0.5);
+        assert!(cd.admit(1.5, &obs(5, 0.0), None));
+        cd.on_complete(1.9, 0.5);
+        assert!(!cd.admit(2.0, &obs(5, 0.0), None), "episode entry sheds");
+        // Cadence: next shed only after interval/sqrt(count).
+        assert!(cd.admit(2.5, &obs(5, 0.0), None));
+        cd.on_complete(2.9, 0.5);
+        assert!(!cd.admit(3.1, &obs(5, 0.0), None));
+        // A below-target sojourn ends the episode immediately.
+        cd.on_complete(3.2, 0.05);
+        assert!(cd.admit(3.3, &obs(5, 0.0), None));
+        assert!(cd.admit(3.3, &obs(5, 0.0), None));
+    }
+
+    #[test]
+    fn front_door_counts_and_releases() {
+        let sim = Sim::new(1);
+        let door = FrontDoor::build(&sim, &AdmissionConfig::QueueBound { limit: 2 })
+            .expect("policy configured");
+        let p1 = door.admit().unwrap();
+        let p2 = door.admit().unwrap();
+        assert!(matches!(door.admit(), Err(StorageError::ServerBusy)));
+        assert_eq!((door.accepted(), door.shed(), door.in_flight()), (2, 1, 2));
+        drop(p1);
+        assert_eq!(door.in_flight(), 1);
+        let _p3 = door.admit().unwrap();
+        drop(p2);
+        assert_eq!((door.accepted(), door.shed(), door.in_flight()), (3, 1, 1));
+    }
+
+    #[test]
+    fn none_config_builds_no_door() {
+        let sim = Sim::new(1);
+        assert!(FrontDoor::build(&sim, &AdmissionConfig::None).is_none());
+    }
+
+    #[test]
+    fn stashed_deadline_is_consumed_once() {
+        let sim = Sim::new(1);
+        let door = FrontDoor::build(
+            &sim,
+            &AdmissionConfig::DeadlineAware {
+                default_budget_s: 10.0,
+            },
+        )
+        .unwrap();
+        // A stash in the past sheds; the next check (no stash) falls
+        // back to the generous default and admits.
+        stash_deadline(-1.0);
+        assert!(door.admit().is_err());
+        assert!(door.admit().is_ok());
+    }
+}

@@ -78,6 +78,7 @@ pub struct BlobService {
     rng: RefCell<SimRng>,
     gets: std::cell::Cell<u64>,
     puts: std::cell::Cell<u64>,
+    door: Option<Rc<crate::admit::FrontDoor>>,
 }
 
 impl BlobService {
@@ -95,7 +96,22 @@ impl BlobService {
             rng: RefCell::new(sim.rng("blob.service")),
             gets: std::cell::Cell::new(0),
             puts: std::cell::Cell::new(0),
+            door: crate::admit::FrontDoor::build(sim, &cfg.admission),
         })
+    }
+
+    /// The service's admission gate, when one is configured.
+    pub fn front_door(&self) -> Option<&Rc<crate::admit::FrontDoor>> {
+        self.door.as_ref()
+    }
+
+    /// Front-door admission check (no-op `Ok(None)` when admission is
+    /// off). Runs synchronously at op entry, before any await.
+    fn admit(&self) -> Result<Option<crate::admit::AdmitPermit>> {
+        match &self.door {
+            Some(d) => d.admit().map(Some),
+            None => Ok(None),
+        }
     }
 
     /// Total GETs served (statistic).
@@ -277,6 +293,9 @@ impl BlobClient {
     ) -> Result<DownloadStats> {
         let svc = &self.svc;
         let op = async {
+            // Data-path ops pass the front door; metadata ops
+            // (exists/list/delete) are cheap enough to stay ungated.
+            let _admit = svc.admit()?;
             crate::injected_frontend_fault(&svc.sim).await?;
             let fe = sp.child("frontend", || "request".into());
             svc.request_overhead().await;
@@ -370,6 +389,9 @@ impl BlobClient {
     ) -> Result<DownloadStats> {
         let svc = &self.svc;
         let op = async {
+            // Data-path ops pass the front door; metadata ops
+            // (exists/list/delete) are cheap enough to stay ungated.
+            let _admit = svc.admit()?;
             crate::injected_frontend_fault(&svc.sim).await?;
             let fe = sp.child("frontend", || "request".into());
             svc.request_overhead().await;

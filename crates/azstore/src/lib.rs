@@ -39,6 +39,7 @@
 
 #![warn(missing_docs)]
 
+pub mod admit;
 pub mod blob;
 pub mod calib;
 pub mod error;
@@ -47,6 +48,7 @@ pub mod stamp;
 pub mod station;
 pub mod table;
 
+pub use admit::{AdmissionConfig, AdmissionPolicy, DoorObs, FrontDoor};
 pub use blob::{BlobClient, BlobService, DownloadStats};
 pub use error::{Result, StorageError};
 pub use queue::{Message, PopReceipt, QueueClient, QueueService, ReceivedMessage};

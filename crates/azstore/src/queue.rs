@@ -99,6 +99,7 @@ pub struct QueueService {
     next_id: Cell<u64>,
     rng: RefCell<SimRng>,
     ops: Cell<u64>,
+    door: Option<Rc<crate::admit::FrontDoor>>,
 }
 
 impl QueueService {
@@ -111,7 +112,31 @@ impl QueueService {
             next_id: Cell::new(1),
             rng: RefCell::new(sim.rng("queue.service")),
             ops: Cell::new(0),
+            door: crate::admit::FrontDoor::build(sim, &cfg.admission),
         })
+    }
+
+    /// The service's admission gate, when one is configured.
+    pub fn front_door(&self) -> Option<&Rc<crate::admit::FrontDoor>> {
+        self.door.as_ref()
+    }
+
+    /// Total `ContendedLatch` sheds across every queue's add/recv latch.
+    pub fn latch_shed_total(&self) -> u64 {
+        self.perf
+            .borrow()
+            .values()
+            .map(|p| p.add_latch.shed_total() + p.recv_latch.shed_total())
+            .sum()
+    }
+
+    /// Front-door admission check (no-op `Ok(None)` when admission is
+    /// off). Runs synchronously at op entry, before any await.
+    fn admit(&self) -> Result<Option<crate::admit::AdmitPermit>> {
+        match &self.door {
+            Some(d) => d.admit().map(Some),
+            None => Ok(None),
+        }
     }
 
     /// Total operations served.
@@ -247,6 +272,7 @@ impl QueueClient {
         let svc = &self.svc;
         let body = body.into();
         let op = async {
+            let _admit = svc.admit()?;
             crate::injected_frontend_fault(&svc.sim).await?;
             let mut rng = self.rng.borrow_mut().fork("add");
             let kb = size / calib::KB;
@@ -299,6 +325,7 @@ impl QueueClient {
         let sp = simtrace::span(Layer::Store, "queue.peek", || format!("queue:{queue}"));
         let svc = &self.svc;
         let op = async {
+            let _admit = svc.admit()?;
             crate::injected_frontend_fault(&svc.sim).await?;
             let mut rng = self.rng.borrow_mut().fork("peek");
             let perf = svc.perf_of(queue);
@@ -340,6 +367,7 @@ impl QueueClient {
         let svc = &self.svc;
         let visibility = visibility.min(SimDuration::from_secs_f64(calib::QUEUE_MAX_VISIBILITY_S));
         let op = async {
+            let _admit = svc.admit()?;
             crate::injected_frontend_fault(&svc.sim).await?;
             let mut rng = self.rng.borrow_mut().fork("recv");
             let perf = svc.perf_of(queue);
@@ -426,6 +454,7 @@ impl QueueClient {
         }
         let visibility = visibility.min(SimDuration::from_secs_f64(calib::QUEUE_MAX_VISIBILITY_S));
         let op = async {
+            let _admit = svc.admit()?;
             crate::injected_frontend_fault(&svc.sim).await?;
             let mut rng = self.rng.borrow_mut().fork("recvb");
             let perf = svc.perf_of(queue);
@@ -492,6 +521,7 @@ impl QueueClient {
     pub async fn approximate_count(&self, queue: &str) -> Result<usize> {
         let svc = &self.svc;
         let op = async {
+            let _admit = svc.admit()?;
             crate::injected_frontend_fault(&svc.sim).await?;
             let mut rng = self.rng.borrow_mut().fork("count");
             svc.perf_of(queue).peek_station.serve(0.0, &mut rng).await;
@@ -517,6 +547,7 @@ impl QueueClient {
         });
         let svc = &self.svc;
         let op = async {
+            let _admit = svc.admit()?;
             crate::injected_frontend_fault(&svc.sim).await?;
             let mut rng = self.rng.borrow_mut().fork("delmsg");
             let fe = sp.child("frontend", || "recv_station".into());

@@ -87,6 +87,11 @@ pub struct StampConfig {
     /// ABLATION: disable contention inflation of mutation latch holds
     /// (Fig 2/3's post-peak decline mechanism).
     pub ablate_no_latch_inflation: bool,
+    /// Front-end admission policy, consulted at op entry before any
+    /// station or latch is touched. `AdmissionConfig::None` (the
+    /// default) reproduces the paper's observed behaviour — no gate,
+    /// overload rots in the queues.
+    pub admission: crate::admit::AdmissionConfig,
 }
 
 impl Default for StampConfig {
@@ -97,6 +102,7 @@ impl Default for StampConfig {
             op_timeout: SimDuration::from_secs_f64(calib::CLIENT_OP_TIMEOUT_S),
             ablate_no_frontend_ceiling: false,
             ablate_no_latch_inflation: false,
+            admission: crate::admit::AdmissionConfig::None,
         }
     }
 }
@@ -190,6 +196,31 @@ impl StorageStamp {
     /// The queue service.
     pub fn queue_service(&self) -> &Rc<QueueService> {
         &self.queues
+    }
+
+    /// Stamp-wide admission totals `(accepted, shed)` summed over the
+    /// three services' front doors. Zero when admission is off.
+    pub fn admission_stats(&self) -> (u64, u64) {
+        let mut acc = 0;
+        let mut shed = 0;
+        for door in [
+            self.blobs.front_door(),
+            self.tables.front_door(),
+            self.queues.front_door(),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            acc += door.accepted();
+            shed += door.shed();
+        }
+        (acc, shed)
+    }
+
+    /// Stamp-wide `ContendedLatch` shed total (station-level ServerBusy
+    /// responses, as opposed to front-door sheds).
+    pub fn latch_shed_total(&self) -> u64 {
+        self.tables.latch_shed_total() + self.queues.latch_shed_total()
     }
 
     /// Attach a client VM with the given per-VM storage-bandwidth

@@ -169,6 +169,7 @@ impl ContendedLatch {
     pub async fn commit(&self, hold_factor: f64, rng: &mut SimRng) -> Result<()> {
         if self.waiters.get() > self.busy_queue_limit {
             self.shed_total.set(self.shed_total.get() + 1);
+            simtrace::counter("store.latch_shed", 1);
             return Err(StorageError::ServerBusy);
         }
         let guard = CountGuard::enter(&self.waiters);

@@ -151,6 +151,7 @@ pub struct TableService {
     delete_station: LoadedStation,
     rng: RefCell<SimRng>,
     ops: Cell<u64>,
+    door: Option<Rc<crate::admit::FrontDoor>>,
 }
 
 impl TableService {
@@ -186,12 +187,40 @@ impl TableService {
             ),
             rng: RefCell::new(sim.rng("table.service")),
             ops: Cell::new(0),
+            door: crate::admit::FrontDoor::build(sim, &cfg.admission),
         })
     }
 
     /// Total operations served.
     pub fn ops(&self) -> u64 {
         self.ops.get()
+    }
+
+    /// The service's admission gate, when one is configured.
+    pub fn front_door(&self) -> Option<&Rc<crate::admit::FrontDoor>> {
+        self.door.as_ref()
+    }
+
+    /// Total `ContendedLatch` sheds across every partition/entity latch.
+    pub fn latch_shed_total(&self) -> u64 {
+        let latches = self.latches.borrow();
+        latches
+            .insert
+            .values()
+            .chain(latches.delete.values())
+            .chain(latches.update.values())
+            .map(|l| l.shed_total())
+            .sum()
+    }
+
+    /// Front-door admission check (no-op `Ok(None)` when admission is
+    /// off). Runs synchronously at op entry, before any await; SDK
+    /// retries re-enter it per attempt.
+    fn admit(&self) -> Result<Option<crate::admit::AdmitPermit>> {
+        match &self.door {
+            Some(d) => d.admit().map(Some),
+            None => Ok(None),
+        }
     }
 
     /// Entities in a partition (statistic / test fixture support).
@@ -357,6 +386,7 @@ impl TableClient {
                 let table = table.clone();
                 let entity = entity.borrow().clone();
                 async move {
+                    let _admit = svc.admit()?;
                     crate::injected_frontend_fault(&svc.sim).await?;
                     let entity = entity.expect("entity consumed");
                     let mut rng = svc.rng.borrow_mut().fork("ins");
@@ -406,6 +436,7 @@ impl TableClient {
         });
         let svc = &self.svc;
         let op = async {
+            let _admit = svc.admit()?;
             crate::injected_frontend_fault(&svc.sim).await?;
             let mut rng = svc.rng.borrow_mut().fork("q");
             let fe = sp.child("frontend", || "query_station".into());
@@ -453,6 +484,7 @@ impl TableClient {
         let svc = &self.svc;
         let limit = limit.clamp(1, 1000);
         let op = async {
+            let _admit = svc.admit()?;
             crate::injected_frontend_fault(&svc.sim).await?;
             let mut rng = svc.rng.borrow_mut().fork("range");
             // Index seek plus a small per-returned-entity cost.
@@ -508,6 +540,7 @@ impl TableClient {
         }
         let scan_cost = n as f64 * calib::TABLE_SCAN_S_PER_ENTITY;
         let op = async {
+            let _admit = svc.admit()?;
             crate::injected_frontend_fault(&svc.sim).await?;
             let mut rng = svc.rng.borrow_mut().fork("scan");
             let fe = sp.child("frontend", || "query_station".into());
@@ -554,6 +587,7 @@ impl TableClient {
                 let table = table.clone();
                 let entity = entity.borrow().clone();
                 async move {
+                    let _admit = svc.admit()?;
                     crate::injected_frontend_fault(&svc.sim).await?;
                     let entity = entity.expect("entity consumed");
                     let mut rng = svc.rng.borrow_mut().fork("upd");
@@ -599,6 +633,7 @@ impl TableClient {
                 let svc = Rc::clone(&svc);
                 let (table, pk, rk) = (table.clone(), pk.clone(), rk.clone());
                 async move {
+                    let _admit = svc.admit()?;
                     crate::injected_frontend_fault(&svc.sim).await?;
                     let mut rng = svc.rng.borrow_mut().fork("del");
                     let fe = sp.child("frontend", || "delete_station".into());

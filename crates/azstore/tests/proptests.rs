@@ -124,3 +124,128 @@ proptest! {
         prop_assert_eq!(created, distinct.len());
     }
 }
+
+/// Replay one synthetic arrival/completion schedule against a policy
+/// built from `cfg`, simulating the door's in-flight bookkeeping, and
+/// return the decision sequence. Pure: no sim, no RNG — exactly the
+/// conditions the `AdmissionPolicy` contract promises determinism
+/// under.
+fn drive_policy(cfg: &azstore::AdmissionConfig, schedule: &[(u16, bool, u16)]) -> Vec<bool> {
+    let mut policy = cfg.build_policy().expect("a real policy, not None");
+    let mut decisions = Vec::with_capacity(schedule.len());
+    let mut now_s = 0.0;
+    let mut in_flight: Vec<f64> = Vec::new(); // admission instants
+    let mut share_s = 0.0;
+    for &(dt_ms, declares_budget, sojourn_ms) in schedule {
+        now_s += dt_ms as f64 * 1e-3;
+        // Complete the oldest in-flight op first when the event says so
+        // (sojourn_ms > 0), mirroring the door's EWMA bookkeeping.
+        if sojourn_ms > 0 && !in_flight.is_empty() {
+            let admitted = in_flight.remove(0);
+            let sojourn = (now_s - admitted).max(sojourn_ms as f64 * 1e-3);
+            let n = (in_flight.len() + 1) as f64;
+            share_s = if share_s == 0.0 {
+                sojourn / n
+            } else {
+                share_s + 0.2 * (sojourn / n - share_s)
+            };
+            policy.on_complete(now_s, sojourn);
+        }
+        let obs = azstore::DoorObs {
+            in_flight: in_flight.len(),
+            service_share_s: share_s,
+        };
+        let budget = declares_budget.then_some(0.25);
+        let admitted = policy.admit(now_s, &obs, budget);
+        decisions.push(admitted);
+        if admitted {
+            in_flight.push(now_s);
+        }
+    }
+    decisions
+}
+
+/// The four real policy configurations, parameterized the way the
+/// shedding campaign derives them from a nominal rate and deadline.
+fn all_policies() -> [azstore::AdmissionConfig; 4] {
+    [
+        azstore::AdmissionConfig::TokenBucket {
+            rate_ops_s: 100.0,
+            burst: 8.0,
+        },
+        azstore::AdmissionConfig::QueueBound { limit: 24 },
+        azstore::AdmissionConfig::DeadlineAware {
+            default_budget_s: 0.25,
+        },
+        azstore::AdmissionConfig::CoDel {
+            target_s: 0.05,
+            interval_s: 0.2,
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Admission policies are pure state machines: replaying the same
+    /// arrival/completion schedule against a freshly built policy of
+    /// any kind yields a byte-identical decision sequence. This is the
+    /// property shard invariance of the shedding campaign rests on —
+    /// no RNG, no wall clock, no allocation-order dependence.
+    #[test]
+    fn admission_policies_are_deterministic(
+        schedule in prop::collection::vec(
+            (0u16..40, prop::bool::ANY, 0u16..400),
+            1..200,
+        ),
+    ) {
+        for cfg in all_policies() {
+            let a = drive_policy(&cfg, &schedule);
+            let b = drive_policy(&cfg, &schedule);
+            prop_assert_eq!(a, b, "policy {} not deterministic", cfg.name());
+        }
+    }
+
+    /// On a schedule that is unambiguously overloaded — arrivals every
+    /// few ms, completions rare and slow — the four policies must not
+    /// collapse into one behaviour: each shapes the admitted stream
+    /// differently (that difference is what the shedding campaign
+    /// measures), and every one of them both admits and sheds at least
+    /// once.
+    #[test]
+    fn admission_policies_diverge_under_overload(
+        dt_ms in 1u16..4,
+        complete_every in 8usize..16,
+    ) {
+        // 400 arrivals at ~2-4 ms spacing (~250-1000/s against a
+        // 100/s token rate), a slow 300 ms completion every
+        // `complete_every` arrivals: deep backlog, long sojourns.
+        let schedule: Vec<(u16, bool, u16)> = (0..400)
+            .map(|i| {
+                let sojourn = if i % complete_every == complete_every - 1 {
+                    300
+                } else {
+                    0
+                };
+                (dt_ms, true, sojourn)
+            })
+            .collect();
+        let decisions: Vec<Vec<bool>> = all_policies()
+            .iter()
+            .map(|cfg| drive_policy(cfg, &schedule))
+            .collect();
+        for (cfg, d) in all_policies().iter().zip(&decisions) {
+            prop_assert!(
+                d.iter().any(|&x| x) && d.iter().any(|&x| !x),
+                "policy {} never exercised both outcomes under overload",
+                cfg.name()
+            );
+        }
+        let distinct: std::collections::BTreeSet<&Vec<bool>> = decisions.iter().collect();
+        prop_assert!(
+            distinct.len() >= 3,
+            "policies collapsed into {} distinct behaviours under overload",
+            distinct.len()
+        );
+    }
+}

@@ -15,7 +15,7 @@
 //! for any `--shards N`.
 //!
 //! `bench` times the quick campaign set and the ModisAzure campaign at
-//! 1 vs 4 shards, writing a `BENCH_pr5.json` wall-clock report. Times
+//! 1 vs 4 shards, writing a `BENCH_pr6.json` wall-clock report. Times
 //! are recorded in microseconds: several quick campaigns finish in
 //! well under a millisecond, where ms-resolution rows read `0`.
 
@@ -25,7 +25,7 @@ use std::time::Instant;
 use bench::campaigns;
 use simlab::{CampaignEntry, Manifest, RunOpts, TraceSpec};
 
-const USAGE: &str = "azlab <run|bench> [target] [--quick] [--shards N] [--faults <preset>] [--trace <path>] [--out <path>]\n  targets: all fig1 fig2 fig3 fig4 fig5 table1 table2 fig7 modis frontier ablations";
+const USAGE: &str = "azlab <run|bench> [target] [--quick] [--shards N] [--faults <preset>] [--trace <path>] [--out <path>]\n  targets: all fig1 fig2 fig3 fig4 fig5 table1 table2 fig7 modis frontier shedding ablations";
 
 fn usage_exit(msg: &str) -> ! {
     eprintln!("error: {msg}");
@@ -156,7 +156,7 @@ fn cmd_bench(flags: simlab::Flags) {
     let path = flags.out.unwrap_or_else(|| {
         PathBuf::from(env!("CARGO_MANIFEST_DIR"))
             .join("../..")
-            .join("BENCH_pr5.json")
+            .join("BENCH_pr6.json")
     });
     match std::fs::write(&path, &json) {
         Ok(()) => println!(

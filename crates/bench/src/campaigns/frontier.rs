@@ -200,6 +200,7 @@ pub fn run(quick: bool, opts: &RunOpts) -> CampaignOutput {
             window_s: plan.window_s,
             fleet: plan.fleet,
             deadline_s: sp.deadline_s,
+            shed_retry: None,
         };
         let seed = plan.seed ^ ((si as u64) << 8) ^ ((i as u64) << 16);
         ctx.with_sim(seed, |sim| run_open_loop(sim, stamp_config(ctx), &cfg))

@@ -27,6 +27,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod frontier;
 pub mod modis;
+pub mod shedding;
 pub mod table1;
 
 /// Everything one campaign produces, computed without side effects.
@@ -49,7 +50,7 @@ pub struct CampaignOutput {
 }
 
 /// Canonical campaign names, in `azlab run all` execution order.
-pub const ALL: [&str; 9] = [
+pub const ALL: [&str; 10] = [
     "fig1",
     "fig2",
     "fig3",
@@ -58,6 +59,7 @@ pub const ALL: [&str; 9] = [
     "table1",
     "modis",
     "frontier",
+    "shedding",
     "ablations",
 ];
 
@@ -81,6 +83,7 @@ pub fn run(name: &str, quick: bool, opts: &RunOpts) -> Option<CampaignOutput> {
         "table1" => table1::run(quick, opts),
         "modis" => modis::run(quick, opts),
         "frontier" => frontier::run(quick, opts),
+        "shedding" => shedding::run(quick, opts),
         "ablations" => ablations::run(quick, opts),
         _ => unreachable!("canonical() returned an unknown name"),
     })

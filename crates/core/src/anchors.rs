@@ -203,6 +203,38 @@ pub const FRONTIER_QUEUE_CAPACITY_OPS: Anchor = Anchor {
     rel_tol: 0.2,
 };
 
+/// Shedding: goodput gain of the best admission policy over the
+/// no-policy baseline at 1.3x offered load under bursty arrivals
+/// (clean cells). Not a paper scalar — the paper observed the knee but
+/// published no overload-control numbers — this is the robustness bar
+/// the shedding campaign holds itself to. Encoded as a capped ratio:
+/// the measured value is `min(gain, 4.5)` compared against 3.0 with
+/// ±50 % tolerance, so the check passes exactly when the winner
+/// preserves ≥ 1.5x the baseline goodput (the "50 % more goodput"
+/// acceptance bar) without rewarding unbounded ratios when the
+/// baseline collapses toward zero.
+pub const SHEDDING_BLOB_GOODPUT_GAIN: Anchor = Anchor {
+    name: "shedding.blob.winner_goodput_gain",
+    paper: 3.0,
+    rel_tol: 0.5,
+};
+
+/// Shedding: table Query winner-vs-baseline goodput gain at 1.3x
+/// bursty (same capped-ratio encoding as the blob anchor).
+pub const SHEDDING_TABLE_GOODPUT_GAIN: Anchor = Anchor {
+    name: "shedding.table.winner_goodput_gain",
+    paper: 3.0,
+    rel_tol: 0.5,
+};
+
+/// Shedding: queue Add winner-vs-baseline goodput gain at 1.3x bursty
+/// (same capped-ratio encoding as the blob anchor).
+pub const SHEDDING_QUEUE_GOODPUT_GAIN: Anchor = Anchor {
+    name: "shedding.queue.winner_goodput_gain",
+    paper: 3.0,
+    rel_tol: 0.5,
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -58,4 +58,4 @@ pub use inject::{
     FrontendFault, InstallGuard,
 };
 pub use plan::{rates, FaultEpisode, FaultKind, FaultPlan, StorageFaults};
-pub use retry::{Backoff, BackoffSeq, Jitter, RetryPolicy, FOREVER};
+pub use retry::{Backoff, BackoffSeq, GiveUp, Jitter, RetryBudget, RetryPolicy, FOREVER};

@@ -259,6 +259,137 @@ impl RetryPolicy {
             }
         }
     }
+
+    /// Budgeted form of [`run`](Self::run): every retry withdraws one
+    /// credit from `budget` first, and a successful call deposits the
+    /// budget's earn-back fraction. With the budget empty a retryable
+    /// error fails fast — under overload the whole fleet's *extra*
+    /// traffic is bounded by the credits its successes earned, so
+    /// retries cannot amplify the storm that is causing them.
+    ///
+    /// Returns the error together with [`GiveUp`] saying *why* the loop
+    /// stopped, so callers can report budget exhaustion distinctly from
+    /// plain attempt exhaustion or a non-retryable failure (the
+    /// `SloTracker` shed-vs-timeout split rides on this).
+    #[allow(clippy::too_many_arguments)]
+    pub async fn run_budgeted<T, E, F, Fut>(
+        &self,
+        sim: &Sim,
+        rng: Option<&RefCell<SimRng>>,
+        budget: &RetryBudget,
+        mut precheck: impl FnMut() -> Option<E>,
+        mut op: F,
+        retryable: impl Fn(&E) -> bool,
+        timeout_error: impl Fn() -> E,
+    ) -> Result<T, (E, GiveUp)>
+    where
+        F: FnMut(u32) -> Fut,
+        Fut: Future<Output = Result<T, E>>,
+    {
+        let mut attempt: u32 = 0;
+        loop {
+            if let Some(e) = precheck() {
+                return Err((e, GiveUp::NotRetryable));
+            }
+            let outcome = match self.attempt_timeout {
+                Some(d) => match timeout(sim, d, op(attempt)).await {
+                    Ok(r) => r,
+                    // Timeouts are never retried (same contract as
+                    // `run`): the attempt already cost a full deadline.
+                    Err(_) => return Err((timeout_error(), GiveUp::NotRetryable)),
+                },
+                None => op(attempt).await,
+            };
+            match outcome {
+                Ok(v) => {
+                    budget.deposit();
+                    return Ok(v);
+                }
+                Err(e) if !retryable(&e) => return Err((e, GiveUp::NotRetryable)),
+                Err(e) if attempt >= self.retries => return Err((e, GiveUp::AttemptsExhausted)),
+                Err(e) if !budget.try_withdraw() => return Err((e, GiveUp::BudgetExhausted)),
+                Err(_) => {
+                    if let Some(name) = self.retry_counter {
+                        simtrace::counter(name, 1);
+                    }
+                    let j = match self.jitter {
+                        Jitter::None => 1.0,
+                        Jitter::Centered => {
+                            let rng = rng.expect("jittered RetryPolicy needs an RNG stream");
+                            0.5 + rng.borrow_mut().f64()
+                        }
+                    };
+                    let wait = self.backoff.delay_s(attempt) * j;
+                    if wait > 0.0 {
+                        sim.delay(SimDuration::from_secs_f64(wait)).await;
+                    }
+                    attempt = attempt.saturating_add(1);
+                }
+            }
+        }
+    }
+}
+
+/// Why a [`run_budgeted`](RetryPolicy::run_budgeted) loop gave up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GiveUp {
+    /// The error was not retryable (includes attempt timeouts and
+    /// precheck failures).
+    NotRetryable,
+    /// The policy's per-call attempt budget (`retries`) ran out.
+    AttemptsExhausted,
+    /// The client's cross-call retry budget had no credit left.
+    BudgetExhausted,
+}
+
+/// A per-client token bucket of retry credits (the "retry budget" of
+/// the SRE literature): starts full, each retry withdraws one credit,
+/// each *success* deposits `earn_per_success` back (capped at `max`).
+/// Under sustained overload successes dry up, the bucket drains, and
+/// the client's retry traffic throttles to its success-earned rate —
+/// instead of multiplying every shed response into `retries` more
+/// arrivals at exactly the moment the service can least afford them.
+#[derive(Debug)]
+pub struct RetryBudget {
+    max: f64,
+    earn_per_success: f64,
+    balance: std::cell::Cell<f64>,
+}
+
+impl RetryBudget {
+    /// A budget starting (and capped) at `max` credits, earning
+    /// `earn_per_success` back per successful call.
+    pub fn new(max: f64, earn_per_success: f64) -> Self {
+        assert!(max >= 0.0 && earn_per_success >= 0.0);
+        RetryBudget {
+            max,
+            earn_per_success,
+            balance: std::cell::Cell::new(max),
+        }
+    }
+
+    /// Withdraw one credit; `false` (no state change) when fewer than
+    /// one credit remains.
+    pub fn try_withdraw(&self) -> bool {
+        let b = self.balance.get();
+        if b >= 1.0 {
+            self.balance.set(b - 1.0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Deposit the per-success earn-back, capped at the maximum.
+    pub fn deposit(&self) {
+        self.balance
+            .set((self.balance.get() + self.earn_per_success).min(self.max));
+    }
+
+    /// Current credit balance.
+    pub fn balance(&self) -> f64 {
+        self.balance.get()
+    }
 }
 
 #[cfg(test)]
@@ -412,6 +543,132 @@ mod tests {
         sim.run();
         assert_eq!(h.try_take().unwrap(), Err("timeout"));
         assert_eq!(sim.now().as_secs_f64(), 5.0, "gave up at the timeout");
+    }
+
+    #[test]
+    fn retry_budget_withdraws_and_earns_back() {
+        let b = RetryBudget::new(2.0, 0.5);
+        assert!(b.try_withdraw());
+        assert!(b.try_withdraw());
+        assert!(!b.try_withdraw(), "bucket empty");
+        b.deposit();
+        assert!(!b.try_withdraw(), "half a credit is not a credit");
+        b.deposit();
+        assert!(b.try_withdraw(), "two successes earned one retry");
+        for _ in 0..100 {
+            b.deposit();
+        }
+        assert_eq!(b.balance(), 2.0, "capped at max");
+    }
+
+    #[test]
+    fn budgeted_run_distinguishes_exhaustion_classes() {
+        // Plenty of credit: attempts exhaust first.
+        let sim = Sim::new(16);
+        let s = sim.clone();
+        let h = sim.spawn(async move {
+            let budget = RetryBudget::new(10.0, 0.0);
+            let res = RetryPolicy::fixed(1.0, 2)
+                .run_budgeted(
+                    &s,
+                    None,
+                    &budget,
+                    || None::<&'static str>,
+                    |_| async { Err::<(), _>("busy") },
+                    |e| *e == "busy",
+                    || "timeout",
+                )
+                .await;
+            (res, budget.balance())
+        });
+        sim.run();
+        let (res, balance) = h.try_take().unwrap();
+        assert_eq!(res, Err(("busy", GiveUp::AttemptsExhausted)));
+        assert_eq!(balance, 8.0, "two retries withdrew two credits");
+
+        // One credit: the budget runs dry before the attempt cap.
+        let sim = Sim::new(17);
+        let s = sim.clone();
+        let h = sim.spawn(async move {
+            let budget = RetryBudget::new(1.0, 0.0);
+            RetryPolicy::fixed(1.0, 5)
+                .run_budgeted(
+                    &s,
+                    None,
+                    &budget,
+                    || None::<&'static str>,
+                    |_| async { Err::<(), _>("busy") },
+                    |e| *e == "busy",
+                    || "timeout",
+                )
+                .await
+        });
+        sim.run();
+        assert_eq!(
+            h.try_take().unwrap(),
+            Err(("busy", GiveUp::BudgetExhausted))
+        );
+        assert_eq!(sim.now().as_secs_f64(), 1.0, "one funded retry ran");
+
+        // Non-retryable error reports as such and costs no credit.
+        let sim = Sim::new(18);
+        let s = sim.clone();
+        let h = sim.spawn(async move {
+            let budget = RetryBudget::new(1.0, 0.0);
+            let res = RetryPolicy::fixed(1.0, 5)
+                .run_budgeted(
+                    &s,
+                    None,
+                    &budget,
+                    || None::<&'static str>,
+                    |_| async { Err::<(), _>("fatal") },
+                    |e| *e == "busy",
+                    || "timeout",
+                )
+                .await;
+            (res, budget.balance())
+        });
+        sim.run();
+        let (res, balance) = h.try_take().unwrap();
+        assert_eq!(res, Err(("fatal", GiveUp::NotRetryable)));
+        assert_eq!(balance, 1.0);
+    }
+
+    #[test]
+    fn budgeted_run_deposits_on_success() {
+        let sim = Sim::new(19);
+        let s = sim.clone();
+        let h = sim.spawn(async move {
+            let budget = RetryBudget::new(4.0, 0.5);
+            let tries = Cell::new(0u32);
+            let res = RetryPolicy::fixed(1.0, 5)
+                .run_budgeted(
+                    &s,
+                    None,
+                    &budget,
+                    || None::<&'static str>,
+                    |_| {
+                        tries.set(tries.get() + 1);
+                        let n = tries.get();
+                        async move {
+                            if n <= 2 {
+                                Err("busy")
+                            } else {
+                                Ok(())
+                            }
+                        }
+                    },
+                    |e| *e == "busy",
+                    || "timeout",
+                )
+                .await;
+            (res, budget.balance())
+        });
+        sim.run();
+        let (res, balance) = h.try_take().unwrap();
+        assert!(res.is_ok());
+        // Two withdrawals then one success deposit: 4 - 2 + 0.5.
+        assert_eq!(balance, 2.5);
     }
 
     #[test]

@@ -18,12 +18,13 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use azstore::{Entity, StampConfig, StorageAccountClient, StorageStamp};
+use azstore::{Entity, StampConfig, StorageAccountClient, StorageError, StorageStamp};
 use simcore::prelude::*;
+use simfault::{Backoff, GiveUp, Jitter, RetryBudget, RetryPolicy};
 use simtrace::Layer;
 
 use crate::arrival::ArrivalProcess;
-use crate::slo::SloTracker;
+use crate::slo::{FailClass, SloTracker};
 
 /// Number of table partitions the seeded benchmark entities spread
 /// across (matches the Fig 2 protocol's multi-partition layout).
@@ -71,6 +72,40 @@ impl Workload {
     }
 }
 
+/// Client-side handling of shed (`ServerBusy`) responses: exponential
+/// backoff with centred jitter, bounded per call by `retries` and
+/// across calls by a per-client-VM [`RetryBudget`] — the brake that
+/// keeps a shedding front door from being answered with a retry storm.
+#[derive(Debug, Clone, Copy)]
+pub struct ShedRetry {
+    /// Backoff schedule between attempts.
+    pub backoff: Backoff,
+    /// Maximum retries per operation.
+    pub retries: u32,
+    /// Per-client retry-credit cap (bucket starts full).
+    pub budget_max: f64,
+    /// Credits earned back per successful operation.
+    pub budget_earn: f64,
+}
+
+impl ShedRetry {
+    /// Defaults scaled to the workload's SLO: back off at an eighth of
+    /// the deadline doubling to half of it, three retries per op, a
+    /// 10-credit client budget earning 0.1 per success.
+    pub fn for_deadline(deadline_s: f64) -> Self {
+        ShedRetry {
+            backoff: Backoff::Exponential {
+                base_s: deadline_s / 8.0,
+                factor: 2.0,
+                max_s: deadline_s / 2.0,
+            },
+            retries: 3,
+            budget_max: 10.0,
+            budget_earn: 0.1,
+        }
+    }
+}
+
 /// One open-loop measurement cell.
 #[derive(Debug, Clone)]
 pub struct LoadConfig {
@@ -89,6 +124,8 @@ pub struct LoadConfig {
     pub fleet: usize,
     /// Latency SLO, seconds from the scheduled instant.
     pub deadline_s: f64,
+    /// Retry shed responses (`None`: a shed fails the op outright).
+    pub shed_retry: Option<ShedRetry>,
 }
 
 /// Result of one open-loop cell.
@@ -114,6 +151,16 @@ pub struct LoadCellResult {
     /// the scheduling instant, so the cohort view is the
     /// coordinated-omission-free one).
     pub slo: SloTracker,
+    /// Client retries of shed responses over the whole run (warmup
+    /// included); 0 without [`LoadConfig::shed_retry`].
+    pub retries: u64,
+    /// Front-door admissions over the whole run (stamp-wide); 0 when
+    /// admission is off.
+    pub admit_accepted: u64,
+    /// Front-door sheds over the whole run (stamp-wide).
+    pub admit_shed: u64,
+    /// Station-level `ContendedLatch` sheds over the whole run.
+    pub latch_shed: u64,
 }
 
 /// Run one open-loop cell to completion on `sim` (drives `sim.run()`).
@@ -170,6 +217,13 @@ pub fn run_open_loop(sim: &Sim, stamp_cfg: StampConfig, cfg: &LoadConfig) -> Loa
     // balance window arrivals completing after it, so `drained /
     // window` is the unbiased throughput on both sides of the knee.
     let drained = Rc::new(std::cell::Cell::new((0u64, 0u64)));
+    // Per-client-VM retry budgets (shared across that VM's arrivals).
+    let budgets: Option<Vec<Rc<RetryBudget>>> = cfg.shed_retry.map(|sr| {
+        (0..clients.len())
+            .map(|_| Rc::new(RetryBudget::new(sr.budget_max, sr.budget_earn)))
+            .collect()
+    });
+    let retries_total = Rc::new(std::cell::Cell::new(0u64));
     let (warmup_s, horizon_s, deadline_s) = (cfg.warmup_s, horizon, cfg.deadline_s);
     let mut in_window = 0u64;
     for (i, &t) in instants.iter().enumerate() {
@@ -182,6 +236,9 @@ pub fn run_open_loop(sim: &Sim, stamp_cfg: StampConfig, cfg: &LoadConfig) -> Loa
         let client = Rc::clone(&clients[i % clients.len()]);
         let tracker = Rc::clone(&tracker);
         let drained = Rc::clone(&drained);
+        let retries_total = Rc::clone(&retries_total);
+        let budget = budgets.as_ref().map(|b| Rc::clone(&b[i % clients.len()]));
+        let shed_retry = cfg.shed_retry;
         let workload = cfg.workload;
         sim.spawn(async move {
             let sched = SimTime::ZERO + SimDuration::from_secs_f64(t);
@@ -190,20 +247,48 @@ pub fn run_open_loop(sim: &Sim, stamp_cfg: StampConfig, cfg: &LoadConfig) -> Loa
                 format!("load:{}", workload.name())
             });
             sp.attr("sched_s", format!("{t:.6}"));
-            let ok = match workload {
-                Workload::BlobGet { .. } => client.blob.get("load", "blob").await.is_ok(),
-                Workload::TableQuery { entities, .. } => {
-                    let j = i % entities;
-                    let pk = format!("p{}", j % TABLE_PARTITIONS);
-                    let rk = format!("r{j}");
-                    client.table.query_point("load", &pk, &rk).await.is_ok()
+            // The absolute SLO deadline, declared to the front door
+            // before every attempt: a retry that arrives with most of
+            // its budget already burned is exactly the request a
+            // deadline-aware policy should shed first.
+            let deadline_abs_s = t + deadline_s;
+            let res: Result<(), (StorageError, GiveUp)> = match (shed_retry, budget) {
+                (Some(sr), Some(budget)) => {
+                    let rng = RefCell::new(s.rng(&format!("load.retry.{i}")));
+                    let policy = RetryPolicy {
+                        backoff: sr.backoff,
+                        retries: sr.retries,
+                        attempt_timeout: None,
+                        jitter: Jitter::Centered,
+                        retry_counter: Some("load.shed_retries"),
+                    };
+                    let attempts = std::cell::Cell::new(0u64);
+                    let r = policy
+                        .run_budgeted(
+                            &s,
+                            Some(&rng),
+                            &budget,
+                            || None::<StorageError>,
+                            |_| {
+                                attempts.set(attempts.get() + 1);
+                                azstore::admit::stash_deadline(deadline_abs_s);
+                                fire(Rc::clone(&client), workload, i)
+                            },
+                            |e| *e == StorageError::ServerBusy,
+                            || StorageError::Timeout,
+                        )
+                        .await;
+                    retries_total.set(retries_total.get() + attempts.get().saturating_sub(1));
+                    r
                 }
-                Workload::QueueAdd { message_bytes } => client
-                    .queue
-                    .add("load", format!("m{i}"), message_bytes)
-                    .await
-                    .is_ok(),
+                _ => {
+                    azstore::admit::stash_deadline(deadline_abs_s);
+                    fire(Rc::clone(&client), workload, i)
+                        .await
+                        .map_err(|e| (e, GiveUp::NotRetryable))
+                }
             };
+            let ok = res.is_ok();
             // Coordinated-omission-free: charge from the scheduled
             // instant, not from when the op actually got issued.
             let latency_s = (s.now() - sched).as_secs_f64();
@@ -218,10 +303,9 @@ pub fn run_open_loop(sim: &Sim, stamp_cfg: StampConfig, cfg: &LoadConfig) -> Loa
             }
             if measured {
                 let mut tr = tracker.borrow_mut();
-                if ok {
-                    tr.record_ok(latency_s, done_s);
-                } else {
-                    tr.record_fail();
+                match res {
+                    Ok(()) => tr.record_ok(latency_s, done_s),
+                    Err((e, giveup)) => tr.record_fail(classify(&e, giveup)),
                 }
             }
         });
@@ -232,12 +316,49 @@ pub fn run_open_loop(sim: &Sim, stamp_cfg: StampConfig, cfg: &LoadConfig) -> Loa
         .expect("all arrival tasks finished")
         .into_inner();
     let (all, good) = drained.get();
+    let (admit_accepted, admit_shed) = stamp.admission_stats();
     LoadCellResult {
         offered_ops_s: cfg.offered_ops_s,
         scheduled_ops_s: in_window as f64 / cfg.window_s,
         achieved_ops_s: all as f64 / cfg.window_s,
         goodput_ops_s: good as f64 / cfg.window_s,
         slo,
+        retries: retries_total.get(),
+        admit_accepted,
+        admit_shed,
+        latch_shed: stamp.latch_shed_total(),
+    }
+}
+
+/// Fire one workload op; discard the payload-specific success value.
+async fn fire(
+    client: Rc<StorageAccountClient>,
+    workload: Workload,
+    i: usize,
+) -> Result<(), StorageError> {
+    match workload {
+        Workload::BlobGet { .. } => client.blob.get("load", "blob").await.map(|_| ()),
+        Workload::TableQuery { entities, .. } => {
+            let j = i % entities;
+            let pk = format!("p{}", j % TABLE_PARTITIONS);
+            let rk = format!("r{j}");
+            client.table.query_point("load", &pk, &rk).await.map(|_| ())
+        }
+        Workload::QueueAdd { message_bytes } => client
+            .queue
+            .add("load", format!("m{i}"), message_bytes)
+            .await
+            .map(|_| ()),
+    }
+}
+
+/// Map a final error + give-up reason to its SLO failure class.
+fn classify(e: &StorageError, giveup: GiveUp) -> FailClass {
+    match (e, giveup) {
+        (StorageError::ServerBusy, GiveUp::BudgetExhausted) => FailClass::BudgetExhausted,
+        (StorageError::ServerBusy, _) => FailClass::Shed,
+        (StorageError::Timeout, _) => FailClass::Timeout,
+        _ => FailClass::Other,
     }
 }
 
@@ -260,6 +381,7 @@ mod tests {
                 window_s: 10.0,
                 fleet: 8,
                 deadline_s: 0.5,
+                shed_retry: None,
             },
         )
     }
@@ -314,6 +436,7 @@ mod tests {
                 window_s: 5.0,
                 fleet: 4,
                 deadline_s: 5.0,
+                shed_retry: None,
             },
         );
         assert!(r.slo.completed > 0);
@@ -334,6 +457,7 @@ mod tests {
                 window_s: 5.0,
                 fleet: 8,
                 deadline_s: 1.0,
+                shed_retry: None,
             },
         );
         assert_eq!(r.slo.failed, 0);

@@ -28,5 +28,5 @@ pub mod fleet;
 pub mod slo;
 
 pub use arrival::ArrivalProcess;
-pub use fleet::{run_open_loop, LoadCellResult, LoadConfig, Workload};
-pub use slo::SloTracker;
+pub use fleet::{run_open_loop, LoadCellResult, LoadConfig, ShedRetry, Workload};
+pub use slo::{FailClass, SloTracker};

@@ -11,6 +11,27 @@
 
 use simlab::StreamSummary;
 
+/// Why a scheduled operation counts against the SLO. The shed /
+/// budget-exhausted / timeout split matters under admission control:
+/// a shed is the *policy working* (cheap, immediate), a timeout is the
+/// policy failing (a full deadline burned), and a budget-exhausted
+/// retry loop is the client-side brake engaging — conflating them
+/// would make every shedding policy look as bad as the overload it
+/// prevents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailClass {
+    /// Rejected with ServerBusy (front-door or latch shed) and not
+    /// retried further by the client's own choice.
+    Shed,
+    /// Retryable rejection, but the per-client retry budget was dry —
+    /// the anti-amplification path. An SLO violation, not a silent drop.
+    BudgetExhausted,
+    /// Client-side attempt timeout.
+    Timeout,
+    /// Everything else (connection failures, internal errors, ...).
+    Other,
+}
+
 /// Mergeable SLO accounting for one measurement window.
 #[derive(Debug, Clone)]
 pub struct SloTracker {
@@ -22,8 +43,14 @@ pub struct SloTracker {
     pub scheduled: u64,
     /// Operations that completed successfully.
     pub completed: u64,
-    /// Operations that failed (timeout, busy, error).
+    /// Operations that failed (all classes; equals the sum below).
     pub failed: u64,
+    /// Failures classed [`FailClass::Shed`].
+    pub shed: u64,
+    /// Failures classed [`FailClass::BudgetExhausted`].
+    pub budget_exhausted: u64,
+    /// Failures classed [`FailClass::Timeout`].
+    pub timed_out: u64,
     /// Successful operations that finished after the deadline.
     pub late: u64,
     /// Latest completion instant seen (seconds on the sim clock).
@@ -40,6 +67,9 @@ impl SloTracker {
             scheduled: 0,
             completed: 0,
             failed: 0,
+            shed: 0,
+            budget_exhausted: 0,
+            timed_out: 0,
             late: 0,
             last_completion_s: 0.0,
         }
@@ -65,13 +95,28 @@ impl SloTracker {
 
     /// Record a failed operation (its latency does not enter the
     /// success distribution; it still counts against the SLO).
-    pub fn record_fail(&mut self) {
+    pub fn record_fail(&mut self, class: FailClass) {
         self.failed += 1;
+        match class {
+            FailClass::Shed => self.shed += 1,
+            FailClass::BudgetExhausted => self.budget_exhausted += 1,
+            FailClass::Timeout => self.timed_out += 1,
+            FailClass::Other => {}
+        }
     }
 
     /// Successful completions within the deadline.
     pub fn good(&self) -> u64 {
         self.completed - self.late
+    }
+
+    /// Fraction of scheduled arrivals that completed inside the
+    /// deadline. Exactly `0.0` — never NaN — for an empty window.
+    pub fn good_fraction(&self) -> f64 {
+        if self.scheduled == 0 {
+            return 0.0;
+        }
+        self.good().min(self.scheduled) as f64 / self.scheduled as f64
     }
 
     /// Fraction of scheduled arrivals that missed the SLO (failed, still
@@ -111,6 +156,9 @@ impl SloTracker {
         self.scheduled += other.scheduled;
         self.completed += other.completed;
         self.failed += other.failed;
+        self.shed += other.shed;
+        self.budget_exhausted += other.budget_exhausted;
+        self.timed_out += other.timed_out;
         self.late += other.late;
         if other.last_completion_s > self.last_completion_s {
             self.last_completion_s = other.last_completion_s;
@@ -135,10 +183,11 @@ mod tests {
     fn counts_and_violations() {
         let mut t = filled(&[0.1, 0.2, 0.9, 1.5], 1.0);
         t.note_scheduled();
-        t.record_fail();
+        t.record_fail(FailClass::Timeout);
         assert_eq!(t.scheduled, 5);
         assert_eq!(t.completed, 4);
         assert_eq!(t.failed, 1);
+        assert_eq!(t.timed_out, 1);
         assert_eq!(t.late, 1);
         assert_eq!(t.good(), 3);
         // 2 of 5 scheduled missed the SLO (one late, one failed).
@@ -147,11 +196,109 @@ mod tests {
     }
 
     #[test]
-    fn empty_tracker_is_benign() {
+    fn failure_classes_tally_separately() {
+        let mut t = SloTracker::new(1.0);
+        for class in [
+            FailClass::Shed,
+            FailClass::Shed,
+            FailClass::BudgetExhausted,
+            FailClass::Timeout,
+            FailClass::Other,
+        ] {
+            t.note_scheduled();
+            t.record_fail(class);
+        }
+        assert_eq!(t.failed, 5);
+        assert_eq!(
+            (t.shed, t.budget_exhausted, t.timed_out),
+            (2, 1, 1),
+            "classes must not be conflated"
+        );
+        assert_eq!(t.violation_fraction(), 1.0);
+    }
+
+    #[test]
+    fn empty_window_is_benign_no_nan() {
+        // Zero completions (an empty measurement window) must yield
+        // goodput 0, not NaN, through every derived statistic.
         let t = SloTracker::new(1.0);
+        assert_eq!(t.good(), 0);
+        assert_eq!(t.good_fraction(), 0.0);
+        assert!(!t.good_fraction().is_nan());
         assert_eq!(t.violation_fraction(), 0.0);
+        assert!(!t.violation_fraction().is_nan());
         assert_eq!(t.mean_ms(), 0.0);
         assert_eq!(t.quantile_ms(0.99), 0.0);
+    }
+
+    #[test]
+    fn all_shed_window() {
+        // Every arrival shed at the door: no latency samples, full
+        // violation, zero goodput — and still NaN-free.
+        let mut t = SloTracker::new(0.5);
+        for _ in 0..32 {
+            t.note_scheduled();
+            t.record_fail(FailClass::Shed);
+        }
+        assert_eq!(t.scheduled, 32);
+        assert_eq!(t.completed, 0);
+        assert_eq!(t.shed, 32);
+        assert_eq!(t.good(), 0);
+        assert_eq!(t.good_fraction(), 0.0);
+        assert_eq!(t.violation_fraction(), 1.0);
+        assert_eq!(t.latency.count(), 0);
+        assert_eq!(t.mean_ms(), 0.0);
+    }
+
+    #[test]
+    fn merged_violation_fractions_are_bit_exact_across_groupings() {
+        // The same per-cell trackers merged as 1 "shard" vs 3 "shards"
+        // must agree on the violation fraction to the last bit — the
+        // shard-invariance contract campaign CSVs rely on.
+        let cells: Vec<SloTracker> = (0..6)
+            .map(|c| {
+                let mut t = filled(
+                    &(0..40)
+                        .map(|i| 0.01 * ((c * 40 + i) % 97) as f64)
+                        .collect::<Vec<_>>(),
+                    0.3,
+                );
+                for k in 0..(c % 3) {
+                    t.note_scheduled();
+                    t.record_fail(if k == 0 {
+                        FailClass::Shed
+                    } else {
+                        FailClass::BudgetExhausted
+                    });
+                }
+                t
+            })
+            .collect();
+        let mut flat = SloTracker::new(0.3);
+        for c in &cells {
+            flat.merge(c);
+        }
+        let mut sharded: Vec<SloTracker> = (0..3).map(|_| SloTracker::new(0.3)).collect();
+        for (i, c) in cells.iter().enumerate() {
+            sharded[i % 3].merge(c);
+        }
+        let mut merged = SloTracker::new(0.3);
+        for s in &sharded {
+            merged.merge(s);
+        }
+        assert_eq!(
+            flat.violation_fraction().to_bits(),
+            merged.violation_fraction().to_bits()
+        );
+        assert_eq!(
+            flat.good_fraction().to_bits(),
+            merged.good_fraction().to_bits()
+        );
+        assert_eq!(
+            (flat.shed, flat.budget_exhausted, flat.timed_out),
+            (merged.shed, merged.budget_exhausted, merged.timed_out)
+        );
+        assert_eq!(flat.latency.hist, merged.latency.hist);
     }
 
     #[test]

@@ -119,3 +119,21 @@ fn faults_reach_sharded_workers() {
         "crash-partition plan had no effect on sharded fig1 cells"
     );
 }
+
+/// The shedding campaign: admission decisions, budgeted retries and
+/// the per-cell storm overlay all ride the same contract — the policy
+/// state machines are RNG-free and the storm plan is merged and
+/// installed per cell, so the sweep must not depend on sharding.
+#[test]
+fn shedding_quick_is_shard_invariant() {
+    assert_shard_invariant("shedding", None);
+}
+
+/// Shedding under a user fault plan: the per-cell front-end storm is
+/// *merged into* the `--faults` plan (nested install), and the merged
+/// outcome must still be identical on every shard layout.
+#[test]
+fn shedding_quick_under_faults_is_shard_invariant() {
+    let plan = FaultPlan::by_name("crash-partition").expect("preset");
+    assert_shard_invariant("shedding", Some(plan));
+}
