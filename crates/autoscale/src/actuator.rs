@@ -1,0 +1,274 @@
+//! The capacity actuator: turns harness decisions into real fabric
+//! lifecycle operations, so scale-out latency is *emergent*, not
+//! modelled.
+//!
+//! A [`Decision::ScaleOut`](crate::Decision::ScaleOut) becomes a
+//! detached [`Deployment::add_instances_n`] task running the stochastic
+//! Table 1 "Add" lifecycle — first new instance after the add-boot
+//! delay (≈293 s for a small worker), each subsequent one an
+//! exponential stagger (mean ≈183 s) later, 2.6 % chance the whole
+//! batch rolls back with a startup failure. The controller pays those
+//! prices in full: between order and readiness the capacity dial does
+//! not move, and a failed add is simply re-ordered at a later tick.
+//! Add batches run concurrently — a controller chasing a ramp is not
+//! blocked behind its own previous order (each batch rolls back by
+//! instance id, so overlapping failures stay independent).
+//!
+//! Scale-in and reaping are immediate by contrast (stopping a VM costs
+//! nothing like booting one — the Table 1 asymmetry that makes
+//! elasticity a forecasting problem in the first place).
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use fabric::Deployment;
+use simcore::prelude::*;
+
+/// Drives one deployment's capacity on behalf of a control loop.
+pub struct Actuator {
+    sim: Sim,
+    dep: Rc<Deployment>,
+    pending_adds: Cell<usize>,
+    /// Scale-out orders issued (batches, not instances).
+    pub scale_outs: Cell<u64>,
+    /// Scale-in operations issued.
+    pub scale_ins: Cell<u64>,
+    /// Add batches that failed (startup failure or quota) and rolled
+    /// back.
+    pub adds_failed: Cell<u64>,
+    /// Instances reaped off crashed hosts.
+    pub reaped: Cell<u64>,
+    /// Ready offsets of the *first* instance of each successful add
+    /// batch, seconds from the order (the Table 1 scale-out lead as
+    /// actually experienced).
+    first_ready_offsets: RefCell<Vec<f64>>,
+    /// Gaps between successive instance readiness within add batches.
+    staggers: RefCell<Vec<f64>>,
+    events: RefCell<String>,
+}
+
+impl Actuator {
+    /// Wrap a running deployment.
+    pub fn new(sim: &Sim, dep: Rc<Deployment>) -> Rc<Self> {
+        Rc::new(Actuator {
+            sim: sim.clone(),
+            dep,
+            pending_adds: Cell::new(0),
+            scale_outs: Cell::new(0),
+            scale_ins: Cell::new(0),
+            adds_failed: Cell::new(0),
+            reaped: Cell::new(0),
+            first_ready_offsets: RefCell::new(Vec::new()),
+            staggers: RefCell::new(Vec::new()),
+            events: RefCell::new(String::new()),
+        })
+    }
+
+    /// The deployment being actuated.
+    pub fn deployment(&self) -> &Rc<Deployment> {
+        &self.dep
+    }
+
+    /// Add batches currently booting.
+    pub fn pending_adds(&self) -> usize {
+        self.pending_adds.get()
+    }
+
+    fn event(&self, line: String) {
+        let mut ev = self.events.borrow_mut();
+        ev.push_str(&line);
+        ev.push('\n');
+    }
+
+    /// Order `n` more instances; the boot runs as a detached task and
+    /// readiness arrives one Table 1 stagger at a time. Batches may
+    /// overlap.
+    pub fn scale_out(self: &Rc<Self>, n: usize) {
+        assert!(n > 0);
+        self.pending_adds.set(self.pending_adds.get() + 1);
+        self.scale_outs.set(self.scale_outs.get() + 1);
+        simtrace::counter("autoscale.scale_out", n as i64);
+        let me = Rc::clone(self);
+        let ordered_s = self.sim.now().as_secs_f64();
+        self.sim.spawn(async move {
+            match me.dep.add_instances_n(n).await {
+                Ok(report) => {
+                    let offs: Vec<f64> = report
+                        .instance_ready_offsets
+                        .iter()
+                        .map(|d| d.as_secs_f64())
+                        .collect();
+                    if let Some(&first) = offs.first() {
+                        me.first_ready_offsets.borrow_mut().push(first);
+                    }
+                    me.staggers
+                        .borrow_mut()
+                        .extend(offs.windows(2).map(|w| w[1] - w[0]));
+                    me.event(format!(
+                        "t={:09.1} add+{n} ok ordered_t={ordered_s:.1} first_ready_off={:.1}",
+                        me.sim.now().as_secs_f64(),
+                        offs.first().copied().unwrap_or(0.0),
+                    ));
+                }
+                Err(e) => {
+                    me.adds_failed.set(me.adds_failed.get() + 1);
+                    simtrace::counter("autoscale.add_failed", 1);
+                    me.event(format!(
+                        "t={:09.1} add+{n} failed ordered_t={ordered_s:.1} err={e}",
+                        me.sim.now().as_secs_f64(),
+                    ));
+                }
+            }
+            me.pending_adds.set(me.pending_adds.get() - 1);
+        });
+    }
+
+    /// Release up to `n` Ready instances (newest first); immediate.
+    pub fn scale_in(&self, n: usize) -> usize {
+        let removed = self.dep.remove_instances(n);
+        if removed > 0 {
+            self.scale_ins.set(self.scale_ins.get() + 1);
+            simtrace::counter("autoscale.scale_in", removed as i64);
+            self.event(format!(
+                "t={:09.1} remove-{removed}",
+                self.sim.now().as_secs_f64(),
+            ));
+        }
+        removed
+    }
+
+    /// Remove instances sitting on crashed hosts, releasing their
+    /// quota so replacement capacity can be ordered.
+    pub fn reap(&self) -> usize {
+        let reaped = self.dep.reap_dead();
+        if reaped > 0 {
+            self.reaped.set(self.reaped.get() + reaped as u64);
+            simtrace::counter("autoscale.reaped", reaped as i64);
+            self.event(format!(
+                "t={:09.1} reap-{reaped}",
+                self.sim.now().as_secs_f64(),
+            ));
+        }
+        reaped
+    }
+
+    /// Mean observed order-to-first-ready lead across successful add
+    /// batches (seconds); `None` if no add completed.
+    pub fn first_ready_lead_s(&self) -> Option<f64> {
+        let offs = self.first_ready_offsets.borrow();
+        if offs.is_empty() {
+            None
+        } else {
+            Some(offs.iter().sum::<f64>() / offs.len() as f64)
+        }
+    }
+
+    /// Mean readiness stagger between successive instances within add
+    /// batches (seconds); `None` without a multi-instance batch.
+    pub fn add_stagger_mean_s(&self) -> Option<f64> {
+        let st = self.staggers.borrow();
+        if st.is_empty() {
+            None
+        } else {
+            Some(st.iter().sum::<f64>() / st.len() as f64)
+        }
+    }
+
+    /// Number of within-batch staggers observed.
+    pub fn stagger_count(&self) -> usize {
+        self.staggers.borrow().len()
+    }
+
+    /// The scale-event log (adds, removes, reaps, one line each).
+    pub fn events(&self) -> String {
+        self.events.borrow().clone()
+    }
+}
+
+impl std::fmt::Debug for Actuator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Actuator")
+            .field("pending_adds", &self.pending_adds.get())
+            .field("scale_outs", &self.scale_outs.get())
+            .field("scale_ins", &self.scale_ins.get())
+            .field("adds_failed", &self.adds_failed.get())
+            .field("reaped", &self.reaped.get())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric::{DeploymentSpec, FabricConfig, FabricController, RoleType, VmSize};
+
+    fn boot(sim: &Sim, instances: usize, failure_p: f64) -> Rc<Deployment> {
+        let fc = FabricController::new(
+            sim,
+            FabricConfig {
+                startup_failure_p: failure_p,
+                ..FabricConfig::default()
+            },
+        );
+        let h = sim.spawn(async move {
+            let dep = fc
+                .create_deployment(DeploymentSpec {
+                    role: RoleType::Worker,
+                    size: VmSize::Small,
+                    instances,
+                    package_mb: 5.0,
+                })
+                .await
+                .unwrap();
+            dep.run().await.unwrap();
+            dep
+        });
+        sim.run();
+        h.try_take().unwrap()
+    }
+
+    #[test]
+    fn scale_out_records_table1_lead_and_staggers() {
+        let sim = Sim::new(21);
+        let dep = boot(&sim, 2, 0.0);
+        let act = Actuator::new(&sim, dep);
+        act.scale_out(3);
+        assert_eq!(act.pending_adds(), 1);
+        sim.run();
+        assert_eq!(act.pending_adds(), 0);
+        assert_eq!(act.deployment().ready_count(), 5);
+        // First capacity arrives one add-boot plus one stagger out
+        // (≈476 s mean); staggers are exponential with mean ≈183 s.
+        let lead = act.first_ready_lead_s().unwrap();
+        assert!((150.0..1500.0).contains(&lead), "lead {lead}");
+        assert_eq!(act.stagger_count(), 2);
+        assert!(act.events().contains("add+3 ok"));
+    }
+
+    #[test]
+    fn failed_add_is_counted_and_leaves_capacity_unchanged() {
+        let sim = Sim::new(23);
+        let dep = boot(&sim, 2, 0.0);
+        // An impossible add via quota exhaustion (20-core quota, 2
+        // used, ask for 19): fails immediately, capacity unchanged.
+        let act = Actuator::new(&sim, dep);
+        act.scale_out(19);
+        sim.run();
+        assert_eq!(act.adds_failed.get(), 1);
+        assert_eq!(act.deployment().ready_count(), 2);
+        assert!(act.events().contains("add+19 failed"));
+        assert!(act.first_ready_lead_s().is_none());
+    }
+
+    #[test]
+    fn scale_in_is_immediate() {
+        let sim = Sim::new(24);
+        let dep = boot(&sim, 4, 0.0);
+        let act = Actuator::new(&sim, dep);
+        let t0 = sim.now();
+        assert_eq!(act.scale_in(2), 2);
+        assert_eq!(sim.now(), t0);
+        assert_eq!(act.deployment().ready_count(), 2);
+        assert_eq!(act.scale_ins.get(), 1);
+    }
+}

@@ -1,0 +1,40 @@
+//! # autoscale — elasticity under the 10-minute VM tax
+//!
+//! The paper's Table 1 prices Azure's elasticity promise: a small
+//! worker deployment takes ~10 minutes from request to first running
+//! instance, added instances arrive one ≈3-minute exponential stagger
+//! at a time, and 2.6 % of starts fail outright. This crate closes the
+//! control loop over those prices: policies observe an open-loop
+//! `simload` workload hitting an `azstore` stamp and buy or release
+//! *real* `fabric` capacity — the scale-out latency a controller pays
+//! is emergent from the same stochastic lifecycle the Table 1
+//! reproduction measures, not a modelled constant.
+//!
+//! * [`policy`] — the [`Scaler`] trait and four deterministic
+//!   policies: [`Fixed`], [`QueueDepth`], [`UtilHysteresis`],
+//!   [`PredictiveHolt`];
+//! * [`harness`] — bounds, cooldowns, and the byte-reproducible
+//!   decision log;
+//! * [`actuator`] — decisions → fabric lifecycle operations
+//!   (`add_instances_n` / `remove_instances` / `reap_dead`), with
+//!   per-batch lead and stagger accounting;
+//! * [`elastic`] — the cell runner behind `azlab run elastic`:
+//!   SLO violations vs committed instance-hours, per policy ×
+//!   arrival pattern × service, clean or under host-crash faults.
+//!
+//! Everything is deterministic and shard-invariant: arrival schedules
+//! come from a dedicated RNG stream drawn before any fabric
+//! randomness, policies are RNG-free, and the decision log is the
+//! byte-identity witness.
+
+#![warn(missing_docs)]
+
+pub mod actuator;
+pub mod elastic;
+pub mod harness;
+pub mod policy;
+
+pub use actuator::Actuator;
+pub use elastic::{run_elastic, ElasticConfig, ElasticResult, PolicyKind, Service};
+pub use harness::{Decision, Harness};
+pub use policy::{Fixed, PredictiveHolt, QueueDepth, Scaler, Signals, UtilHysteresis};

@@ -1,0 +1,136 @@
+//! Property-based tests for the elastic control loop: byte-identical
+//! replay, policy divergence under a step, and bound enforcement over
+//! arbitrary seeds.
+
+use autoscale::{run_elastic, ElasticConfig, ElasticResult, PolicyKind, Service};
+use proptest::prelude::*;
+use simcore::prelude::*;
+use simload::ArrivalProcess;
+
+fn any_policy() -> impl Strategy<Value = PolicyKind> {
+    prop_oneof![
+        Just(PolicyKind::Fixed),
+        Just(PolicyKind::QueueDepth),
+        Just(PolicyKind::UtilHysteresis),
+        Just(PolicyKind::PredictiveHolt),
+    ]
+}
+
+/// A small step-load cell: half-rate then 1.5x across a 900 s window,
+/// sized so the post-step demand saturates the planned-peak fleet.
+fn step_cell(policy: PolicyKind, seed: u64, max_instances: usize) -> ElasticResult {
+    let sim = Sim::new(seed);
+    run_elastic(
+        &sim,
+        &ElasticConfig {
+            service: Service::Queue,
+            pattern: ArrivalProcess::step_default(),
+            policy,
+            demand_units: 2.0,
+            peak_units: 3.6,
+            setup_s: 1500.0,
+            horizon_s: 900.0,
+            tick_s: 10.0,
+            obs_window_s: 60.0,
+            min_instances: 1,
+            max_instances,
+            fleet: 8,
+            hosts: 8,
+        },
+    )
+}
+
+/// Every `desired=NNN` field of a decision log.
+fn desired_column(log: &str) -> Vec<usize> {
+    log.lines()
+        .map(|l| {
+            let at = l.find("desired=").expect("fixed-format line") + "desired=".len();
+            l[at..at + 3].parse().expect("three-digit desired field")
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Same seed, same schedule, same policy: the decision log, the
+    /// scale-event log and the billed hours must reproduce byte for
+    /// byte — the determinism witness behind the sharded campaign.
+    #[test]
+    fn same_seed_reproduces_the_run(seed in 0u64..1_000, policy in any_policy()) {
+        let a = step_cell(policy, seed, 16);
+        let b = step_cell(policy, seed, 16);
+        prop_assert_eq!(&a.decision_log, &b.decision_log);
+        prop_assert_eq!(&a.events, &b.events);
+        prop_assert_eq!(a.instance_hours.to_bits(), b.instance_hours.to_bits());
+        prop_assert_eq!(a.violations(), b.violations());
+    }
+
+    /// A step is the canonical controller probe: against the identical
+    /// arrival schedule, every adaptive policy must decide differently
+    /// from the fixed baseline (they all release the half-rate phase),
+    /// and the adaptive policies must not all coincide with each
+    /// other. (Full pairwise separation is not guaranteed on a short
+    /// window — two well-tuned controllers may track the same fleet —
+    /// so that stronger claim is pinned at a known seed below.)
+    #[test]
+    fn distinct_policies_diverge_under_step_load(seed in 0u64..1_000) {
+        let logs: Vec<String> = PolicyKind::ALL
+            .iter()
+            .map(|&p| step_cell(p, seed, 16).decision_log)
+            .collect();
+        for (i, log) in logs.iter().enumerate().skip(1) {
+            prop_assert_ne!(
+                &logs[0], log,
+                "{} matched the fixed baseline",
+                PolicyKind::ALL[i].name()
+            );
+        }
+        prop_assert!(
+            logs[1] != logs[2] || logs[2] != logs[3],
+            "all three adaptive policies made identical decisions"
+        );
+    }
+
+    /// The harness bound is inviolable: however hard the post-step
+    /// overload pushes the predictive policy, neither the desired
+    /// column of its log nor the committed fleet ever exceeds
+    /// `max_instances`.
+    #[test]
+    fn predictive_never_exceeds_max_instances(seed in 0u64..1_000, max in 2usize..=5) {
+        let r = step_cell(PolicyKind::PredictiveHolt, seed, max);
+        prop_assert!(
+            r.max_committed <= max,
+            "committed {} over bound {max}",
+            r.max_committed
+        );
+        let desired = desired_column(&r.decision_log);
+        prop_assert!(!desired.is_empty());
+        prop_assert!(
+            desired.iter().all(|&d| d <= max),
+            "desired exceeded bound {max}: {:?}",
+            desired.iter().max()
+        );
+    }
+}
+
+/// At a representative seed the separation is total: all four policies
+/// produce pairwise-distinct decision logs on the same step schedule.
+#[test]
+fn step_probe_separates_all_four_policies_at_seed_7() {
+    let logs: Vec<String> = PolicyKind::ALL
+        .iter()
+        .map(|&p| step_cell(p, 7, 16).decision_log)
+        .collect();
+    for i in 0..logs.len() {
+        for j in i + 1..logs.len() {
+            assert_ne!(
+                logs[i],
+                logs[j],
+                "{} and {} made identical decisions",
+                PolicyKind::ALL[i].name(),
+                PolicyKind::ALL[j].name()
+            );
+        }
+    }
+}

@@ -53,6 +53,7 @@ pub use blob::{BlobClient, BlobService, DownloadStats};
 pub use error::{Result, StorageError};
 pub use queue::{Message, PopReceipt, QueueClient, QueueService, ReceivedMessage};
 pub use stamp::{FaultProfile, StampConfig, StorageAccountClient, StorageStamp};
+pub use station::CapacityScale;
 pub use table::{Entity, PropValue, TableClient, TableService};
 
 /// Tag a storage-layer span with its outcome ("ok" or the error's paper

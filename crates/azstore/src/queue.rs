@@ -188,41 +188,57 @@ impl QueueService {
                 n
             }
         };
+        let cap = &self.cfg.capacity;
         let mut perf = self.perf.borrow_mut();
         Rc::clone(perf.entry(queue.to_string()).or_insert_with(|| {
             Rc::new(QueuePerf {
-                add_latch: Rc::new(ContendedLatch::new(
-                    &self.sim,
-                    calib::QUEUE_ADD_HOLD_S,
-                    nscale(calib::QUEUE_ADD_HOLD_NSCALE),
-                    j,
-                    calib::TABLE_BUSY_QUEUE_LIMIT,
-                )),
-                recv_latch: Rc::new(ContendedLatch::new(
-                    &self.sim,
-                    calib::QUEUE_RECV_HOLD_S,
-                    nscale(calib::QUEUE_RECV_HOLD_NSCALE),
-                    j,
-                    calib::TABLE_BUSY_QUEUE_LIMIT,
-                )),
-                peek_station: Rc::new(LoadedStation::new(
-                    &self.sim,
-                    calib::QUEUE_PEEK_BASE_S,
-                    calib::QUEUE_PEEK_LOAD_S,
-                    j,
-                )),
-                add_station: Rc::new(LoadedStation::new(
-                    &self.sim,
-                    calib::QUEUE_ADD_BASE_S,
-                    calib::QUEUE_ADD_LOAD_S,
-                    j,
-                )),
-                recv_station: Rc::new(LoadedStation::new(
-                    &self.sim,
-                    calib::QUEUE_RECV_BASE_S,
-                    calib::QUEUE_RECV_LOAD_S,
-                    j,
-                )),
+                add_latch: Rc::new(
+                    ContendedLatch::new(
+                        &self.sim,
+                        calib::QUEUE_ADD_HOLD_S,
+                        nscale(calib::QUEUE_ADD_HOLD_NSCALE),
+                        j,
+                        calib::TABLE_BUSY_QUEUE_LIMIT,
+                    )
+                    .with_capacity(cap.clone()),
+                ),
+                recv_latch: Rc::new(
+                    ContendedLatch::new(
+                        &self.sim,
+                        calib::QUEUE_RECV_HOLD_S,
+                        nscale(calib::QUEUE_RECV_HOLD_NSCALE),
+                        j,
+                        calib::TABLE_BUSY_QUEUE_LIMIT,
+                    )
+                    .with_capacity(cap.clone()),
+                ),
+                peek_station: Rc::new(
+                    LoadedStation::new(
+                        &self.sim,
+                        calib::QUEUE_PEEK_BASE_S,
+                        calib::QUEUE_PEEK_LOAD_S,
+                        j,
+                    )
+                    .with_capacity(cap.clone()),
+                ),
+                add_station: Rc::new(
+                    LoadedStation::new(
+                        &self.sim,
+                        calib::QUEUE_ADD_BASE_S,
+                        calib::QUEUE_ADD_LOAD_S,
+                        j,
+                    )
+                    .with_capacity(cap.clone()),
+                ),
+                recv_station: Rc::new(
+                    LoadedStation::new(
+                        &self.sim,
+                        calib::QUEUE_RECV_BASE_S,
+                        calib::QUEUE_RECV_LOAD_S,
+                        j,
+                    )
+                    .with_capacity(cap.clone()),
+                ),
             })
         }))
     }

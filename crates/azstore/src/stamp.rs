@@ -92,6 +92,12 @@ pub struct StampConfig {
     /// default) reproduces the paper's observed behaviour — no gate,
     /// overload rots in the queues.
     pub admission: crate::admit::AdmissionConfig,
+    /// Shared capacity dial for the table/queue station fleets (the
+    /// elastic campaign's scaling hook; see
+    /// [`CapacityScale`](crate::station::CapacityScale)). Cloning the
+    /// config shares the dial. Defaults to the calibrated reference
+    /// capacity (`r = 1`), which leaves every formula bit-identical.
+    pub capacity: crate::station::CapacityScale,
 }
 
 impl Default for StampConfig {
@@ -103,6 +109,7 @@ impl Default for StampConfig {
             ablate_no_frontend_ceiling: false,
             ablate_no_latch_inflation: false,
             admission: crate::admit::AdmissionConfig::None,
+            capacity: crate::station::CapacityScale::unit(),
         }
     }
 }

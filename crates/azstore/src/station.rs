@@ -30,6 +30,51 @@ pub(crate) fn jitter(rng: &mut SimRng, sigma: f64) -> f64 {
     LogNormal::with_mean(1.0, sigma).sample(rng)
 }
 
+/// Shared capacity dial for station nominal rates.
+///
+/// The storage calibration reproduces the paper's curves at a fixed
+/// reference fleet of front-end / partition servers. The elastic
+/// campaign varies the fleet at runtime, so stations accept a shared
+/// `CapacityScale` handle: `r = live_instances / reference_fleet`.
+/// Only the *load-dependent* terms scale — `load·n` becomes `load·n/r`
+/// and latch holds divide by `r` — so zero-load latency stays put while
+/// aggregate throughput (and the latch shed threshold) scale ∝ r, which
+/// is what adding identical front-ends buys you. At the default `r = 1`
+/// every formula is evaluated exactly as before (bit-identical), so
+/// existing campaigns are unaffected.
+#[derive(Clone)]
+pub struct CapacityScale(Rc<Cell<f64>>);
+
+impl CapacityScale {
+    /// A dial fixed at the reference capacity (`r = 1`).
+    pub fn unit() -> Self {
+        CapacityScale(Rc::new(Cell::new(1.0)))
+    }
+
+    /// Current scale.
+    pub fn get(&self) -> f64 {
+        self.0.get()
+    }
+
+    /// Set the scale; clamped below to keep service times finite even
+    /// when a controller briefly has zero live instances.
+    pub fn set(&self, r: f64) {
+        self.0.set(r.max(1e-3));
+    }
+}
+
+impl Default for CapacityScale {
+    fn default() -> Self {
+        CapacityScale::unit()
+    }
+}
+
+impl std::fmt::Debug for CapacityScale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CapacityScale({})", self.0.get())
+    }
+}
+
 /// Decrements a shared counter on drop. Service futures are raced
 /// against client timeouts and may be dropped at any await point; the
 /// in-flight/waiter counts must unwind regardless (cancel-safety).
@@ -58,6 +103,7 @@ pub struct LoadedStation {
     base_s: f64,
     load_s: f64,
     jitter_sigma: f64,
+    capacity: CapacityScale,
     in_flight: Rc<Cell<usize>>,
     served: Cell<u64>,
 }
@@ -71,9 +117,16 @@ impl LoadedStation {
             base_s,
             load_s,
             jitter_sigma,
+            capacity: CapacityScale::unit(),
             in_flight: Rc::new(Cell::new(0)),
             served: Cell::new(0),
         }
+    }
+
+    /// Attach a shared [`CapacityScale`] dial (see its docs).
+    pub fn with_capacity(mut self, capacity: CapacityScale) -> Self {
+        self.capacity = capacity;
+        self
     }
 
     /// Requests currently in service.
@@ -93,8 +146,14 @@ impl LoadedStation {
     pub async fn serve(&self, extra_s: f64, rng: &mut SimRng) -> SimDuration {
         let guard = CountGuard::enter(&self.in_flight);
         let n = self.in_flight.get();
-        let mut s =
-            (self.base_s + self.load_s * n as f64 + extra_s) * jitter(rng, self.jitter_sigma);
+        let r = self.capacity.get();
+        // Guarded so the default r = 1 path runs the exact historical
+        // float expression (bit-identical results).
+        let mut s = if r == 1.0 {
+            (self.base_s + self.load_s * n as f64 + extra_s) * jitter(rng, self.jitter_sigma)
+        } else {
+            (self.base_s + self.load_s * n as f64 / r + extra_s) * jitter(rng, self.jitter_sigma)
+        };
         // An active simfault network episode (link degradation /
         // partition) stretches the round trip embedded in the service
         // time — a partition pushes ops past every client timeout.
@@ -118,6 +177,7 @@ pub struct ContendedLatch {
     hold_nscale: f64,
     jitter_sigma: f64,
     busy_queue_limit: usize,
+    capacity: CapacityScale,
     waiters: Rc<Cell<usize>>,
     held_total: Cell<u64>,
     shed_total: Cell<u64>,
@@ -141,10 +201,17 @@ impl ContendedLatch {
             hold_nscale,
             jitter_sigma,
             busy_queue_limit,
+            capacity: CapacityScale::unit(),
             waiters: Rc::new(Cell::new(0)),
             held_total: Cell::new(0),
             shed_total: Cell::new(0),
         }
+    }
+
+    /// Attach a shared [`CapacityScale`] dial (see its docs).
+    pub fn with_capacity(mut self, capacity: CapacityScale) -> Self {
+        self.capacity = capacity;
+        self
     }
 
     /// Current queue length (including the holder).
@@ -167,7 +234,16 @@ impl ContendedLatch {
     /// Cancel-safe: dropping the future at any point releases both the
     /// waiter slot and (if held) the latch.
     pub async fn commit(&self, hold_factor: f64, rng: &mut SimRng) -> Result<()> {
-        if self.waiters.get() > self.busy_queue_limit {
+        let r = self.capacity.get();
+        // Below the reference fleet the shed threshold shrinks with
+        // capacity (fewer servers tolerate a shorter queue); above it
+        // the calibrated limit stands.
+        let limit = if r >= 1.0 {
+            self.busy_queue_limit
+        } else {
+            ((self.busy_queue_limit as f64 * r) as usize).max(4)
+        };
+        if self.waiters.get() > limit {
             self.shed_total.set(self.shed_total.get() + 1);
             simtrace::counter("store.latch_shed", 1);
             return Err(StorageError::ServerBusy);
@@ -180,6 +256,9 @@ impl ContendedLatch {
             * hold_factor
             * (1.0 + n / self.hold_nscale)
             * jitter(rng, self.jitter_sigma);
+        if r != 1.0 {
+            hold /= r;
+        }
         // See `LoadedStation::serve`: network episodes stretch commits
         // too (the latch is held across the partition's round trips).
         let m = simfault::net_rtt_multiplier(self.sim.now().as_secs_f64());
@@ -304,6 +383,85 @@ mod tests {
         assert!(ok >= 5, "ok={ok}");
         assert!(shed > 0, "expected load shedding");
         assert_eq!(latch.shed_total() as usize, shed);
+    }
+
+    #[test]
+    fn capacity_scale_shrinks_station_capacity_not_base_latency() {
+        // At r = 0.5 the load term doubles while the zero-load time is
+        // untouched; at r = 1 the formula matches a station without a
+        // dial exactly.
+        let serve_time = |r: f64, concurrent: usize| {
+            let sim = Sim::new(7);
+            let dial = CapacityScale::unit();
+            dial.set(r);
+            let st = Rc::new(LoadedStation::new(&sim, 0.010, 0.001, 0.0).with_capacity(dial));
+            let times: Rc<RefCell<Vec<f64>>> = Rc::default();
+            for i in 0..concurrent {
+                let (s, stc, tm) = (sim.clone(), Rc::clone(&st), times.clone());
+                sim.spawn(async move {
+                    let mut rng = s.rng(&format!("c{i}"));
+                    let d = stc.serve(0.0, &mut rng).await;
+                    tm.borrow_mut().push(d.as_secs_f64());
+                });
+            }
+            sim.run();
+            let times = times.borrow();
+            times.iter().cloned().fold(0.0f64, f64::max)
+        };
+        // A lone request pays base + load·1/r: only the (tiny) load
+        // term moves, the base does not.
+        let lone_full = serve_time(1.0, 1);
+        let lone_half = serve_time(0.5, 1);
+        assert!((lone_full - 0.011).abs() < 1e-9, "t={lone_full}");
+        assert!((lone_half - 0.012).abs() < 1e-9, "t={lone_half}");
+        let busy_full = serve_time(1.0, 40);
+        let busy_half = serve_time(0.5, 40);
+        assert!(
+            busy_half > busy_full * 1.5,
+            "load term did not scale: {busy_full} vs {busy_half}"
+        );
+    }
+
+    #[test]
+    fn capacity_scale_divides_latch_hold_and_shed_limit() {
+        let run = |r: f64| {
+            let sim = Sim::new(8);
+            let dial = CapacityScale::unit();
+            dial.set(r);
+            let latch =
+                Rc::new(ContendedLatch::new(&sim, 0.005, 1e12, 0.0, 100).with_capacity(dial));
+            for i in 0..10 {
+                let (s, l) = (sim.clone(), Rc::clone(&latch));
+                sim.spawn(async move {
+                    let mut rng = s.rng(&format!("c{i}"));
+                    let _ = l.commit(1.0, &mut rng).await;
+                });
+            }
+            sim.run();
+            (sim.now().as_secs_f64(), latch.shed_total())
+        };
+        let (t_full, shed_full) = run(1.0);
+        let (t_half, shed_half) = run(0.5);
+        assert_eq!(shed_full, 0);
+        assert_eq!(shed_half, 0);
+        assert!(
+            (t_half - 2.0 * t_full).abs() < 1e-9,
+            "halved capacity should double serialized holds: {t_full} vs {t_half}"
+        );
+        // Tiny capacity shrinks the busy limit (100 -> 4) and sheds.
+        let sim = Sim::new(9);
+        let dial = CapacityScale::unit();
+        dial.set(0.01);
+        let latch = Rc::new(ContendedLatch::new(&sim, 0.005, 1e12, 0.0, 100).with_capacity(dial));
+        for i in 0..20 {
+            let (s, l) = (sim.clone(), Rc::clone(&latch));
+            sim.spawn(async move {
+                let mut rng = s.rng(&format!("c{i}"));
+                let _ = l.commit(1.0, &mut rng).await;
+            });
+        }
+        sim.run();
+        assert!(latch.shed_total() > 0, "tiny capacity should shed");
     }
 
     #[test]

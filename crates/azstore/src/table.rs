@@ -171,20 +171,24 @@ impl TableService {
                 calib::TABLE_QUERY_BASE_S,
                 calib::TABLE_QUERY_LOAD_S,
                 j,
-            ),
+            )
+            .with_capacity(cfg.capacity.clone()),
             insert_station: LoadedStation::new(
                 sim,
                 calib::TABLE_INSERT_BASE_S,
                 calib::TABLE_INSERT_LOAD_S,
                 j,
-            ),
-            update_station: LoadedStation::new(sim, calib::TABLE_UPDATE_BASE_S, 0.0, j),
+            )
+            .with_capacity(cfg.capacity.clone()),
+            update_station: LoadedStation::new(sim, calib::TABLE_UPDATE_BASE_S, 0.0, j)
+                .with_capacity(cfg.capacity.clone()),
             delete_station: LoadedStation::new(
                 sim,
                 calib::TABLE_DELETE_BASE_S,
                 calib::TABLE_DELETE_LOAD_S,
                 j,
-            ),
+            )
+            .with_capacity(cfg.capacity.clone()),
             rng: RefCell::new(sim.rng("table.service")),
             ops: Cell::new(0),
             door: crate::admit::FrontDoor::build(sim, &cfg.admission),
@@ -253,13 +257,16 @@ impl TableService {
                 .insert
                 .entry(key)
                 .or_insert_with(|| {
-                    Rc::new(ContendedLatch::new(
-                        &self.sim,
-                        calib::TABLE_INSERT_HOLD_S,
-                        f64::INFINITY,
-                        self.cfg.jitter_sigma,
-                        calib::TABLE_BUSY_QUEUE_LIMIT,
-                    ))
+                    Rc::new(
+                        ContendedLatch::new(
+                            &self.sim,
+                            calib::TABLE_INSERT_HOLD_S,
+                            f64::INFINITY,
+                            self.cfg.jitter_sigma,
+                            calib::TABLE_BUSY_QUEUE_LIMIT,
+                        )
+                        .with_capacity(self.cfg.capacity.clone()),
+                    )
                 }),
         )
     }
@@ -272,13 +279,16 @@ impl TableService {
                 .delete
                 .entry(key)
                 .or_insert_with(|| {
-                    Rc::new(ContendedLatch::new(
-                        &self.sim,
-                        calib::TABLE_DELETE_HOLD_S,
-                        calib::TABLE_DELETE_HOLD_NSCALE,
-                        self.cfg.jitter_sigma,
-                        calib::TABLE_BUSY_QUEUE_LIMIT,
-                    ))
+                    Rc::new(
+                        ContendedLatch::new(
+                            &self.sim,
+                            calib::TABLE_DELETE_HOLD_S,
+                            calib::TABLE_DELETE_HOLD_NSCALE,
+                            self.cfg.jitter_sigma,
+                            calib::TABLE_BUSY_QUEUE_LIMIT,
+                        )
+                        .with_capacity(self.cfg.capacity.clone()),
+                    )
                 }),
         )
     }
@@ -291,13 +301,16 @@ impl TableService {
                 .update
                 .entry(key)
                 .or_insert_with(|| {
-                    Rc::new(ContendedLatch::new(
-                        &self.sim,
-                        calib::TABLE_UPDATE_HOLD_S,
-                        calib::TABLE_UPDATE_HOLD_NSCALE,
-                        self.cfg.jitter_sigma,
-                        calib::TABLE_BUSY_QUEUE_LIMIT,
-                    ))
+                    Rc::new(
+                        ContendedLatch::new(
+                            &self.sim,
+                            calib::TABLE_UPDATE_HOLD_S,
+                            calib::TABLE_UPDATE_HOLD_NSCALE,
+                            self.cfg.jitter_sigma,
+                            calib::TABLE_BUSY_QUEUE_LIMIT,
+                        )
+                        .with_capacity(self.cfg.capacity.clone()),
+                    )
                 }),
         )
     }

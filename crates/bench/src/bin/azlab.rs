@@ -4,6 +4,7 @@
 //! ```text
 //! azlab run all [--quick] [--shards N] [--faults <preset>]
 //! azlab run <target> [--quick] [--shards N] [--faults <preset>] [--trace <path>]
+//! azlab run --list
 //! azlab bench [--shards N] [--out <path>]
 //! ```
 //!
@@ -14,8 +15,12 @@
 //! wall-clock and anchor verdicts. The merged output is byte-identical
 //! for any `--shards N`.
 //!
+//! `run --list` enumerates the campaign targets (and their aliases)
+//! one per line and exits 0; an unknown target is a hard usage error
+//! (exit 2) that prints the same list.
+//!
 //! `bench` times the quick campaign set and the ModisAzure campaign at
-//! 1 vs 4 shards, writing a `BENCH_pr6.json` wall-clock report. Times
+//! 1 vs 4 shards, writing a `BENCH_pr7.json` wall-clock report. Times
 //! are recorded in microseconds: several quick campaigns finish in
 //! well under a millisecond, where ms-resolution rows read `0`.
 
@@ -25,7 +30,7 @@ use std::time::Instant;
 use bench::campaigns;
 use simlab::{CampaignEntry, Manifest, RunOpts, TraceSpec};
 
-const USAGE: &str = "azlab <run|bench> [target] [--quick] [--shards N] [--faults <preset>] [--trace <path>] [--out <path>]\n  targets: all fig1 fig2 fig3 fig4 fig5 table1 table2 fig7 modis frontier shedding ablations";
+const USAGE: &str = "azlab <run|bench> [target] [--quick] [--shards N] [--faults <preset>] [--trace <path>] [--out <path>] [--list]\n  targets: all fig1 fig2 fig3 fig4 fig5 table1 table2 fig7 modis frontier shedding elastic ablations  (azlab run --list enumerates them)";
 
 fn usage_exit(msg: &str) -> ! {
     eprintln!("error: {msg}");
@@ -44,6 +49,15 @@ fn main() {
 }
 
 fn cmd_run(flags: simlab::Flags) {
+    if flags.list {
+        println!("all");
+        for name in campaigns::ALL {
+            println!("{name}");
+        }
+        println!("table2 (alias of modis)");
+        println!("fig7 (alias of modis)");
+        return;
+    }
     if flags.words.len() > 2 {
         usage_exit(&format!("unexpected argument {:?}", flags.words[2]));
     }
@@ -53,7 +67,10 @@ fn cmd_run(flags: simlab::Flags) {
     } else {
         match campaigns::canonical(target) {
             Some(name) => vec![name],
-            None => usage_exit(&format!("unknown target {target:?}")),
+            None => usage_exit(&format!(
+                "unknown target {target:?} (known: all {} table2 fig7)",
+                campaigns::ALL.join(" ")
+            )),
         }
     };
     if flags.trace.is_some() && names.len() > 1 {
@@ -156,7 +173,7 @@ fn cmd_bench(flags: simlab::Flags) {
     let path = flags.out.unwrap_or_else(|| {
         PathBuf::from(env!("CARGO_MANIFEST_DIR"))
             .join("../..")
-            .join("BENCH_pr6.json")
+            .join("BENCH_pr7.json")
     });
     match std::fs::write(&path, &json) {
         Ok(()) => println!(

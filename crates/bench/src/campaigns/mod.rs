@@ -20,6 +20,7 @@ use cloudbench::Anchor;
 use simlab::{AnchorCheck, RunOpts};
 
 pub mod ablations;
+pub mod elastic;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;
@@ -50,7 +51,7 @@ pub struct CampaignOutput {
 }
 
 /// Canonical campaign names, in `azlab run all` execution order.
-pub const ALL: [&str; 10] = [
+pub const ALL: [&str; 11] = [
     "fig1",
     "fig2",
     "fig3",
@@ -60,6 +61,7 @@ pub const ALL: [&str; 10] = [
     "modis",
     "frontier",
     "shedding",
+    "elastic",
     "ablations",
 ];
 
@@ -84,6 +86,7 @@ pub fn run(name: &str, quick: bool, opts: &RunOpts) -> Option<CampaignOutput> {
         "modis" => modis::run(quick, opts),
         "frontier" => frontier::run(quick, opts),
         "shedding" => shedding::run(quick, opts),
+        "elastic" => elastic::run(quick, opts),
         "ablations" => ablations::run(quick, opts),
         _ => unreachable!("canonical() returned an unknown name"),
     })

@@ -163,6 +163,17 @@ pub fn add_first_boot_mean(role: RoleType, size: VmSize) -> Option<f64> {
     Some((add.avg - added * lag).max(30.0))
 }
 
+/// Expected decision→first-capacity lead time of a scale-out: the mean
+/// add-first-boot delay plus one expected stagger (the first added
+/// instance itself arrives one stagger after the boot base — see
+/// `Deployment::add_impl`, which draws b1 and then `count` staggers).
+/// Predictive autoscalers must order capacity this far ahead of a
+/// forecast knee; for small worker roles it is ≈ 476 s, the "10-minute
+/// VM tax" Table 1 measures.
+pub fn scale_out_lead_s(role: RoleType, size: VmSize) -> Option<f64> {
+    Some(add_first_boot_mean(role, size)? + add_stagger_mean(role, size)?)
+}
+
 // ---------------------------------------------------------------------------
 // Host performance variation (paper §5.2, Fig 7)
 // ---------------------------------------------------------------------------

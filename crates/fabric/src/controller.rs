@@ -192,6 +192,7 @@ impl FabricController {
             spec: Cell::new(spec),
             status: Cell::new(DeploymentStatus::Created),
             instances: RefCell::new(instances),
+            next_index: Cell::new(spec.instances),
             rng: RefCell::new(rng),
             create_duration: SimDuration::from_secs_f64(dur),
             lb: match spec.role {
@@ -208,6 +209,10 @@ pub struct Deployment {
     spec: Cell<DeploymentSpec>,
     status: Cell<DeploymentStatus>,
     instances: RefCell<Vec<Instance>>,
+    /// Next instance id. Ids are monotonic and never reused, so they
+    /// stay unique even after scale-in / crash reaping removes
+    /// instances from the middle of the vec.
+    next_index: Cell<usize>,
     rng: RefCell<SimRng>,
     create_duration: SimDuration,
     /// Web roles sit behind the platform load balancer (§3).
@@ -233,6 +238,24 @@ impl Deployment {
     /// Current instance count.
     pub fn instance_count(&self) -> usize {
         self.instances.borrow().len()
+    }
+
+    /// Instances currently Ready (live serving capacity).
+    pub fn ready_count(&self) -> usize {
+        self.instances
+            .borrow()
+            .iter()
+            .filter(|inst| inst.status.get() == InstanceStatus::Ready)
+            .count()
+    }
+
+    /// Instances currently Provisioning (capacity bought, not yet live).
+    pub fn provisioning_count(&self) -> usize {
+        self.instances
+            .borrow()
+            .iter()
+            .filter(|inst| inst.status.get() == InstanceStatus::Provisioning)
+            .count()
     }
 
     /// Host assignment of instance `i`.
@@ -336,7 +359,30 @@ impl Deployment {
 
     /// Double the instance count (Table 1 "Add"); unsupported for
     /// extra-large (the paper's N/A) and quota-checked.
+    ///
+    /// On a startup failure the reserved quota and partially-started
+    /// instances are left in place, exactly as the Table 1 measurement
+    /// path observed them (callers suspend+delete to clean up).
     pub async fn add_instances(&self) -> Result<PhaseReport, FabricError> {
+        self.add_impl(self.instance_count(), false).await
+    }
+
+    /// Add `count` instances through the same stochastic Table 1 "Add"
+    /// lifecycle (first new instance at the add-first-boot delay, then
+    /// per-instance exponential staggers). Unlike [`add_instances`]
+    /// (the paper's doubling measurement), a startup failure rolls the
+    /// batch back — instances removed, quota released — so elastic
+    /// controllers can simply re-order capacity on the next tick.
+    ///
+    /// [`add_instances`]: Deployment::add_instances
+    pub async fn add_instances_n(&self, count: usize) -> Result<PhaseReport, FabricError> {
+        if count == 0 {
+            return Err(FabricError::InvalidState("add of zero instances"));
+        }
+        self.add_impl(count, true).await
+    }
+
+    async fn add_impl(&self, added: usize, rollback: bool) -> Result<PhaseReport, FabricError> {
         if self.status.get() != DeploymentStatus::Running {
             return Err(FabricError::InvalidState("add requires running"));
         }
@@ -344,7 +390,6 @@ impl Deployment {
         if spec.size == VmSize::ExtraLarge {
             return Err(FabricError::Unsupported("extra-large add (Table 1: N/A)"));
         }
-        let added = self.instance_count();
         let need = added as u32 * spec.size.cores();
         let avail = self.fc.quota_available();
         if need > avail {
@@ -356,12 +401,14 @@ impl Deployment {
         self.fc.used_cores.set(self.fc.used_cores.get() + need);
 
         let first = self.instance_count();
+        let first_id = self.next_index.get();
+        self.next_index.set(first_id + added);
         {
             let mut rng = self.rng.borrow_mut();
             let mut instances = self.instances.borrow_mut();
             for k in 0..added {
                 instances.push(Instance {
-                    index: first + k,
+                    index: first_id + k,
                     host: rng.usize_below(self.fc.hosts.len()),
                     status: Cell::new(InstanceStatus::Stopped),
                 });
@@ -384,12 +431,105 @@ impl Deployment {
             }
             offsets
         };
-        let report = self.start_instances(first, &offsets, Phase::Add).await?;
-        self.spec.set(DeploymentSpec {
-            instances: self.instance_count(),
-            ..spec
-        });
-        Ok(report)
+        let result = self.start_instances(first, &offsets, Phase::Add).await;
+        match result {
+            Ok(report) => {
+                self.spec.set(DeploymentSpec {
+                    instances: self.instance_count(),
+                    ..spec
+                });
+                Ok(report)
+            }
+            Err(e) => {
+                if rollback {
+                    let mut instances = self.instances.borrow_mut();
+                    let before = instances.len();
+                    instances
+                        .retain(|inst| inst.index < first_id || inst.index >= first_id + added);
+                    let removed = (before - instances.len()) as u32;
+                    self.fc
+                        .used_cores
+                        .set(self.fc.used_cores.get() - removed * spec.size.cores());
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Scale in: remove up to `count` Ready instances, newest first,
+    /// releasing their quota immediately (stopping a VM is fast and the
+    /// paper's Table 1 charges nothing like the boot delay for it).
+    /// Returns how many were removed. Deterministic — no RNG draws.
+    pub fn remove_instances(&self, count: usize) -> usize {
+        let spec = self.spec.get();
+        let mut removed = 0usize;
+        {
+            let mut instances = self.instances.borrow_mut();
+            let mut i = instances.len();
+            while i > 0 && removed < count {
+                i -= 1;
+                if instances[i].status.get() == InstanceStatus::Ready {
+                    if let Some(lb) = &self.lb {
+                        lb.detach(instances[i].index);
+                    }
+                    instances.remove(i);
+                    removed += 1;
+                }
+            }
+        }
+        if removed > 0 {
+            self.fc
+                .used_cores
+                .set(self.fc.used_cores.get() - removed as u32 * spec.size.cores());
+            simtrace::counter("fabric.instances_live", -(removed as i64));
+            self.spec.set(DeploymentSpec {
+                instances: self.instance_count(),
+                ..spec
+            });
+        }
+        removed
+    }
+
+    /// Reap Ready instances whose host is currently down (speed 0 under
+    /// an active `simfault` host-crash episode): the fabric notices the
+    /// missed heartbeat, removes the instance and releases its quota.
+    /// Returns how many were reaped. Deterministic — no RNG draws.
+    pub fn reap_dead(&self) -> usize {
+        let now = self.fc.sim.now();
+        let spec = self.spec.get();
+        let mut reaped = 0usize;
+        {
+            let mut instances = self.instances.borrow_mut();
+            let mut i = 0;
+            while i < instances.len() {
+                let inst = &instances[i];
+                if inst.status.get() == InstanceStatus::Ready
+                    && self.fc.hosts.speed_segment(inst.host, now).0 == 0.0
+                {
+                    if let Some(lb) = &self.lb {
+                        lb.detach(inst.index);
+                    }
+                    simtrace::instant(simtrace::Layer::Fabric, "instance_reaped", || {
+                        format!("vm{}", inst.index)
+                    });
+                    instances.remove(i);
+                    reaped += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        if reaped > 0 {
+            self.fc
+                .used_cores
+                .set(self.fc.used_cores.get() - reaped as u32 * spec.size.cores());
+            simtrace::counter("fabric.instances_live", -(reaped as i64));
+            self.spec.set(DeploymentSpec {
+                instances: self.instance_count(),
+                ..spec
+            });
+        }
+        reaped
     }
 
     async fn start_instances(
@@ -399,6 +539,16 @@ impl Deployment {
         phase: Phase,
     ) -> Result<PhaseReport, FabricError> {
         let start = self.fc.sim.now();
+        // Capture the target instances by id: concurrent scale-in /
+        // crash reaping may remove *other* instances from the vec while
+        // this phase sleeps, shifting positions.
+        let ids: Vec<usize> = self
+            .instances
+            .borrow()
+            .iter()
+            .skip(first)
+            .map(|inst| inst.index)
+            .collect();
         let sp = simtrace::span(simtrace::Layer::Fabric, phase_span_kind(phase), || {
             format!("instances {}..{}", first, first + offsets.len())
         });
@@ -420,11 +570,11 @@ impl Deployment {
             let frac = self.rng.borrow_mut().range_f64(0.2, 0.9);
             let last = offsets.last().copied().unwrap_or_default();
             self.fc.sim.delay(last.mul_f64(frac)).await;
-            let victim = first + self.rng.borrow_mut().usize_below(offsets.len().max(1));
-            if let Some(inst) = self.instances.borrow().get(victim) {
-                inst.status.set(InstanceStatus::Failed);
-            }
+            let k = self.rng.borrow_mut().usize_below(offsets.len().max(1));
+            let victim = ids.get(k).copied().unwrap_or(first + k);
+            self.set_status_by_id(victim, InstanceStatus::Failed);
             self.fc.runs_failed.set(self.fc.runs_failed.get() + 1);
+            simtrace::counter("fabric.starts_failed", 1);
             simtrace::instant(simtrace::Layer::Fabric, "startup_failure", || {
                 format!("vm{victim}")
             });
@@ -436,23 +586,37 @@ impl Deployment {
         for (k, off) in offsets.iter().enumerate() {
             let wait = (start + *off) - self.fc.sim.now();
             self.fc.sim.delay(wait).await;
-            self.instances.borrow()[first + k]
-                .status
-                .set(InstanceStatus::Ready);
+            // Skip instances reaped/removed while we slept.
+            if self.set_status_by_id(ids[k], InstanceStatus::Ready) {
+                simtrace::counter("fabric.instances_live", 1);
+                if let Some(lb) = &self.lb {
+                    lb.attach(ids[k]);
+                }
+            }
             if let Some(boot) = boot_spans[k].take() {
                 boot.end();
-            }
-            if let Some(lb) = &self.lb {
-                lb.attach(first + k);
             }
         }
         self.status.set(DeploymentStatus::Running);
         self.fc.runs_ok.set(self.fc.runs_ok.get() + 1);
+        simtrace::counter("fabric.starts_ok", 1);
         Ok(PhaseReport {
             phase,
             duration: self.fc.sim.now() - start,
             instance_ready_offsets: offsets.to_vec(),
         })
+    }
+
+    /// Set the status of the instance with id `id`, if still present.
+    fn set_status_by_id(&self, id: usize, status: InstanceStatus) -> bool {
+        let instances = self.instances.borrow();
+        match instances.iter().find(|inst| inst.index == id) {
+            Some(inst) => {
+                inst.status.set(status);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Stop all instances (Table 1 "Suspend"); web roles take the extra
@@ -482,11 +646,18 @@ impl Deployment {
             drain.end();
         }
         self.fc.sim.delay(SimDuration::from_secs_f64(dur)).await;
+        let mut was_ready = 0i64;
         for inst in self.instances.borrow().iter() {
+            if inst.status.get() == InstanceStatus::Ready {
+                was_ready += 1;
+            }
             inst.status.set(InstanceStatus::Stopped);
             if let Some(lb) = &self.lb {
                 lb.detach(inst.index);
             }
+        }
+        if was_ready > 0 {
+            simtrace::counter("fabric.instances_live", -was_ready);
         }
         self.status.set(DeploymentStatus::Suspended);
         Ok(PhaseReport {
@@ -901,5 +1072,153 @@ mod tests {
         sim.run();
         // Variation disabled by default -> exactly nominal.
         assert_eq!(h.try_take().unwrap(), SimDuration::from_mins(10));
+    }
+
+    #[test]
+    fn add_instances_n_grows_by_count_and_staggers() {
+        let sim = Sim::new(41);
+        let fc = FabricController::new(&sim, no_fail_cfg());
+        let h = sim.spawn(async move {
+            let spec = DeploymentSpec::paper_test(RoleType::Worker, VmSize::Small);
+            let dep = fc.create_deployment(spec).await.unwrap();
+            dep.run().await.unwrap();
+            let before = dep.instance_count();
+            let report = dep.add_instances_n(3).await.unwrap();
+            assert_eq!(dep.instance_count(), before + 3);
+            assert_eq!(dep.ready_count(), before + 3);
+            assert_eq!(dep.spec().instances, before + 3);
+            assert_eq!(report.instance_ready_offsets.len(), 3);
+            // Offsets strictly increase (per-instance staggers).
+            let offs: Vec<f64> = report
+                .instance_ready_offsets
+                .iter()
+                .map(|d| d.as_secs_f64())
+                .collect();
+            assert!(offs.windows(2).all(|w| w[1] > w[0]), "offs={offs:?}");
+            // First capacity arrives around the add-first-boot mean plus
+            // one stagger, far from instantaneous.
+            assert!(offs[0] > 100.0, "first add offset {:.1}", offs[0]);
+            fc.quota_available()
+        });
+        sim.run();
+        h.try_take().unwrap();
+    }
+
+    #[test]
+    fn add_instances_n_rolls_back_on_startup_failure() {
+        // Adds at the default 2.6% failure rate: every successful add
+        // grows the fleet by one; every failed add must leave the
+        // instance count and quota exactly where they were.
+        let sim = Sim::new(43);
+        let fc = FabricController::new(&sim, FabricConfig::default());
+        let h = sim.spawn(async move {
+            let spec = DeploymentSpec::paper_test(RoleType::Worker, VmSize::Small);
+            let dep = fc
+                .create_deployment(spec)
+                .await
+                .expect("quota fits initial");
+            dep.run_with_retry(&simfault::RetryPolicy::fixed(10.0, 8))
+                .await
+                .expect("retry brings it up");
+            let mut saw_rollback = false;
+            for _ in 0..200 {
+                let before = dep.instance_count();
+                let quota_before = fc.quota_available();
+                match dep.add_instances_n(1).await {
+                    Ok(_) => {
+                        assert_eq!(dep.instance_count(), before + 1);
+                        // Trim back down to keep quota room.
+                        assert_eq!(dep.remove_instances(1), 1);
+                        assert_eq!(fc.quota_available(), quota_before);
+                    }
+                    Err(FabricError::StartupFailure) => {
+                        assert_eq!(dep.instance_count(), before, "rollback removes the batch");
+                        assert_eq!(fc.quota_available(), quota_before, "quota released");
+                        saw_rollback = true;
+                    }
+                    Err(e) => panic!("unexpected error {e:?}"),
+                }
+            }
+            saw_rollback
+        });
+        sim.run();
+        assert!(
+            h.try_take().unwrap(),
+            "200 adds at 2.6% failure rate should hit at least one rollback"
+        );
+    }
+
+    #[test]
+    fn remove_instances_releases_quota_newest_first() {
+        let sim = Sim::new(44);
+        let fc = FabricController::new(&sim, no_fail_cfg());
+        let h = sim.spawn(async move {
+            let spec = DeploymentSpec::paper_test(RoleType::Worker, VmSize::Small);
+            let dep = fc.create_deployment(spec).await.unwrap();
+            dep.run().await.unwrap();
+            dep.add_instances_n(4).await.unwrap();
+            let quota = fc.quota_available();
+            let n = dep.instance_count();
+            assert_eq!(dep.remove_instances(2), 2);
+            assert_eq!(dep.instance_count(), n - 2);
+            assert_eq!(dep.ready_count(), n - 2);
+            assert_eq!(dep.spec().instances, n - 2);
+            assert_eq!(
+                fc.quota_available(),
+                quota + 2 * VmSize::Small.cores(),
+                "scale-in releases cores"
+            );
+            // Removing more than exist removes what's there.
+            assert_eq!(dep.remove_instances(100), n - 2);
+            assert_eq!(dep.instance_count(), 0);
+        });
+        sim.run();
+        h.try_take().unwrap();
+    }
+
+    #[test]
+    fn reap_dead_removes_instances_on_crashed_hosts() {
+        // Crash every host: all Ready instances must be reaped and the
+        // quota fully released.
+        let plan = simfault::FaultPlan {
+            name: "all-hosts-down",
+            storage: simfault::StorageFaults::clean(),
+            episodes: (0..64)
+                .map(|h| simfault::FaultEpisode {
+                    kind: simfault::FaultKind::HostCrash { host: h },
+                    start_s: 0.0,
+                    duration_s: 1e9,
+                })
+                .collect(),
+        };
+        let sim = Sim::new(45);
+        let _guard = simfault::install(&sim, &plan);
+        let fc = FabricController::new(&sim, no_fail_cfg());
+        let h = sim.spawn(async move {
+            let spec = DeploymentSpec::paper_test(RoleType::Worker, VmSize::Small);
+            let dep = fc.create_deployment(spec).await.unwrap();
+            dep.run().await.unwrap();
+            let n = dep.instance_count();
+            assert!(n > 0);
+            let reaped = dep.reap_dead();
+            assert_eq!(reaped, n);
+            assert_eq!(dep.instance_count(), 0);
+            assert_eq!(fc.quota_available(), FabricConfig::default().quota_cores);
+            // Nothing left to reap.
+            assert_eq!(dep.reap_dead(), 0);
+        });
+        sim.run();
+        h.try_take().unwrap();
+    }
+
+    #[test]
+    fn scale_out_lead_matches_add_calibration() {
+        let lead = calib::scale_out_lead_s(RoleType::Worker, VmSize::Small).unwrap();
+        let b1 = calib::add_first_boot_mean(RoleType::Worker, VmSize::Small).unwrap();
+        let lag = calib::add_stagger_mean(RoleType::Worker, VmSize::Small).unwrap();
+        assert!((lead - (b1 + lag)).abs() < 1e-9);
+        // Table 1 small worker: ≈ 293 + 183 s — the ten-minute tax.
+        assert!((400.0..560.0).contains(&lead), "lead={lead}");
+        assert!(calib::scale_out_lead_s(RoleType::Worker, VmSize::ExtraLarge).is_none());
     }
 }

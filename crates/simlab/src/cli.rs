@@ -22,6 +22,8 @@ pub struct Flags {
     pub trace: Option<PathBuf>,
     /// `--out <path>`: output file override (used by `azlab bench`).
     pub out: Option<PathBuf>,
+    /// `--list`: enumerate the known targets instead of running.
+    pub list: bool,
     /// Positional words (subcommand + target for `azlab`).
     pub words: Vec<String>,
 }
@@ -50,6 +52,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Flags, String> {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => flags.quick = true,
+            "--list" => flags.list = true,
             "--shards" => {
                 let v = it
                     .next()
@@ -180,5 +183,13 @@ mod tests {
     fn empty_args_are_fine() {
         let f = p(&[]).unwrap();
         assert!(!f.quick && f.shards.is_none() && f.words.is_empty());
+        assert!(!f.list);
+    }
+
+    #[test]
+    fn list_is_a_bare_flag() {
+        let f = p(&["run", "--list"]).unwrap();
+        assert!(f.list);
+        assert_eq!(f.words, vec!["run"]);
     }
 }

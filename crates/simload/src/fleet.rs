@@ -15,7 +15,7 @@
 //! VMs (`clients[i % fleet]`), so no single VM's 13 MB/s storage
 //! throttle caps the offered aggregate.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use azstore::{Entity, StampConfig, StorageAccountClient, StorageError, StorageStamp};
@@ -175,27 +175,7 @@ pub fn run_open_loop(sim: &Sim, stamp_cfg: StampConfig, cfg: &LoadConfig) -> Loa
     assert!(cfg.fleet > 0, "fleet must be non-empty");
     assert!(cfg.window_s > 0.0, "window must be positive");
     let stamp = StorageStamp::standalone(sim, stamp_cfg);
-
-    // Seed the data the ops read (writes need no seeding).
-    match cfg.workload {
-        Workload::BlobGet { blob_bytes } => {
-            stamp.blob_service().seed("load", "blob", blob_bytes);
-        }
-        Workload::TableQuery {
-            entities,
-            entity_kb,
-        } => {
-            assert!(entities > 0, "table workload needs seeded entities");
-            for j in 0..entities {
-                let pk = format!("p{}", j % TABLE_PARTITIONS);
-                let rk = format!("r{j}");
-                stamp
-                    .table_service()
-                    .seed("load", Entity::benchmark(&pk, &rk, entity_kb));
-            }
-        }
-        Workload::QueueAdd { .. } => {}
-    }
+    seed_workload(&stamp, cfg.workload);
 
     let clients: Vec<Rc<StorageAccountClient>> = stamp
         .attach_small_fleet(cfg.fleet)
@@ -330,8 +310,112 @@ pub fn run_open_loop(sim: &Sim, stamp_cfg: StampConfig, cfg: &LoadConfig) -> Loa
     }
 }
 
+/// Seed the data a workload's ops read (writes need no seeding).
+pub fn seed_workload(stamp: &Rc<StorageStamp>, workload: Workload) {
+    match workload {
+        Workload::BlobGet { blob_bytes } => {
+            stamp.blob_service().seed("load", "blob", blob_bytes);
+        }
+        Workload::TableQuery {
+            entities,
+            entity_kb,
+        } => {
+            assert!(entities > 0, "table workload needs seeded entities");
+            for j in 0..entities {
+                let pk = format!("p{}", j % TABLE_PARTITIONS);
+                let rk = format!("r{j}");
+                stamp
+                    .table_service()
+                    .seed("load", Entity::benchmark(&pk, &rk, entity_kb));
+            }
+        }
+        Workload::QueueAdd { .. } => {}
+    }
+}
+
+/// Live progress counters for an open-loop run, shared with whoever is
+/// watching the fleet (the elastic supervisor reads queue depth as
+/// `dispatched - completed` and goodput deltas between control ticks).
+#[derive(Debug, Default)]
+pub struct LoadObserver {
+    /// Arrivals whose scheduled instant has passed (op issued).
+    pub dispatched: Cell<u64>,
+    /// Ops finished, successfully or not.
+    pub completed: Cell<u64>,
+    /// Ops finished successfully within the deadline.
+    pub good: Cell<u64>,
+    /// Ops failed with a shed (`ServerBusy`) response.
+    pub shed: Cell<u64>,
+}
+
+impl LoadObserver {
+    /// Ops issued but not yet finished — the fleet's backlog.
+    pub fn in_flight(&self) -> u64 {
+        self.dispatched.get() - self.completed.get()
+    }
+}
+
+/// Spawn one task per arrival, shifted `offset_s` into the future, with
+/// latency charged from the shifted scheduled instant (coordinated-
+/// omission-free, like [`run_open_loop`]). Every arrival is recorded in
+/// `tracker`; `observer` counts progress for an external control loop.
+/// Sheds fail the op outright (no client retries): an elastic
+/// controller is expected to buy capacity, not paper over the shortfall
+/// with retry storms. Does not call `sim.run()`.
+#[allow(clippy::too_many_arguments)]
+pub fn spawn_arrivals(
+    sim: &Sim,
+    clients: &[Rc<StorageAccountClient>],
+    workload: Workload,
+    instants: &[f64],
+    offset_s: f64,
+    deadline_s: f64,
+    tracker: &Rc<RefCell<SloTracker>>,
+    observer: &Rc<LoadObserver>,
+) {
+    assert!(!clients.is_empty(), "fleet must be non-empty");
+    for (i, &t) in instants.iter().enumerate() {
+        tracker.borrow_mut().note_scheduled();
+        let s = sim.clone();
+        let client = Rc::clone(&clients[i % clients.len()]);
+        let tracker = Rc::clone(tracker);
+        let observer = Rc::clone(observer);
+        sim.spawn(async move {
+            let sched = SimTime::ZERO + SimDuration::from_secs_f64(offset_s + t);
+            s.sleep_until(sched).await;
+            observer.dispatched.set(observer.dispatched.get() + 1);
+            let sp = simtrace::span(Layer::Load, "load.op", || {
+                format!("load:{}", workload.name())
+            });
+            sp.attr("sched_s", format!("{:.6}", offset_s + t));
+            azstore::admit::stash_deadline(offset_s + t + deadline_s);
+            let res = fire(Rc::clone(&client), workload, i).await;
+            let latency_s = (s.now() - sched).as_secs_f64();
+            let ok = res.is_ok();
+            sp.attr("latency_ms", format!("{:.3}", latency_s * 1e3));
+            sp.attr("deadline", if ok { "met" } else { "failed" });
+            sp.end();
+            observer.completed.set(observer.completed.get() + 1);
+            if ok && latency_s <= deadline_s {
+                observer.good.set(observer.good.get() + 1);
+            }
+            let done_s = s.now().as_secs_f64();
+            let mut tr = tracker.borrow_mut();
+            match res {
+                Ok(()) => tr.record_ok(latency_s, done_s),
+                Err(e) => {
+                    if e == StorageError::ServerBusy {
+                        observer.shed.set(observer.shed.get() + 1);
+                    }
+                    tr.record_fail(classify(&e, GiveUp::NotRetryable));
+                }
+            }
+        });
+    }
+}
+
 /// Fire one workload op; discard the payload-specific success value.
-async fn fire(
+pub async fn fire(
     client: Rc<StorageAccountClient>,
     workload: Workload,
     i: usize,

@@ -25,8 +25,13 @@
 
 pub mod arrival;
 pub mod fleet;
+pub mod observe;
 pub mod slo;
 
 pub use arrival::ArrivalProcess;
-pub use fleet::{run_open_loop, LoadCellResult, LoadConfig, ShedRetry, Workload};
+pub use fleet::{
+    fire, run_open_loop, seed_workload, spawn_arrivals, LoadCellResult, LoadConfig, LoadObserver,
+    ShedRetry, Workload,
+};
+pub use observe::WindowedArrivals;
 pub use slo::{FailClass, SloTracker};

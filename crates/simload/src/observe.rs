@@ -1,0 +1,120 @@
+//! Windowed arrival-rate observation for feedback controllers.
+//!
+//! An autoscaler needs the *demand* signal — how fast work is arriving
+//! — separately from the *service* signal (queue depth, shed rate).
+//! Because simload schedules are drawn up-front ([`crate::ArrivalProcess`]),
+//! the per-window arrival counts can be precomputed once per cell; a
+//! controller then reads only windows that have **fully elapsed**, so
+//! no lookahead leaks into its decisions and the observation sequence
+//! is a pure function of the seed (shard-invariant by construction).
+
+/// Per-window arrival counts over a schedule, indexed by wall-clock
+/// simulation time.
+///
+/// Window `k` covers `[offset + k·w, offset + (k+1)·w)` where `offset`
+/// is the instant the schedule starts firing (arrival instants are
+/// relative to it) and `w` is the window length.
+#[derive(Debug, Clone)]
+pub struct WindowedArrivals {
+    offset_s: f64,
+    window_s: f64,
+    counts: Vec<u64>,
+}
+
+impl WindowedArrivals {
+    /// Bucket a schedule of arrival instants (seconds relative to
+    /// `offset_s`, ascending, within `[0, horizon_s)`) into windows of
+    /// `window_s` seconds.
+    pub fn new(instants: &[f64], offset_s: f64, window_s: f64, horizon_s: f64) -> Self {
+        assert!(window_s > 0.0, "window must be positive");
+        assert!(horizon_s > 0.0, "horizon must be positive");
+        let n = (horizon_s / window_s).ceil() as usize;
+        let mut counts = vec![0u64; n.max(1)];
+        for &t in instants {
+            let k = ((t / window_s) as usize).min(counts.len() - 1);
+            counts[k] += 1;
+        }
+        WindowedArrivals {
+            offset_s,
+            window_s,
+            counts,
+        }
+    }
+
+    /// The window length in seconds.
+    pub fn window_s(&self) -> f64 {
+        self.window_s
+    }
+
+    /// Total number of windows covering the horizon.
+    pub fn windows(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// How many windows have fully elapsed by wall-clock time `now_s`
+    /// (capped at the horizon). Window `k` is observable once
+    /// `now_s >= offset + (k+1)·w`.
+    pub fn completed_windows(&self, now_s: f64) -> usize {
+        let k = (now_s - self.offset_s) / self.window_s;
+        if k <= 0.0 {
+            0
+        } else {
+            (k as usize).min(self.counts.len())
+        }
+    }
+
+    /// Observed arrival rate (ops/s) in window `k`.
+    pub fn rate(&self, k: usize) -> f64 {
+        self.counts[k] as f64 / self.window_s
+    }
+
+    /// The arrival rate of the most recent fully-elapsed window, or
+    /// `None` before the first window completes.
+    pub fn last_rate(&self, now_s: f64) -> Option<f64> {
+        let done = self.completed_windows(now_s);
+        if done == 0 {
+            None
+        } else {
+            Some(self.rate(done - 1))
+        }
+    }
+
+    /// Rates of every window that has fully elapsed by `now_s`, oldest
+    /// first — the input sequence for a forecasting controller.
+    pub fn completed_rates(&self, now_s: f64) -> impl Iterator<Item = f64> + '_ {
+        (0..self.completed_windows(now_s)).map(|k| self.rate(k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_and_caps_at_the_horizon() {
+        let w = WindowedArrivals::new(&[0.1, 0.2, 5.0, 29.9], 100.0, 10.0, 30.0);
+        assert_eq!(w.windows(), 3);
+        assert_eq!(w.rate(0), 0.3);
+        assert_eq!(w.rate(1), 0.0);
+        assert_eq!(w.rate(2), 0.1);
+        // Before the offset and during window 0, nothing is observable.
+        assert_eq!(w.completed_windows(50.0), 0);
+        assert_eq!(w.completed_windows(109.9), 0);
+        assert_eq!(w.last_rate(109.9), None);
+        // Window 0 completes at offset + 10.
+        assert_eq!(w.completed_windows(110.0), 1);
+        assert_eq!(w.last_rate(110.0), Some(0.3));
+        // Past the horizon the count saturates.
+        assert_eq!(w.completed_windows(1e9), 3);
+        let rates: Vec<f64> = w.completed_rates(1e9).collect();
+        assert_eq!(rates, vec![0.3, 0.0, 0.1]);
+    }
+
+    #[test]
+    fn instants_at_the_horizon_edge_land_in_the_last_window() {
+        // horizon not a multiple of window: ceil covers the tail.
+        let w = WindowedArrivals::new(&[24.9], 0.0, 10.0, 25.0);
+        assert_eq!(w.windows(), 3);
+        assert_eq!(w.rate(2), 0.1);
+    }
+}

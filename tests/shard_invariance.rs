@@ -137,3 +137,21 @@ fn shedding_quick_under_faults_is_shard_invariant() {
     let plan = FaultPlan::by_name("crash-partition").expect("preset");
     assert_shard_invariant("shedding", Some(plan));
 }
+
+/// The elastic campaign: each cell runs a full control loop (arrival
+/// schedule, fabric deployments, policy decisions, billing) on its own
+/// `Sim`, and its crash cells merge host-crash episodes into the cell
+/// plan — none of which may depend on which worker ran the cell.
+#[test]
+fn elastic_quick_is_shard_invariant() {
+    assert_shard_invariant("elastic", None);
+}
+
+/// Elastic under a user fault plan: storage fault rates and the
+/// preset's own episodes layer under the campaign's per-cell crash
+/// episodes, identically on every shard layout.
+#[test]
+fn elastic_quick_under_faults_is_shard_invariant() {
+    let plan = FaultPlan::by_name("crash-partition").expect("preset");
+    assert_shard_invariant("elastic", Some(plan));
+}
