@@ -530,6 +530,7 @@ mod tests {
                 pattern: ArrivalProcess::Diurnal {
                     period_s: 900.0,
                     amplitude: 0.8,
+                    phase: 0.0,
                 },
                 policy,
                 demand_units: 2.0,

@@ -20,7 +20,7 @@
 //! (exit 2) that prints the same list.
 //!
 //! `bench` times the quick campaign set and the ModisAzure campaign at
-//! 1 vs 4 shards, writing a `BENCH_pr7.json` wall-clock report. Times
+//! 1 vs 4 shards, writing a `BENCH_pr8.json` wall-clock report. Times
 //! are recorded in microseconds: several quick campaigns finish in
 //! well under a millisecond, where ms-resolution rows read `0`.
 
@@ -30,7 +30,7 @@ use std::time::Instant;
 use bench::campaigns;
 use simlab::{CampaignEntry, Manifest, RunOpts, TraceSpec};
 
-const USAGE: &str = "azlab <run|bench> [target] [--quick] [--shards N] [--faults <preset>] [--trace <path>] [--out <path>] [--list]\n  targets: all fig1 fig2 fig3 fig4 fig5 table1 table2 fig7 modis frontier shedding elastic ablations  (azlab run --list enumerates them)";
+const USAGE: &str = "azlab <run|bench> [target] [--quick] [--shards N] [--faults <preset>] [--trace <path>] [--out <path>] [--list]\n  targets: all fig1 fig2 fig3 fig4 fig5 table1 table2 fig7 modis frontier shedding elastic faas ablations  (azlab run --list enumerates them)";
 
 fn usage_exit(msg: &str) -> ! {
     eprintln!("error: {msg}");
@@ -173,7 +173,7 @@ fn cmd_bench(flags: simlab::Flags) {
     let path = flags.out.unwrap_or_else(|| {
         PathBuf::from(env!("CARGO_MANIFEST_DIR"))
             .join("../..")
-            .join("BENCH_pr7.json")
+            .join("BENCH_pr8.json")
     });
     match std::fs::write(&path, &json) {
         Ok(()) => println!(

@@ -70,6 +70,7 @@ impl Plan {
         let diurnal = ArrivalProcess::Diurnal {
             period_s: 3600.0,
             amplitude: 0.8,
+            phase: 0.0,
         };
         let mut patterns = vec![(diurnal, 42u64)];
         if !quick {

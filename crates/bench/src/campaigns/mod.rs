@@ -21,6 +21,7 @@ use simlab::{AnchorCheck, RunOpts};
 
 pub mod ablations;
 pub mod elastic;
+pub mod faas;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;
@@ -51,7 +52,7 @@ pub struct CampaignOutput {
 }
 
 /// Canonical campaign names, in `azlab run all` execution order.
-pub const ALL: [&str; 11] = [
+pub const ALL: [&str; 12] = [
     "fig1",
     "fig2",
     "fig3",
@@ -62,6 +63,7 @@ pub const ALL: [&str; 11] = [
     "frontier",
     "shedding",
     "elastic",
+    "faas",
     "ablations",
 ];
 
@@ -87,6 +89,7 @@ pub fn run(name: &str, quick: bool, opts: &RunOpts) -> Option<CampaignOutput> {
         "frontier" => frontier::run(quick, opts),
         "shedding" => shedding::run(quick, opts),
         "elastic" => elastic::run(quick, opts),
+        "faas" => faas::run(quick, opts),
         "ablations" => ablations::run(quick, opts),
         _ => unreachable!("canonical() returned an unknown name"),
     })

@@ -13,6 +13,10 @@
 //! | `fig5`   | Fig 5 — TCP bandwidth histogram | ~23 s serial; sharded, its slowest cell |
 //! | `table1` | Table 1 — VM lifecycle campaign (431 runs) | <1 s (one cell) |
 //! | `modis`  | Table 2 + Fig 7 — ModisAzure campaign | ~3 min serial; scales toward 1/8th sharded |
+//! | `frontier` | offered-load frontier sweeps | ~1 min at 4 shards |
+//! | `shedding` | admission control past the knee | ~30 s |
+//! | `elastic` | autoscaling vs the provisioning tax | ~90 s |
+//! | `faas` | serverless keepalive frontier | ~10 s (18 cells, ~60 k invocations each) |
 //! | `ablations` | the DESIGN.md mechanism ablations | ~10 s |
 //!
 //! Run everything with `azlab run all [--quick] [--shards N]`, or one

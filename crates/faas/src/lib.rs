@@ -1,0 +1,43 @@
+//! Serverless functions on the simulated fabric: cold starts,
+//! keepalive policies, and the cold-start-vs-memory frontier.
+//!
+//! The HPDC'10 paper measures the VM lifecycle tax a tenant pays to
+//! get capacity (Table 1: ≈10 minutes from create to first useful
+//! work). This crate asks the question serverless platforms answered
+//! a decade later: what happens when that lifecycle sits on the
+//! *critical path of a single function invocation*? A cold start here
+//! is not a modelled constant — it is the same emergent `fabric`
+//! create + first-boot machinery (package staging, readiness
+//! staggers, the calibrated 2.6 % startup-failure retries) compressed
+//! by [`pool::CONTAINER_LIFECYCLE_SCALE`] to container scale, ≈3 s.
+//!
+//! Three layers:
+//!
+//! - [`trace`] — a deterministic synthetic invocation-trace generator
+//!   matching the published Azure Functions 2019 shape (heavy-tailed
+//!   inter-arrivals, diurnal classes, Pareto app popularity), plus a
+//!   replay adapter for the real dataset's CSV format.
+//! - [`policy`] — [`policy::KeepalivePolicy`] implementations: keep
+//!   nothing, the fixed window production platforms shipped, and the
+//!   Serverless-in-the-Wild hybrid histogram (per-app prewarm +
+//!   keepalive from observed inter-arrival quantiles).
+//! - [`pool`] — the container pool that turns policy decisions into
+//!   real deployments: warm claims, joined in-flight loads, LRU
+//!   idle-capacity pressure, crash reaping, and byte-reproducible
+//!   decision/eviction logs.
+//!
+//! [`run::run_faas`] wires them into one cell; the `bench` crate's
+//! `faas` campaign sweeps policies × trace shapes × fault plans into
+//! the frontier table.
+
+#![warn(missing_docs)]
+
+pub mod policy;
+pub mod pool;
+pub mod run;
+pub mod trace;
+
+pub use policy::{KeepalivePolicy, PolicyKind, PolicyWindows};
+pub use pool::{EvictReason, Pool, PoolConfig, CONTAINER_LIFECYCLE_SCALE};
+pub use run::{run_faas, FaasConfig, FaasResult};
+pub use trace::{AppClass, AppSpec, FaasTrace, Invocation, TraceShape};

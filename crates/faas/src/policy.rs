@@ -1,0 +1,335 @@
+//! Keepalive policies: what happens to a container when its invocation
+//! finishes.
+//!
+//! A policy sees only per-app arrival history (inter-invocation times)
+//! and answers one question at idle time: how long to keep the loaded
+//! container resident, and whether to unload now and *prewarm* shortly
+//! before the predicted next arrival instead. Policies are pure state
+//! machines over their observations — no RNG, no clock reads — so the
+//! pool's decision log is byte-reproducible from the trace alone.
+//!
+//! Three policies span the frontier:
+//!
+//! * [`NoKeepalive`] — unload at idle. Minimum memory, every
+//!   invocation a cold start.
+//! * [`FixedWindow`] — keep resident for a flat window (Azure's
+//!   classic 20 minutes). Maximum warmth, maximum idle memory.
+//! * [`HybridHistogram`] — *Serverless in the Wild* (Shahrad et al.,
+//!   ATC'20): a per-app inter-invocation-time histogram picks a
+//!   prewarm instant just before the 5th-percentile gap and a
+//!   keepalive covering the 99th, falling back to the fixed window
+//!   until the histogram has signal.
+
+use simlab::Log2Hist;
+
+/// Azure's classic fixed keepalive window, seconds (20 minutes).
+pub const FIXED_WINDOW_S: f64 = 1200.0;
+/// Hard cap on any keepalive window, seconds (4 hours — the hybrid
+/// histogram's tracked range in the paper).
+pub const MAX_KEEPALIVE_S: f64 = 4.0 * 3600.0;
+/// Gaps beyond this are out-of-bounds for the hybrid histogram.
+pub const OOB_LIMIT_S: f64 = 4.0 * 3600.0;
+/// Minimum histogram samples before the hybrid policy trusts it. Low
+/// on purpose: sparse apps are where the histogram pays, and they only
+/// produce a handful of gaps per horizon.
+pub const MIN_SAMPLES: u64 = 4;
+/// Out-of-bounds fraction above which the hybrid policy falls back.
+pub const MAX_OOB_FRAC: f64 = 0.5;
+/// Head margin: prewarm at 85 % of the 5th-percentile gap.
+pub const PREWARM_MARGIN: f64 = 0.85;
+/// Tail margin: keep alive through 115 % of the 99th-percentile gap.
+pub const KEEPALIVE_MARGIN: f64 = 1.15;
+/// Shortest gap worth unloading into: below this the prewarm would
+/// chase the unload (a container load is ≈3 s plus teardown) and the
+/// policy keeps the container loaded instead.
+pub const MIN_PREWARM_S: f64 = 15.0;
+
+/// What the policy wants done with a container going idle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyWindows {
+    /// Keep the container resident this long once it is (re)loaded,
+    /// seconds. `0.0` unloads immediately.
+    pub keepalive_s: f64,
+    /// `Some(gap)`: unload now and start a fresh load `gap` seconds
+    /// after the triggering arrival (the keepalive window then runs
+    /// from the prewarmed load). `None`: plain keepalive from idle.
+    pub prewarm_s: Option<f64>,
+}
+
+/// A keepalive policy: observes each app's arrivals, dictates windows.
+pub trait KeepalivePolicy {
+    /// Stable short name (CSV column values, decision log).
+    fn name(&self) -> &'static str;
+    /// One arrival for `app`; `iat_s` is the gap since the app's
+    /// previous arrival (`None` on its first).
+    fn observe_arrival(&mut self, app: usize, iat_s: Option<f64>);
+    /// Current windows for `app` (consulted when a container idles).
+    fn windows(&self, app: usize) -> PolicyWindows;
+}
+
+/// Which policy a cell runs (the campaign sweeps all of them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Unload at idle: the cold-start-maximal baseline.
+    NoKeepalive,
+    /// Flat window ([`FIXED_WINDOW_S`]).
+    FixedWindow,
+    /// Histogram-driven prewarm + keepalive.
+    Hybrid,
+}
+
+impl PolicyKind {
+    /// All policies, frontier order (coldest first).
+    pub const ALL: [PolicyKind; 3] = [
+        PolicyKind::NoKeepalive,
+        PolicyKind::FixedWindow,
+        PolicyKind::Hybrid,
+    ];
+
+    /// Stable short name (CSV column values).
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::NoKeepalive => "no_keepalive",
+            PolicyKind::FixedWindow => "fixed",
+            PolicyKind::Hybrid => "hybrid",
+        }
+    }
+
+    /// Instantiate for a population of `napps` apps.
+    pub fn build(self, napps: usize) -> Box<dyn KeepalivePolicy> {
+        match self {
+            PolicyKind::NoKeepalive => Box::new(NoKeepalive),
+            PolicyKind::FixedWindow => Box::new(FixedWindow {
+                window_s: FIXED_WINDOW_S,
+            }),
+            PolicyKind::Hybrid => Box::new(HybridHistogram::new(napps)),
+        }
+    }
+}
+
+/// Unload every container the moment it goes idle.
+pub struct NoKeepalive;
+
+impl KeepalivePolicy for NoKeepalive {
+    fn name(&self) -> &'static str {
+        "no_keepalive"
+    }
+    fn observe_arrival(&mut self, _app: usize, _iat_s: Option<f64>) {}
+    fn windows(&self, _app: usize) -> PolicyWindows {
+        PolicyWindows {
+            keepalive_s: 0.0,
+            prewarm_s: None,
+        }
+    }
+}
+
+/// Keep every idle container resident for a flat window.
+pub struct FixedWindow {
+    /// The window, seconds.
+    pub window_s: f64,
+}
+
+impl KeepalivePolicy for FixedWindow {
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+    fn observe_arrival(&mut self, _app: usize, _iat_s: Option<f64>) {}
+    fn windows(&self, _app: usize) -> PolicyWindows {
+        PolicyWindows {
+            keepalive_s: self.window_s,
+            prewarm_s: None,
+        }
+    }
+}
+
+/// Per-app state of the hybrid policy.
+struct AppHist {
+    hist: Log2Hist,
+    samples: u64,
+    oob: u64,
+}
+
+/// The *Serverless in the Wild* hybrid histogram policy.
+///
+/// Each app keeps a log₂ histogram of its inter-invocation times
+/// (exactly the mergeable [`simlab::Log2Hist`] the campaigns already
+/// aggregate with). With enough in-bounds samples the policy unloads
+/// idle containers and schedules a prewarm at [`PREWARM_MARGIN`] × the
+/// histogram's 5th-percentile bucket's lower edge, keeping the
+/// prewarmed container until [`KEEPALIVE_MARGIN`] × the 99th
+/// percentile bucket's upper edge — conservative edges on both sides,
+/// so an early arrival still finds the container loading rather than
+/// absent and a late one still finds it resident. Without a prewarm
+/// the informed keepalive is additionally capped at the fixed window
+/// (the histogram tightens the platform default, never out-spends it).
+/// Too few samples, or a mostly out-of-bounds gap pattern, falls back
+/// to the fixed window.
+pub struct HybridHistogram {
+    apps: Vec<AppHist>,
+    /// Window used while an app's histogram lacks signal.
+    pub fallback_s: f64,
+}
+
+impl HybridHistogram {
+    /// Fresh policy for `napps` apps.
+    pub fn new(napps: usize) -> Self {
+        HybridHistogram {
+            apps: (0..napps)
+                .map(|_| AppHist {
+                    hist: Log2Hist::new(),
+                    samples: 0,
+                    oob: 0,
+                })
+                .collect(),
+            fallback_s: FIXED_WINDOW_S,
+        }
+    }
+
+    fn informed_windows(&self, app: usize) -> Option<PolicyWindows> {
+        let h = &self.apps[app];
+        if h.samples < MIN_SAMPLES {
+            return None;
+        }
+        if h.oob as f64 > MAX_OOB_FRAC * h.samples as f64 {
+            return None;
+        }
+        let (head_lo, _) = h.hist.quantile_edges(0.05);
+        let (_, tail_hi) = h.hist.quantile_edges(0.99);
+        if tail_hi <= 0.0 {
+            return None;
+        }
+        let prewarm = PREWARM_MARGIN * head_lo;
+        let keep_until = (KEEPALIVE_MARGIN * tail_hi).min(MAX_KEEPALIVE_S);
+        if prewarm >= MIN_PREWARM_S && prewarm < keep_until {
+            Some(PolicyWindows {
+                keepalive_s: keep_until - prewarm,
+                prewarm_s: Some(prewarm),
+            })
+        } else {
+            // Without a prewarm the histogram only *tightens* the
+            // platform window: keeping a container longer than the
+            // fixed baseline would spend more memory than the policy
+            // it is trying to beat. Gaps beyond the window are covered
+            // by prewarming (above), not by holding memory.
+            Some(PolicyWindows {
+                keepalive_s: keep_until.min(self.fallback_s),
+                prewarm_s: None,
+            })
+        }
+    }
+}
+
+impl KeepalivePolicy for HybridHistogram {
+    fn name(&self) -> &'static str {
+        "hybrid"
+    }
+
+    fn observe_arrival(&mut self, app: usize, iat_s: Option<f64>) {
+        let Some(iat) = iat_s else { return };
+        let h = &mut self.apps[app];
+        h.samples += 1;
+        if iat > OOB_LIMIT_S {
+            h.oob += 1;
+        } else {
+            h.hist.push(iat);
+        }
+    }
+
+    fn windows(&self, app: usize) -> PolicyWindows {
+        match self.informed_windows(app) {
+            Some(w) => w,
+            None => PolicyWindows {
+                keepalive_s: self.fallback_s,
+                prewarm_s: None,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baselines_are_constant() {
+        let mut none = NoKeepalive;
+        let mut fixed = FixedWindow {
+            window_s: FIXED_WINDOW_S,
+        };
+        none.observe_arrival(0, Some(5.0));
+        fixed.observe_arrival(0, Some(5.0));
+        assert_eq!(none.windows(0).keepalive_s, 0.0);
+        assert_eq!(fixed.windows(0).keepalive_s, FIXED_WINDOW_S);
+        assert!(none.windows(0).prewarm_s.is_none());
+        assert!(fixed.windows(0).prewarm_s.is_none());
+    }
+
+    #[test]
+    fn hybrid_falls_back_until_it_has_signal() {
+        let mut h = HybridHistogram::new(2);
+        assert_eq!(h.windows(0).keepalive_s, FIXED_WINDOW_S);
+        for _ in 0..(MIN_SAMPLES - 1) {
+            h.observe_arrival(0, Some(100.0));
+        }
+        assert_eq!(h.windows(0).keepalive_s, FIXED_WINDOW_S, "one short");
+        h.observe_arrival(0, Some(100.0));
+        assert_ne!(h.windows(0).keepalive_s, FIXED_WINDOW_S, "informed now");
+        // The untouched app is unaffected.
+        assert_eq!(h.windows(1).keepalive_s, FIXED_WINDOW_S);
+    }
+
+    #[test]
+    fn hybrid_prewarms_on_long_regular_gaps() {
+        // Gaps concentrated near 600 s: prewarm ≈ 0.85 × the p05
+        // bucket's lower edge (512 s binade → 435.2 s), keepalive
+        // covers through 1.15 × the p99 bucket's upper edge.
+        let mut h = HybridHistogram::new(1);
+        for _ in 0..50 {
+            h.observe_arrival(0, Some(600.0));
+        }
+        let w = h.windows(0);
+        let pw = w.prewarm_s.expect("regular long gaps must prewarm");
+        assert!((pw - 0.85 * 512.0).abs() < 1e-9, "prewarm {pw}");
+        let covered = pw + w.keepalive_s;
+        assert!(covered >= 1024.0, "must cover the gap bucket: {covered}");
+        assert!(covered <= MAX_KEEPALIVE_S * KEEPALIVE_MARGIN);
+    }
+
+    #[test]
+    fn hybrid_keeps_short_gap_apps_loaded() {
+        // Gaps of ~20 s: prewarm target under MIN_PREWARM_S, so the
+        // policy keeps the container loaded with a tight window
+        // instead of unloading.
+        let mut h = HybridHistogram::new(1);
+        for _ in 0..50 {
+            h.observe_arrival(0, Some(20.0));
+        }
+        let w = h.windows(0);
+        assert!(w.prewarm_s.is_none());
+        assert!(
+            w.keepalive_s < FIXED_WINDOW_S / 10.0,
+            "tight window: {}",
+            w.keepalive_s
+        );
+    }
+
+    #[test]
+    fn hybrid_mostly_oob_falls_back() {
+        let mut h = HybridHistogram::new(1);
+        for i in 0..20 {
+            let gap = if i % 2 == 0 { OOB_LIMIT_S * 2.0 } else { 60.0 };
+            h.observe_arrival(0, Some(gap));
+        }
+        // 50 % OOB is the boundary; push one more OOB over it.
+        h.observe_arrival(0, Some(OOB_LIMIT_S * 2.0));
+        assert_eq!(h.windows(0).keepalive_s, FIXED_WINDOW_S);
+        assert!(h.windows(0).prewarm_s.is_none());
+    }
+
+    #[test]
+    fn first_arrival_has_no_gap_to_observe() {
+        let mut h = HybridHistogram::new(1);
+        h.observe_arrival(0, None);
+        assert_eq!(h.apps[0].samples, 0);
+    }
+}

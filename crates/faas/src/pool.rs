@@ -1,0 +1,710 @@
+//! The per-app container pool: Idle/Loading/Active slots over real
+//! fabric deployments.
+//!
+//! Every container is a one-instance small-worker [`fabric`]
+//! deployment on the cell's own [`FabricController`] running at a
+//! compressed [`lifecycle scale`](fabric::FabricConfig::lifecycle_scale):
+//! a cold start *is* a Table 1 create (package staging included) plus
+//! first boot, with the calibrated 2.6 % startup-failure retry — no
+//! modelled cold-start constant anywhere. Evictions pay the scaled
+//! suspend+delete; host-crash episodes from `simfault` stall Active
+//! work mid-execution and get Idle containers reaped, exactly as the
+//! full-size fabric behaves.
+//!
+//! ## Slot lifecycle
+//!
+//! ```text
+//! arrival ──┬─ Idle slot?      claim it (warm start, overhead 0)
+//!           ├─ unclaimed load? join it (cold start, partial wait)
+//!           └─ neither         begin a load (cold start, full wait)
+//! release ──┬─ prewarm window  evict now, reload before predicted next
+//!           ├─ keepalive > 0   Idle until expiry / LRU / crash
+//!           └─ keepalive = 0   evict now
+//! ```
+//!
+//! Idle memory is the pool's budget: capacity is enforced on *idle*
+//! containers (Active and Loading memory is demand, not a policy
+//! choice) by LRU eviction, and every idle byte-second inside the
+//! horizon accrues to `wasted_mb_s` — the memory axis of the
+//! cold-start-vs-memory frontier.
+//!
+//! Determinism: slots live in id-ordered maps, the policy is a pure
+//! state machine, and all randomness flows through the fabric's own
+//! per-deployment streams — the decision and eviction logs reproduce
+//! byte-for-byte for a given seed and trace.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use fabric::{Deployment, DeploymentSpec, FabricController, RoleType, VmSize};
+use simcore::prelude::*;
+use simcore::stats::OnlineStats;
+
+use crate::policy::KeepalivePolicy;
+use crate::trace::AppSpec;
+
+/// Lifecycle compression for containers: the Table 1 small-worker
+/// create+boot (≈379 s) lands at ≈2.96 s — the measured Azure
+/// Functions cold-start band.
+pub const CONTAINER_LIFECYCLE_SCALE: f64 = 1.0 / 128.0;
+
+/// Why a container was evicted (eviction-log vocabulary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictReason {
+    /// Keepalive window ran out.
+    Expired,
+    /// Idle-memory capacity pressure (least recently used goes first).
+    Lru,
+    /// Host under a simfault crash episode; the fabric reaped the VM.
+    Crash,
+    /// Unloaded in favour of a scheduled prewarm.
+    Prewarm,
+    /// Policy keeps nothing (keepalive 0).
+    Zero,
+    /// End-of-horizon drain (final accounting sweep).
+    Drain,
+}
+
+impl EvictReason {
+    fn name(self) -> &'static str {
+        match self {
+            EvictReason::Expired => "expired",
+            EvictReason::Lru => "lru",
+            EvictReason::Crash => "crash",
+            EvictReason::Prewarm => "prewarm",
+            EvictReason::Zero => "zero",
+            EvictReason::Drain => "drain",
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    /// Load in flight, no invocation attached (prewarm).
+    Loading,
+    /// Load in flight, an invocation is waiting on it.
+    LoadingClaimed,
+    /// Resident and unoccupied (keepalive memory).
+    Idle,
+    /// Running an invocation.
+    Active,
+    /// Evicted.
+    Gone,
+}
+
+/// One container slot.
+struct Slot {
+    id: u64,
+    app: usize,
+    mem_mb: f64,
+    state: Cell<SlotState>,
+    dep: RefCell<Option<Rc<Deployment>>>,
+    ready: Signal,
+    /// When the load that produced this slot began (cold-start anchor).
+    load_began_s: f64,
+    idle_since: Cell<f64>,
+    expires_s: Cell<f64>,
+    last_used: Cell<f64>,
+}
+
+/// How an arrival got its container.
+pub enum Route {
+    /// Claimed an idle container: zero start overhead.
+    Warm(Rc<SlotHandle>),
+    /// Claimed an in-flight (prewarm) load: partial cold wait.
+    Join(Rc<SlotHandle>),
+    /// Started a fresh load: the full scaled Table 1 wait.
+    Cold(Rc<SlotHandle>),
+}
+
+/// Opaque reference handed to invocation tasks.
+pub struct SlotHandle {
+    slot: Rc<Slot>,
+}
+
+impl SlotHandle {
+    /// Resolves when the container is loaded (immediately if warm).
+    pub async fn loaded(&self) {
+        self.slot.ready.wait().await;
+    }
+
+    /// Run `work` on the container's host (slowdown/crash adjusted).
+    pub async fn execute(&self, work: SimDuration) -> SimDuration {
+        let dep = self
+            .slot
+            .dep
+            .borrow()
+            .clone()
+            .expect("execute after loaded()");
+        dep.execute_on(0, work).await
+    }
+}
+
+/// Pool configuration (the cell runner fills this from `FaasConfig`).
+pub struct PoolConfig {
+    /// Idle-memory capacity, MB.
+    pub mem_capacity_mb: f64,
+    /// Measurement horizon, seconds (memory accounting clamps here).
+    pub horizon_s: f64,
+    /// Startup-failure retry backoff, seconds (already scaled).
+    pub retry_backoff_s: f64,
+}
+
+/// The pool (shared by dispatcher, sweeper, and invocation tasks).
+pub struct Pool {
+    sim: Sim,
+    fc: Rc<FabricController>,
+    cfg: PoolConfig,
+    apps: Vec<AppSpec>,
+    policy: RefCell<Box<dyn KeepalivePolicy>>,
+    slots: RefCell<BTreeMap<u64, Rc<Slot>>>,
+    next_slot: Cell<u64>,
+    /// Idle slot ids per app (id-ordered; selection scans for MRU).
+    idle_by_app: RefCell<Vec<Vec<u64>>>,
+    /// Unclaimed loading slot ids per app.
+    loading_by_app: RefCell<Vec<Vec<u64>>>,
+    /// Arrivals seen per app (prewarm cancellation token).
+    arrival_seq: RefCell<Vec<u64>>,
+    last_arrival: RefCell<Vec<Option<f64>>>,
+
+    // Accounting.
+    idle_mb: Cell<f64>,
+    peak_idle_mb: Cell<f64>,
+    wasted_mb_s: Cell<f64>,
+    mem_tick_mb: Cell<f64>,
+    warm_starts: Cell<u64>,
+    cold_starts: Cell<u64>,
+    joins: Cell<u64>,
+    prewarm_scheduled: Cell<u64>,
+    prewarm_loads: Cell<u64>,
+    prewarm_cancelled: Cell<u64>,
+    evictions: Cell<u64>,
+    evict_expired: Cell<u64>,
+    evict_lru: Cell<u64>,
+    evict_crash: Cell<u64>,
+    containers_created: Cell<u64>,
+    cold_full: RefCell<OnlineStats>,
+    decision_log: RefCell<String>,
+    eviction_log: RefCell<String>,
+}
+
+impl Pool {
+    /// New pool over `fc` (which must already run at the container
+    /// lifecycle scale).
+    pub fn new(
+        sim: &Sim,
+        fc: &Rc<FabricController>,
+        apps: &[AppSpec],
+        policy: Box<dyn KeepalivePolicy>,
+        cfg: PoolConfig,
+    ) -> Rc<Pool> {
+        let n = apps.len();
+        Rc::new(Pool {
+            sim: sim.clone(),
+            fc: Rc::clone(fc),
+            cfg,
+            apps: apps.to_vec(),
+            policy: RefCell::new(policy),
+            slots: RefCell::new(BTreeMap::new()),
+            next_slot: Cell::new(0),
+            idle_by_app: RefCell::new(vec![Vec::new(); n]),
+            loading_by_app: RefCell::new(vec![Vec::new(); n]),
+            arrival_seq: RefCell::new(vec![0; n]),
+            last_arrival: RefCell::new(vec![None; n]),
+            idle_mb: Cell::new(0.0),
+            peak_idle_mb: Cell::new(0.0),
+            wasted_mb_s: Cell::new(0.0),
+            mem_tick_mb: Cell::new(0.0),
+            warm_starts: Cell::new(0),
+            cold_starts: Cell::new(0),
+            joins: Cell::new(0),
+            prewarm_scheduled: Cell::new(0),
+            prewarm_loads: Cell::new(0),
+            prewarm_cancelled: Cell::new(0),
+            evictions: Cell::new(0),
+            evict_expired: Cell::new(0),
+            evict_lru: Cell::new(0),
+            evict_crash: Cell::new(0),
+            containers_created: Cell::new(0),
+            cold_full: RefCell::new(OnlineStats::new()),
+            decision_log: RefCell::new(String::new()),
+            eviction_log: RefCell::new(String::new()),
+        })
+    }
+
+    fn now_s(&self) -> f64 {
+        self.sim.now().as_secs_f64()
+    }
+
+    /// Record one arrival for `app` (inter-arrival observation + the
+    /// prewarm cancellation token) and route it to a container.
+    pub fn arrive(self: &Rc<Self>, app: usize) -> Route {
+        let now = self.now_s();
+        let iat = {
+            let mut last = self.last_arrival.borrow_mut();
+            let iat = last[app].map(|t| now - t);
+            last[app] = Some(now);
+            iat
+        };
+        self.arrival_seq.borrow_mut()[app] += 1;
+        self.policy.borrow_mut().observe_arrival(app, iat);
+
+        // Warm path: claim the most recently used idle container (the
+        // rest keep aging toward their expiry).
+        let warm = {
+            let mut idle = self.idle_by_app.borrow_mut();
+            let pick = idle[app]
+                .iter()
+                .copied()
+                .map(|id| {
+                    let slots = self.slots.borrow();
+                    (slots[&id].last_used.get(), id)
+                })
+                .fold(None::<(f64, u64)>, |best, cand| match best {
+                    Some(b) if b >= cand => Some(b),
+                    _ => Some(cand),
+                });
+            if let Some((_, id)) = pick {
+                idle[app].retain(|&x| x != id);
+                Some(id)
+            } else {
+                None
+            }
+        };
+        if let Some(id) = warm {
+            let slot = Rc::clone(&self.slots.borrow()[&id]);
+            self.end_idle(&slot, now);
+            self.idle_mb.set(self.idle_mb.get() - slot.mem_mb);
+            slot.state.set(SlotState::Active);
+            slot.last_used.set(now);
+            self.warm_starts.set(self.warm_starts.get() + 1);
+            simtrace::counter("faas.warm_start", 1);
+            self.log_route(now, app, "warm");
+            return Route::Warm(Rc::new(SlotHandle { slot }));
+        }
+
+        // Join an unclaimed in-flight load (prewarm racing an early
+        // arrival): cold, but only the remaining wait is paid.
+        let join = {
+            let mut loading = self.loading_by_app.borrow_mut();
+            if loading[app].is_empty() {
+                None
+            } else {
+                Some(loading[app].remove(0))
+            }
+        };
+        if let Some(id) = join {
+            let slot = Rc::clone(&self.slots.borrow()[&id]);
+            slot.state.set(SlotState::LoadingClaimed);
+            slot.last_used.set(now);
+            self.joins.set(self.joins.get() + 1);
+            self.cold_starts.set(self.cold_starts.get() + 1);
+            simtrace::counter("faas.cold_start", 1);
+            self.log_route(now, app, "join");
+            return Route::Join(Rc::new(SlotHandle { slot }));
+        }
+
+        // Full cold start: a fresh scaled Table 1 lifecycle.
+        let slot = self.begin_load(app, true);
+        self.cold_starts.set(self.cold_starts.get() + 1);
+        simtrace::counter("faas.cold_start", 1);
+        self.log_route(now, app, "cold");
+        Route::Cold(Rc::new(SlotHandle { slot }))
+    }
+
+    /// Start a container load for `app`. `claimed` marks an invocation
+    /// already waiting on it; unclaimed loads are prewarms that idle on
+    /// completion.
+    fn begin_load(self: &Rc<Self>, app: usize, claimed: bool) -> Rc<Slot> {
+        let id = self.next_slot.get();
+        self.next_slot.set(id + 1);
+        let spec = &self.apps[app];
+        let slot = Rc::new(Slot {
+            id,
+            app,
+            mem_mb: spec.mem_mb,
+            state: Cell::new(if claimed {
+                SlotState::LoadingClaimed
+            } else {
+                SlotState::Loading
+            }),
+            dep: RefCell::new(None),
+            ready: Signal::new(),
+            load_began_s: self.now_s(),
+            idle_since: Cell::new(0.0),
+            expires_s: Cell::new(0.0),
+            last_used: Cell::new(self.now_s()),
+        });
+        self.slots.borrow_mut().insert(id, Rc::clone(&slot));
+        if !claimed {
+            self.loading_by_app.borrow_mut()[app].push(id);
+        }
+        self.containers_created
+            .set(self.containers_created.get() + 1);
+
+        let pool = Rc::clone(self);
+        let task_slot = Rc::clone(&slot);
+        let package_mb = spec.package_mb;
+        self.sim.clone().spawn(async move {
+            let sp = simtrace::span(simtrace::Layer::Faas, "container.load", || {
+                format!("app{} slot{}", task_slot.app, task_slot.id)
+            });
+            let dep = pool
+                .fc
+                .create_deployment(DeploymentSpec {
+                    role: RoleType::Worker,
+                    size: VmSize::Small,
+                    instances: 1,
+                    package_mb,
+                })
+                .await
+                .expect("container quota is effectively unbounded");
+            // The 2.6 % startup failures retry on the scaled backoff —
+            // the paper's own remedy, compressed with the lifecycle.
+            dep.run_with_retry(&simfault::RetryPolicy::fixed(
+                pool.cfg.retry_backoff_s,
+                simfault::FOREVER,
+            ))
+            .await
+            .expect("retried boot eventually succeeds");
+            *task_slot.dep.borrow_mut() = Some(dep);
+            sp.end();
+            task_slot.ready.fire();
+            pool.on_load_ready(&task_slot);
+        });
+        slot
+    }
+
+    /// Load finished: claimed slots go Active (their invocation task is
+    /// waiting on the signal); unclaimed prewarms go Idle under the
+    /// policy's current keepalive window.
+    fn on_load_ready(self: &Rc<Self>, slot: &Rc<Slot>) {
+        match slot.state.get() {
+            SlotState::LoadingClaimed => {
+                if let Some(d) = self.full_cold_duration(slot) {
+                    self.cold_full.borrow_mut().push(d);
+                }
+                slot.state.set(SlotState::Active);
+            }
+            SlotState::Loading => {
+                let now = self.now_s();
+                self.loading_by_app.borrow_mut()[slot.app].retain(|&x| x != slot.id);
+                self.prewarm_loads.set(self.prewarm_loads.get() + 1);
+                let w = self.policy.borrow().windows(slot.app);
+                self.mark_idle(slot, now, w.keepalive_s.max(0.0));
+            }
+            other => unreachable!("load completed in state {other:?}"),
+        }
+    }
+
+    /// Full-cold duration, but only for loads begun by an arrival that
+    /// waited start to finish (the anchor excludes joins; a join's
+    /// slot was already reclassified before its load finished only if
+    /// it started as a prewarm, which `load_began_s` still dates).
+    fn full_cold_duration(&self, slot: &Slot) -> Option<f64> {
+        // A prewarm-born slot was in `Loading` when claimed; its
+        // last_used (claim time) postdates load_began_s. A directly
+        // cold slot has last_used == load_began_s.
+        if slot.last_used.get() == slot.load_began_s {
+            Some(self.now_s() - slot.load_began_s)
+        } else {
+            None
+        }
+    }
+
+    /// Invocation finished on `handle`: consult the policy and either
+    /// keep the container idle, evict it, or evict-and-prewarm.
+    pub fn release(self: &Rc<Self>, handle: &SlotHandle) {
+        let slot = &handle.slot;
+        let now = self.now_s();
+        debug_assert_eq!(slot.state.get(), SlotState::Active);
+        slot.last_used.set(now);
+        let w = self.policy.borrow().windows(slot.app);
+        {
+            let mut log = self.decision_log.borrow_mut();
+            match w.prewarm_s {
+                Some(p) => log.push_str(&format!(
+                    "t={:010.3} app={:04} ka={:09.2} pw={:09.2}\n",
+                    now, slot.app, w.keepalive_s, p
+                )),
+                None => log.push_str(&format!(
+                    "t={:010.3} app={:04} ka={:09.2} pw=none\n",
+                    now, slot.app, w.keepalive_s
+                )),
+            }
+        }
+        match w.prewarm_s {
+            Some(gap) => {
+                self.evict(slot, EvictReason::Prewarm, now);
+                self.schedule_prewarm(slot.app, gap, now);
+            }
+            None if w.keepalive_s <= 0.0 => {
+                self.evict(slot, EvictReason::Zero, now);
+            }
+            None => {
+                self.mark_idle(slot, now, w.keepalive_s);
+            }
+        }
+    }
+
+    /// Queue a prewarm load for `app`, `gap` seconds after its last
+    /// arrival. Cancelled if another arrival shows up first (that
+    /// arrival re-observes the gap and routes itself), if the app
+    /// already has capacity, or if the target lands past the horizon.
+    fn schedule_prewarm(self: &Rc<Self>, app: usize, gap: f64, now: f64) {
+        let base = self.last_arrival.borrow()[app].unwrap_or(now);
+        let target = (base + gap).max(now);
+        if target >= self.cfg.horizon_s {
+            return;
+        }
+        let token = self.arrival_seq.borrow()[app];
+        self.prewarm_scheduled.set(self.prewarm_scheduled.get() + 1);
+        let pool = Rc::clone(self);
+        self.sim.clone().spawn(async move {
+            let wait = target - pool.now_s();
+            if wait > 0.0 {
+                pool.sim.delay(SimDuration::from_secs_f64(wait)).await;
+            }
+            let cancelled = pool.arrival_seq.borrow()[app] != token
+                || !pool.idle_by_app.borrow()[app].is_empty()
+                || !pool.loading_by_app.borrow()[app].is_empty();
+            if cancelled {
+                pool.prewarm_cancelled.set(pool.prewarm_cancelled.get() + 1);
+                return;
+            }
+            simtrace::instant(simtrace::Layer::Faas, "prewarm", || format!("app{app}"));
+            pool.begin_load(app, false);
+        });
+    }
+
+    /// Transition to Idle: start the wasted-memory clock, enforce the
+    /// idle-capacity budget by LRU eviction.
+    fn mark_idle(self: &Rc<Self>, slot: &Rc<Slot>, now: f64, keepalive_s: f64) {
+        slot.state.set(SlotState::Idle);
+        slot.idle_since.set(now);
+        slot.expires_s.set(now + keepalive_s);
+        self.idle_by_app.borrow_mut()[slot.app].push(slot.id);
+        self.idle_mb.set(self.idle_mb.get() + slot.mem_mb);
+        if self.idle_mb.get() > self.peak_idle_mb.get() {
+            self.peak_idle_mb.set(self.idle_mb.get());
+        }
+        while self.idle_mb.get() > self.cfg.mem_capacity_mb {
+            let victim = {
+                let slots = self.slots.borrow();
+                slots
+                    .values()
+                    .filter(|s| s.state.get() == SlotState::Idle)
+                    .map(|s| (s.last_used.get(), s.id))
+                    .fold(None::<(f64, u64)>, |best, cand| match best {
+                        Some(b) if b <= cand => Some(b),
+                        _ => Some(cand),
+                    })
+            };
+            match victim {
+                Some((_, id)) => {
+                    let v = Rc::clone(&self.slots.borrow()[&id]);
+                    self.idle_by_app.borrow_mut()[v.app].retain(|&x| x != id);
+                    self.evict(&v, EvictReason::Lru, now);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Stop the idle clock and charge the horizon-clamped idle
+    /// byte-seconds.
+    fn end_idle(&self, slot: &Slot, now: f64) {
+        let h = self.cfg.horizon_s;
+        let a = slot.idle_since.get().min(h);
+        let b = now.min(h);
+        if b > a {
+            self.wasted_mb_s
+                .set(self.wasted_mb_s.get() + slot.mem_mb * (b - a));
+        }
+    }
+
+    /// Evict `slot` (caller has already detached it from the idle
+    /// index when coming from the warm/LRU paths; this detaches for
+    /// the rest).
+    fn evict(self: &Rc<Self>, slot: &Rc<Slot>, reason: EvictReason, now: f64) {
+        if slot.state.get() == SlotState::Idle {
+            self.end_idle(slot, now);
+            self.idle_mb.set(self.idle_mb.get() - slot.mem_mb);
+            self.idle_by_app.borrow_mut()[slot.app].retain(|&x| x != slot.id);
+        }
+        slot.state.set(SlotState::Gone);
+        self.slots.borrow_mut().remove(&slot.id);
+        self.evictions.set(self.evictions.get() + 1);
+        match reason {
+            EvictReason::Expired => self.evict_expired.set(self.evict_expired.get() + 1),
+            EvictReason::Lru => self.evict_lru.set(self.evict_lru.get() + 1),
+            EvictReason::Crash => self.evict_crash.set(self.evict_crash.get() + 1),
+            _ => {}
+        }
+        simtrace::counter("faas.evicted", 1);
+        simtrace::instant(simtrace::Layer::Faas, "evict", || {
+            format!("app{} slot{} {}", slot.app, slot.id, reason.name())
+        });
+        self.eviction_log.borrow_mut().push_str(&format!(
+            "t={:010.3} app={:04} slot={:06} reason={}\n",
+            now,
+            slot.app,
+            slot.id,
+            reason.name()
+        ));
+
+        let dep = slot.dep.borrow().clone();
+        let Some(dep) = dep else { return };
+        if reason == EvictReason::Crash {
+            // The fabric notices the dead host and reaps the VM (quota
+            // released); nothing left to suspend.
+            dep.reap_dead();
+            return;
+        }
+        // Live teardown pays the scaled suspend+delete lifecycle.
+        self.sim.clone().spawn(async move {
+            let _ = dep.suspend().await;
+            let _ = dep.delete().await;
+        });
+    }
+
+    /// Periodic sweep: expire keepalive windows, reap idle containers
+    /// on crashed hosts, and integrate the mem-ticks counter.
+    pub fn sweep(self: &Rc<Self>, tick_s: f64) {
+        let now = self.now_s();
+        let due: Vec<Rc<Slot>> = {
+            let slots = self.slots.borrow();
+            slots
+                .values()
+                .filter(|s| s.state.get() == SlotState::Idle)
+                .filter(|s| {
+                    if s.expires_s.get() <= now {
+                        return true;
+                    }
+                    let dep = s.dep.borrow();
+                    match dep.as_ref() {
+                        Some(d) if d.instance_count() > 0 => {
+                            self.fc
+                                .hosts()
+                                .speed_segment(d.host_of(0), self.sim.now())
+                                .0
+                                == 0.0
+                        }
+                        _ => false,
+                    }
+                })
+                .map(Rc::clone)
+                .collect()
+        };
+        for slot in due {
+            let crashed = {
+                let dep = slot.dep.borrow();
+                match dep.as_ref() {
+                    Some(d) if d.instance_count() > 0 => {
+                        self.fc
+                            .hosts()
+                            .speed_segment(d.host_of(0), self.sim.now())
+                            .0
+                            == 0.0
+                    }
+                    _ => false,
+                }
+            };
+            let reason = if crashed {
+                EvictReason::Crash
+            } else {
+                EvictReason::Expired
+            };
+            self.evict(&slot, reason, now);
+        }
+        if now < self.cfg.horizon_s {
+            self.mem_tick_mb
+                .set(self.mem_tick_mb.get() + self.idle_mb.get() * tick_s);
+            simtrace::counter("faas.mem_ticks", self.idle_mb.get().round() as i64);
+        }
+    }
+
+    /// End-of-horizon drain: evict every idle container so the wasted-
+    /// memory integral closes exactly at the horizon.
+    pub fn drain(self: &Rc<Self>) {
+        let now = self.now_s();
+        let idle: Vec<Rc<Slot>> = self
+            .slots
+            .borrow()
+            .values()
+            .filter(|s| s.state.get() == SlotState::Idle)
+            .map(Rc::clone)
+            .collect();
+        for slot in idle {
+            self.evict(&slot, EvictReason::Drain, now);
+        }
+    }
+
+    fn log_route(&self, now: f64, app: usize, route: &str) {
+        self.decision_log
+            .borrow_mut()
+            .push_str(&format!("t={:010.3} app={:04} route={route}\n", now, app));
+    }
+
+    // --- accessors for the cell runner ---------------------------------
+
+    /// Warm starts so far.
+    pub fn warm_starts(&self) -> u64 {
+        self.warm_starts.get()
+    }
+    /// Cold starts so far (fresh loads + joined prewarms).
+    pub fn cold_starts(&self) -> u64 {
+        self.cold_starts.get()
+    }
+    /// Arrivals that joined an in-flight load.
+    pub fn joins(&self) -> u64 {
+        self.joins.get()
+    }
+    /// Prewarm loads scheduled / completed / cancelled.
+    pub fn prewarm_counts(&self) -> (u64, u64, u64) {
+        (
+            self.prewarm_scheduled.get(),
+            self.prewarm_loads.get(),
+            self.prewarm_cancelled.get(),
+        )
+    }
+    /// Total evictions and the per-reason breakdown that matters.
+    pub fn eviction_counts(&self) -> (u64, u64, u64, u64) {
+        (
+            self.evictions.get(),
+            self.evict_expired.get(),
+            self.evict_lru.get(),
+            self.evict_crash.get(),
+        )
+    }
+    /// Idle byte-seconds inside the horizon (MB·s).
+    pub fn wasted_mb_s(&self) -> f64 {
+        self.wasted_mb_s.get()
+    }
+    /// Largest simultaneous idle footprint, MB.
+    pub fn peak_idle_mb(&self) -> f64 {
+        self.peak_idle_mb.get()
+    }
+    /// Sweep-integrated idle MB·s (the `faas.mem_ticks` counter).
+    pub fn mem_tick_mb(&self) -> f64 {
+        self.mem_tick_mb.get()
+    }
+    /// Containers created over the run.
+    pub fn containers_created(&self) -> u64 {
+        self.containers_created.get()
+    }
+    /// Full-cold start-overhead stats (create + boot, retries
+    /// included).
+    pub fn cold_full_stats(&self) -> OnlineStats {
+        self.cold_full.borrow().clone()
+    }
+    /// The byte-reproducible policy decision log.
+    pub fn decision_log(&self) -> String {
+        self.decision_log.borrow().clone()
+    }
+    /// The byte-reproducible eviction log.
+    pub fn eviction_log(&self) -> String {
+        self.eviction_log.borrow().clone()
+    }
+}

@@ -1,0 +1,373 @@
+//! The faas cell runner: one serverless experiment, end to end.
+//!
+//! A cell replays an Azure-Functions-shaped invocation trace against
+//! a container [`Pool`] whose cold starts are *emergent*: each one is
+//! a real `fabric` create+boot at [`CONTAINER_LIFECYCLE_SCALE`], with
+//! the calibrated 2.6 % startup-failure retries and host-crash
+//! exposure the full-size lifecycle has. The keepalive policy decides
+//! what memory stays resident between invocations; the output is one
+//! point per policy on the cold-start-vs-wasted-memory frontier.
+//!
+//! ## Timeline
+//!
+//! ```text
+//! t=0          trace drawn from "faas.trace" (before any fabric RNG)
+//! t=inv.t_s    arrival: warm claim / join in-flight load / cold load
+//! exec end     policy verdict: keep idle, evict, or evict+prewarm
+//! t=horizon    sweeper drains all idle containers; accounting closes
+//! ```
+//!
+//! The schedule is drawn before any fabric randomness is consumed, so
+//! for a given seed **every policy faces the byte-identical demand**
+//! — the frontier compares keepalive policies, not luck.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use fabric::{FabricConfig, FabricController, HostPoolConfig};
+use simcore::prelude::*;
+use simcore::stats::OnlineStats;
+use simload::SloTracker;
+
+use crate::policy::PolicyKind;
+use crate::pool::{Pool, PoolConfig, Route, CONTAINER_LIFECYCLE_SCALE};
+use crate::trace::{FaasTrace, TraceShape};
+
+/// One serverless cell.
+#[derive(Clone)]
+pub struct FaasConfig {
+    /// Synthetic trace shape (ignored when `replay` is set).
+    pub shape: TraceShape,
+    /// Keepalive policy under test.
+    pub policy: PolicyKind,
+    /// Number of applications to synthesise.
+    pub apps: usize,
+    /// Trace/measurement horizon, seconds.
+    pub horizon_s: f64,
+    /// Idle-memory capacity of the pool, MB.
+    pub mem_capacity_mb: f64,
+    /// Fabric host-pool size behind the containers.
+    pub hosts: usize,
+    /// Sweeper tick (keepalive expiry granularity), seconds.
+    pub sweep_tick_s: f64,
+    /// Start-overhead SLO, seconds: a cold start (≈3 s) violates, a
+    /// warm start (0 s) is good.
+    pub deadline_s: f64,
+    /// Replay a pre-parsed real trace instead of synthesising one.
+    pub replay: Option<Rc<FaasTrace>>,
+}
+
+impl FaasConfig {
+    /// Campaign-quick defaults; cells override policy/shape/faults.
+    pub fn quick(shape: TraceShape, policy: PolicyKind) -> Self {
+        FaasConfig {
+            shape,
+            policy,
+            apps: 48,
+            horizon_s: 7200.0,
+            mem_capacity_mb: 24576.0,
+            hosts: 24,
+            sweep_tick_s: 5.0,
+            deadline_s: 1.0,
+            replay: None,
+        }
+    }
+}
+
+/// What one cell hands back.
+pub struct FaasResult {
+    /// Policy short name.
+    pub policy: &'static str,
+    /// Trace shape short name.
+    pub shape: &'static str,
+    /// Start-overhead SLO accounting (deadline = cold-start budget).
+    pub slo: SloTracker,
+    /// Invocations dispatched.
+    pub invocations: u64,
+    /// Cold starts (fresh loads + joined in-flight loads).
+    pub cold_starts: u64,
+    /// Warm starts (idle container claimed, zero overhead).
+    pub warm_starts: u64,
+    /// Arrivals that joined an in-flight (prewarm) load.
+    pub joins: u64,
+    /// Prewarm loads scheduled.
+    pub prewarm_scheduled: u64,
+    /// Prewarm loads that completed into an idle container.
+    pub prewarm_loads: u64,
+    /// Prewarms cancelled by a racing arrival or existing capacity.
+    pub prewarm_cancelled: u64,
+    /// Containers created over the run.
+    pub containers_created: u64,
+    /// Total evictions.
+    pub evictions: u64,
+    /// Evictions by keepalive expiry.
+    pub evict_expired: u64,
+    /// Evictions by idle-capacity (LRU) pressure.
+    pub evict_lru: u64,
+    /// Idle containers reaped off crashed hosts.
+    pub evict_crash: u64,
+    /// Idle (wasted) memory integral inside the horizon, MB·s.
+    pub wasted_mb_s: f64,
+    /// Peak simultaneous idle footprint, MB.
+    pub peak_idle_mb: f64,
+    /// Sweep-integrated idle MB·s (mirrors the `faas.mem_ticks`
+    /// counter series).
+    pub mem_tick_mb_s: f64,
+    /// Full cold-start overheads (arrival waited create+boot end to
+    /// end; the Table 1 anchor).
+    pub cold_full: OnlineStats,
+    /// Byte-reproducible routing + policy decision log.
+    pub decision_log: String,
+    /// Byte-reproducible eviction log.
+    pub eviction_log: String,
+}
+
+impl FaasResult {
+    /// Fraction of invocations that paid a cold start (0 when idle).
+    pub fn cold_fraction(&self) -> f64 {
+        let n = self.cold_starts + self.warm_starts;
+        if n == 0 {
+            0.0
+        } else {
+            self.cold_starts as f64 / n as f64
+        }
+    }
+
+    /// Mean idle (wasted) memory over the horizon, MB.
+    pub fn wasted_mb_mean(&self, horizon_s: f64) -> f64 {
+        if horizon_s <= 0.0 {
+            0.0
+        } else {
+            self.wasted_mb_s / horizon_s
+        }
+    }
+}
+
+/// Run one faas cell to completion on `sim` (drives `sim.run()`).
+pub fn run_faas(sim: &Sim, cfg: &FaasConfig) -> FaasResult {
+    assert!(cfg.apps > 0 && cfg.hosts > 0);
+    assert!(cfg.horizon_s > 0.0 && cfg.sweep_tick_s > 0.0);
+
+    // Demand first: the trace comes from its own stream, drawn before
+    // any fabric randomness, so every policy sees identical arrivals.
+    let trace = match &cfg.replay {
+        Some(t) => Rc::clone(t),
+        None => {
+            let mut rng = sim.rng("faas.trace");
+            Rc::new(FaasTrace::synth(
+                &mut rng,
+                &cfg.shape,
+                cfg.apps,
+                cfg.horizon_s,
+            ))
+        }
+    };
+
+    let fc = FabricController::new(
+        sim,
+        FabricConfig {
+            // Containers are sub-VM slices; the subscription quota is
+            // not the scarce resource here (idle memory is).
+            quota_cores: u32::MAX / 2,
+            hosts: HostPoolConfig {
+                hosts: cfg.hosts,
+                ..HostPoolConfig::default()
+            },
+            lifecycle_scale: CONTAINER_LIFECYCLE_SCALE,
+            ..FabricConfig::default()
+        },
+    );
+
+    let pool = Pool::new(
+        sim,
+        &fc,
+        &trace.apps,
+        cfg.policy.build(trace.apps.len()),
+        PoolConfig {
+            mem_capacity_mb: cfg.mem_capacity_mb,
+            horizon_s: cfg.horizon_s,
+            retry_backoff_s: 30.0 * CONTAINER_LIFECYCLE_SCALE,
+        },
+    );
+
+    let tracker = Rc::new(RefCell::new(SloTracker::new(cfg.deadline_s)));
+
+    // Dispatcher: replay the schedule open-loop; each invocation runs
+    // as its own task so a cold-start wait never delays later traffic.
+    {
+        let s = sim.clone();
+        let pool = Rc::clone(&pool);
+        let trace = Rc::clone(&trace);
+        let tracker = Rc::clone(&tracker);
+        sim.spawn(async move {
+            for inv in trace.invocations.iter() {
+                let now = s.now().as_secs_f64();
+                if inv.t_s > now {
+                    s.delay(SimDuration::from_secs_f64(inv.t_s - now)).await;
+                }
+                tracker.borrow_mut().note_scheduled();
+                let route = pool.arrive(inv.app);
+                let handle = match route {
+                    Route::Warm(h) | Route::Join(h) | Route::Cold(h) => h,
+                };
+                let s2 = s.clone();
+                let pool2 = Rc::clone(&pool);
+                let tracker2 = Rc::clone(&tracker);
+                let t_arrival = inv.t_s;
+                let exec_s = inv.exec_s;
+                s.spawn(async move {
+                    handle.loaded().await;
+                    let overhead = s2.now().as_secs_f64() - t_arrival;
+                    handle.execute(SimDuration::from_secs_f64(exec_s)).await;
+                    let done = s2.now().as_secs_f64();
+                    tracker2.borrow_mut().record_ok(overhead, done);
+                    pool2.release(&handle);
+                });
+            }
+        });
+    }
+
+    // Sweeper: expiry + crash reaping + the mem-ticks series, then the
+    // end-of-horizon drain that closes the memory integral.
+    {
+        let s = sim.clone();
+        let pool = Rc::clone(&pool);
+        let tick = cfg.sweep_tick_s;
+        let horizon = cfg.horizon_s;
+        sim.spawn(async move {
+            loop {
+                s.delay(SimDuration::from_secs_f64(tick)).await;
+                pool.sweep(tick);
+                if s.now().as_secs_f64() >= horizon {
+                    pool.drain();
+                    break;
+                }
+            }
+        });
+    }
+
+    sim.run();
+
+    let slo = Rc::try_unwrap(tracker)
+        .expect("all invocation tasks finished")
+        .into_inner();
+    let (prewarm_scheduled, prewarm_loads, prewarm_cancelled) = pool.prewarm_counts();
+    let (evictions, evict_expired, evict_lru, evict_crash) = pool.eviction_counts();
+    FaasResult {
+        policy: cfg.policy.name(),
+        shape: trace_shape_name(cfg),
+        slo,
+        invocations: trace.invocations.len() as u64,
+        cold_starts: pool.cold_starts(),
+        warm_starts: pool.warm_starts(),
+        joins: pool.joins(),
+        prewarm_scheduled,
+        prewarm_loads,
+        prewarm_cancelled,
+        containers_created: pool.containers_created(),
+        evictions,
+        evict_expired,
+        evict_lru,
+        evict_crash,
+        wasted_mb_s: pool.wasted_mb_s(),
+        peak_idle_mb: pool.peak_idle_mb(),
+        mem_tick_mb_s: pool.mem_tick_mb(),
+        cold_full: pool.cold_full_stats(),
+        decision_log: pool.decision_log(),
+        eviction_log: pool.eviction_log(),
+    }
+}
+
+fn trace_shape_name(cfg: &FaasConfig) -> &'static str {
+    if cfg.replay.is_some() {
+        "replay"
+    } else {
+        cfg.shape.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyKind;
+
+    fn tiny(policy: PolicyKind, seed: u64) -> FaasResult {
+        let sim = Sim::new(seed);
+        run_faas(
+            &sim,
+            &FaasConfig {
+                apps: 12,
+                horizon_s: 1800.0,
+                hosts: 8,
+                mem_capacity_mb: 3072.0,
+                ..FaasConfig::quick(TraceShape::wild(), policy)
+            },
+        )
+    }
+
+    #[test]
+    fn cell_runs_and_accounts() {
+        let r = tiny(PolicyKind::FixedWindow, 7);
+        assert!(r.invocations > 50, "invocations {}", r.invocations);
+        assert_eq!(
+            r.cold_starts + r.warm_starts,
+            r.invocations,
+            "every invocation routed"
+        );
+        assert_eq!(r.slo.scheduled, r.invocations);
+        assert_eq!(r.slo.completed, r.invocations, "every invocation ran");
+        assert!(r.cold_starts > 0, "first touches are cold");
+        assert!(r.warm_starts > 0, "keepalive produces warm hits");
+        assert!(r.wasted_mb_s > 0.0, "idle memory accrues");
+        assert!(!r.decision_log.is_empty() && !r.eviction_log.is_empty());
+    }
+
+    #[test]
+    fn cold_starts_land_in_the_scaled_table1_band() {
+        let r = tiny(PolicyKind::NoKeepalive, 11);
+        assert_eq!(r.warm_starts, 0, "no keepalive, no warm hits");
+        assert_eq!(r.cold_starts, r.invocations);
+        assert!(
+            r.cold_full.count() > 20,
+            "cold samples {}",
+            r.cold_full.count()
+        );
+        let mean = r.cold_full.mean();
+        // (86.25 + 292.75) / 128 ≈ 2.96 s, retries push the tail up.
+        assert!(
+            (2.0..6.0).contains(&mean),
+            "cold start mean {mean} outside the scaled Table 1 band"
+        );
+        // No keepalive ⇒ nothing idles ⇒ (almost) no wasted memory.
+        assert!(r.wasted_mb_s < 1.0, "no-keepalive wasted {}", r.wasted_mb_s);
+    }
+
+    #[test]
+    fn same_seed_reproduces_byte_identical_logs() {
+        let a = tiny(PolicyKind::Hybrid, 3);
+        let b = tiny(PolicyKind::Hybrid, 3);
+        assert_eq!(a.decision_log, b.decision_log);
+        assert_eq!(a.eviction_log, b.eviction_log);
+        assert_eq!(a.cold_starts, b.cold_starts);
+        assert_eq!(a.wasted_mb_s.to_bits(), b.wasted_mb_s.to_bits());
+    }
+
+    #[test]
+    fn policies_diverge_on_the_same_demand() {
+        let none = tiny(PolicyKind::NoKeepalive, 3);
+        let fixed = tiny(PolicyKind::FixedWindow, 3);
+        let hybrid = tiny(PolicyKind::Hybrid, 3);
+        // Identical demand (same seed, trace drawn first) ...
+        assert_eq!(none.invocations, fixed.invocations);
+        assert_eq!(fixed.invocations, hybrid.invocations);
+        // ... distinct outcomes on the frontier's two axes.
+        assert!(none.cold_fraction() >= fixed.cold_fraction());
+        assert!(none.wasted_mb_s <= fixed.wasted_mb_s);
+        let logs = [
+            &none.eviction_log,
+            &fixed.eviction_log,
+            &hybrid.eviction_log,
+        ];
+        assert!(logs[0] != logs[1] && logs[1] != logs[2] && logs[0] != logs[2]);
+    }
+}

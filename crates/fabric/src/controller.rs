@@ -38,6 +38,14 @@ pub struct FabricConfig {
     pub hosts: HostPoolConfig,
     /// Startup failure probability per run/add request.
     pub startup_failure_p: f64,
+    /// Multiplier applied to every sampled lifecycle-phase duration
+    /// (create/run/add/suspend/delete). 1.0 reproduces Table 1 as
+    /// measured; the `faas` crate runs a container pool at a small
+    /// fraction of it so a cold start is the same emergent lifecycle
+    /// compressed to seconds. The RNG draw sequence is unchanged by
+    /// the scale, so scaled and unscaled controllers consume identical
+    /// stream positions.
+    pub lifecycle_scale: f64,
 }
 
 impl Default for FabricConfig {
@@ -46,6 +54,7 @@ impl Default for FabricConfig {
             quota_cores: calib::QUOTA_CORES,
             hosts: HostPoolConfig::default(),
             startup_failure_p: calib::STARTUP_FAILURE_P,
+            lifecycle_scale: 1.0,
         }
     }
 }
@@ -177,7 +186,8 @@ impl FabricController {
         let row = calib::paper_table1(spec.role, spec.size);
         let base = row.create.avg
             + (spec.package_mb - calib::REFERENCE_PACKAGE_MB) / calib::PACKAGE_STAGE_MB_PER_S;
-        let dur = TruncNormal::new(base, row.create.std, 5.0).sample(&mut rng);
+        let dur =
+            TruncNormal::new(base, row.create.std, 5.0).sample(&mut rng) * self.cfg.lifecycle_scale;
         self.sim.delay(SimDuration::from_secs_f64(dur)).await;
 
         let instances = (0..spec.instances)
@@ -314,6 +324,7 @@ impl Deployment {
         let spec = self.spec.get();
         let row = calib::paper_table1(spec.role, spec.size);
         let n = self.instance_count();
+        let scale = self.fc.cfg.lifecycle_scale;
         let offsets = {
             let mut rng = self.rng.borrow_mut();
             let b1_mean = calib::run_first_boot_mean(spec.role, spec.size);
@@ -330,7 +341,7 @@ impl Deployment {
                         TruncNormal::new(calib::RUN_STAGGER_MEAN_S, calib::RUN_STAGGER_STD_S, 20.0)
                             .sample(&mut rng);
                 }
-                offsets.push(SimDuration::from_secs_f64(t));
+                offsets.push(SimDuration::from_secs_f64(t * scale));
             }
             offsets
         };
@@ -414,6 +425,7 @@ impl Deployment {
                 });
             }
         }
+        let scale = self.fc.cfg.lifecycle_scale;
         let offsets = {
             let mut rng = self.rng.borrow_mut();
             let b1_mean = calib::add_first_boot_mean(spec.role, spec.size)
@@ -427,7 +439,7 @@ impl Deployment {
                 t += Exp::with_mean(lag_mean)
                     .sample(&mut rng)
                     .max(calib::ADD_STAGGER_MIN_S / 2.0);
-                offsets.push(SimDuration::from_secs_f64(t));
+                offsets.push(SimDuration::from_secs_f64(t * scale));
             }
             offsets
         };
@@ -630,6 +642,7 @@ impl Deployment {
         let dur = {
             let mut rng = self.rng.borrow_mut();
             TruncNormal::new(row.suspend.avg, row.suspend.std, 3.0).sample(&mut rng)
+                * self.fc.cfg.lifecycle_scale
         };
         let start = self.fc.sim.now();
         let sp = simtrace::span(
@@ -679,6 +692,7 @@ impl Deployment {
         let dur = {
             let mut rng = self.rng.borrow_mut();
             TruncNormal::new(row.delete.avg, row.delete.std, 1.0).sample(&mut rng)
+                * self.fc.cfg.lifecycle_scale
         };
         let start = self.fc.sim.now();
         let _sp = simtrace::span(
@@ -1209,6 +1223,38 @@ mod tests {
         });
         sim.run();
         h.try_take().unwrap();
+    }
+
+    #[test]
+    fn lifecycle_scale_compresses_every_phase_exactly() {
+        // Same seed at scale 1.0 and 1/128: every phase duration must be
+        // exactly the unscaled duration times the scale (the RNG draw
+        // sequence is identical, only the final multiply differs).
+        let scale = 1.0 / 128.0;
+        let full = lifecycle(77, RoleType::Worker, VmSize::Small, no_fail_cfg()).unwrap();
+        let tiny = lifecycle(
+            77,
+            RoleType::Worker,
+            VmSize::Small,
+            FabricConfig {
+                lifecycle_scale: scale,
+                ..no_fail_cfg()
+            },
+        )
+        .unwrap();
+        assert_eq!(full.len(), tiny.len());
+        for ((p, d_full), (q, d_tiny)) in full.iter().zip(tiny.iter()) {
+            assert_eq!(p, q);
+            assert!(
+                (d_tiny - d_full * scale).abs() < 1e-6,
+                "{p}: {d_tiny} vs {} * {scale}",
+                d_full
+            );
+        }
+        // A scaled cold start (create + run) lands in whole seconds, not
+        // minutes: the Table 1 tax compressed to container size.
+        let cold = tiny[0].1 + tiny[1].1;
+        assert!((1.0..10.0).contains(&cold), "scaled cold start {cold}s");
     }
 
     #[test]

@@ -134,6 +134,32 @@ impl Log2Hist {
         }
         0.0
     }
+
+    /// The `[lower, upper)` bounds of the bucket containing the
+    /// `p`-quantile sample (`(0.0, 0.0)` for an empty histogram or when
+    /// the quantile falls in the underflow bucket). Consumers that need
+    /// a one-sided guarantee — a keepalive window that must cover at
+    /// least the observed gap, a prewarm that must not fire late — take
+    /// the conservative edge instead of [`quantile`](Self::quantile)'s
+    /// midpoint.
+    pub fn quantile_edges(&self, p: f64) -> (f64, f64) {
+        if self.total == 0 {
+            return (0.0, 0.0);
+        }
+        let rank = ((p.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = self.underflow;
+        if rank <= seen {
+            return (0.0, 0.0);
+        }
+        for (k, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if rank <= seen {
+                let exp = k as i32 + LOG2_MIN_EXP;
+                return ((2.0f64).powi(exp), (2.0f64).powi(exp + 1));
+            }
+        }
+        (0.0, 0.0)
+    }
 }
 
 /// [`OnlineStats`] and [`Log2Hist`] over the same sample stream: exact
@@ -226,6 +252,21 @@ mod tests {
         h.push(-5.0);
         assert_eq!(h.underflow(), 2);
         assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn quantile_edges_bracket_the_midpoint() {
+        let mut h = Log2Hist::new();
+        for v in [0.5, 1.0, 1.5, 3.0, 3.5, 40.0, 700.0] {
+            h.push(v);
+        }
+        for p in [0.05, 0.5, 0.95, 0.99] {
+            let (lo, hi) = h.quantile_edges(p);
+            let mid = h.quantile(p);
+            assert!(lo < mid && mid < hi, "p={p}: {lo} < {mid} < {hi}");
+            assert!((hi - 2.0 * lo).abs() < 1e-12, "binade bucket: {lo}..{hi}");
+        }
+        assert_eq!(Log2Hist::new().quantile_edges(0.5), (0.0, 0.0));
     }
 
     #[test]

@@ -23,7 +23,7 @@ proptest! {
     fn same_seed_same_stream(
         seed in 0u64..1_000_000,
         rate in 1.0f64..200.0,
-        which in 0usize..4,
+        which in 0usize..7,
     ) {
         let p = &ArrivalProcess::stochastic_presets()[which];
         prop_assert_eq!(
@@ -39,7 +39,7 @@ proptest! {
     fn different_seeds_diverge(
         seed in 0u64..1_000_000,
         rate in 1.0f64..200.0,
-        which in 0usize..4,
+        which in 0usize..7,
     ) {
         let p = &ArrivalProcess::stochastic_presets()[which];
         prop_assert_ne!(

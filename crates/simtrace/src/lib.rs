@@ -81,17 +81,23 @@ pub enum Layer {
     /// deadlines). Separate from [`Layer::App`] so intended-arrival
     /// annotations don't mix with the application's own spans.
     Load,
+    /// `faas` — function-invocation layer (container pools, keepalive
+    /// policies, cold starts). Separate from [`Layer::Fabric`]: the
+    /// underlying scaled VM lifecycle still traces as fabric, while
+    /// pool decisions (warm hit, eviction, prewarm) trace here.
+    Faas,
 }
 
 impl Layer {
     /// All layers in display order.
-    pub const ALL: [Layer; 6] = [
+    pub const ALL: [Layer; 7] = [
         Layer::Kernel,
         Layer::Net,
         Layer::Store,
         Layer::Fabric,
         Layer::App,
         Layer::Load,
+        Layer::Faas,
     ];
 
     /// Short lowercase name (used as the Chrome `cat` and in tables).
@@ -103,6 +109,7 @@ impl Layer {
             Layer::Fabric => "fabric",
             Layer::App => "app",
             Layer::Load => "load",
+            Layer::Faas => "faas",
         }
     }
 
@@ -115,6 +122,7 @@ impl Layer {
             Layer::Fabric => "fabric",
             Layer::App => "app (modis)",
             Layer::Load => "load (simload)",
+            Layer::Faas => "faas",
         }
     }
 
@@ -126,6 +134,7 @@ impl Layer {
             Layer::Fabric => 4,
             Layer::App => 5,
             Layer::Load => 6,
+            Layer::Faas => 7,
         }
     }
 }

@@ -155,3 +155,23 @@ fn elastic_quick_under_faults_is_shard_invariant() {
     let plan = FaultPlan::by_name("crash-partition").expect("preset");
     assert_shard_invariant("elastic", Some(plan));
 }
+
+/// The faas campaign: each cell draws its invocation trace from a
+/// dedicated RNG stream before any fabric randomness, then runs tens
+/// of thousands of container routings, policy decisions and emergent
+/// cold starts — all byte-reproducible per cell, so the merged frontier
+/// must not depend on which worker ran which cell.
+#[test]
+fn faas_quick_is_shard_invariant() {
+    assert_shard_invariant("faas", None);
+}
+
+/// Faas under a user fault plan: the preset's episodes layer under the
+/// campaign's own mid-window host outage (crash cells nest both), and
+/// idle-container reaping off dead hosts must replay identically on
+/// every shard layout.
+#[test]
+fn faas_quick_under_faults_is_shard_invariant() {
+    let plan = FaultPlan::by_name("crash-partition").expect("preset");
+    assert_shard_invariant("faas", Some(plan));
+}
