@@ -1,0 +1,161 @@
+//! Cross-stamp partition-range load balancing.
+//!
+//! Each rebalance tick compares every stamp's *shed pressure* over the
+//! last interval — front-door admission sheds plus station latch sheds,
+//! as a fraction of arrivals — and when a stamp runs hot
+//! (above [`SHED_HOT_THRESHOLD`](calib::SHED_HOT_THRESHOLD)) while
+//! another runs cold, it migrates the hot stamp's busiest
+//! fully-replicated account to the coldest stamp. Decisions append to
+//! the geo set's byte-reproducible decision log, mirroring the
+//! autoscale and faas policy logs.
+//!
+//! Only accounts whose replication log is fully applied move (nothing
+//! in flight to strand), and a move is just a location-service
+//! primary change plus an epoch bump: clients discover it through the
+//! stale-epoch redirect on their next op.
+
+use std::rc::Rc;
+
+use simcore::prelude::*;
+use simtrace::Layer;
+
+use crate::calib;
+use crate::set::GeoSet;
+
+/// Spawn the rebalancer; it ticks every
+/// [`REBALANCE_INTERVAL_S`](calib::REBALANCE_INTERVAL_S) until `end_s`.
+pub fn spawn_rebalancer(set: &Rc<GeoSet>, end_s: f64) {
+    let set = Rc::clone(set);
+    let sim = set.sim().clone();
+    let s = sim.clone();
+    sim.spawn(async move {
+        let n = set.len();
+        let mut prev: Vec<(u64, u64)> = (0..n).map(|i| set.shed_totals(i)).collect();
+        loop {
+            s.delay(SimDuration::from_secs_f64(calib::REBALANCE_INTERVAL_S))
+                .await;
+            let t = s.now().as_secs_f64();
+            if t >= end_s {
+                break;
+            }
+            // Per-stamp shed fraction over the last interval.
+            let mut rates = vec![0.0f64; n];
+            for i in 0..n {
+                let cur = set.shed_totals(i);
+                let d_shed = cur.0 - prev[i].0;
+                let d_arrivals = cur.1 - prev[i].1;
+                rates[i] = if d_arrivals > 0 {
+                    d_shed as f64 / d_arrivals as f64
+                } else {
+                    0.0
+                };
+                prev[i] = cur;
+            }
+            let up = |i: usize| !simfault::stamp_down(i as u64, t);
+            let hot = (0..n)
+                .filter(|&i| up(i) && rates[i] > calib::SHED_HOT_THRESHOLD)
+                .max_by(|&a, &b| rates[a].partial_cmp(&rates[b]).unwrap().then(b.cmp(&a)));
+            let Some(hot) = hot else { continue };
+            let cold = (0..n)
+                .filter(|&i| i != hot && up(i))
+                .min_by(|&a, &b| rates[a].partial_cmp(&rates[b]).unwrap().then(a.cmp(&b)));
+            let Some(cold) = cold else { continue };
+            if rates[cold] > calib::SHED_HOT_THRESHOLD / 2.0 {
+                // Everyone is hot: moving load just moves the problem.
+                continue;
+            }
+            let Some(account) = set.hottest_account(hot) else {
+                continue;
+            };
+            // Finalize replication before the switch: drain the
+            // residual tail over the inter-stamp pipe so the new
+            // primary starts fully caught up (migrations never lose).
+            let batch = set.with_log(account, |log| log.take_batch());
+            if let Some(&(last, _)) = batch.last() {
+                let bytes = batch.len() as f64 * calib::REPL_ENTRY_BYTES;
+                s.delay(SimDuration::from_secs_f64(
+                    calib::INTER_STAMP_RTT_S + bytes / calib::INTER_STAMP_BW_BPS,
+                ))
+                .await;
+                set.with_log(account, |log| log.apply_through(last));
+            }
+            set.location().move_primary(account, cold);
+            set.log_decision(format!(
+                "t={t:8.1}s move a{account:04} s{hot}->s{cold} shed_hot={:.3} shed_cold={:.3}",
+                rates[hot], rates[cold]
+            ));
+            simtrace::instant(Layer::Geo, "geo.rebalance", || {
+                format!("a{account:04}:s{hot}->s{cold}")
+            });
+            simtrace::counter("geo.rebalance.moves", 1);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use azstore::{AdmissionConfig, StampConfig};
+    use simload::Workload;
+    use std::rc::Rc;
+
+    /// Saturating one stamp's token bucket while the other idles must
+    /// produce a migration of the hot account.
+    #[test]
+    fn hot_stamp_offloads_its_busiest_account() {
+        let sim = Sim::new(31);
+        let cfg = StampConfig {
+            admission: AdmissionConfig::TokenBucket {
+                rate_ops_s: 50.0,
+                burst: 8.0,
+            },
+            ..StampConfig::default()
+        };
+        let set = GeoSet::new(&sim, &cfg, &[1.0, 1.0], 4, 0xB0);
+        for i in 0..set.len() {
+            simload::seed_workload(
+                &set.stamps()[i],
+                Workload::QueueAdd {
+                    message_bytes: 512.0,
+                },
+            );
+        }
+        // Hammer one account far past the hot stamp's admission rate:
+        // 16 closed-loop clients back to back (~300 ops/s offered).
+        let hot_account = 0u32;
+        for vm in 0..16usize {
+            let c = Rc::new(crate::set::GeoClient::new(&set, vm, hot_account));
+            let s = sim.clone();
+            sim.spawn(async move {
+                for i in 0..400usize {
+                    if s.now().as_secs_f64() >= 20.0 {
+                        break;
+                    }
+                    let _ = c
+                        .op(
+                            hot_account,
+                            Workload::QueueAdd {
+                                message_bytes: 512.0,
+                            },
+                            vm * 10_000 + i,
+                            None,
+                        )
+                        .await;
+                    // Back off so an instant shed can't spin at one
+                    // virtual instant.
+                    s.delay(SimDuration::from_secs_f64(0.05)).await;
+                }
+            });
+        }
+        spawn_rebalancer(&set, 25.0);
+        sim.run();
+        let moves = set
+            .decisions()
+            .iter()
+            .filter(|d| d.contains("move"))
+            .count();
+        assert!(moves >= 1, "decisions: {:?}", set.decisions());
+        // Migration is visible to clients as an epoch bump.
+        assert!(set.location().placement_of(hot_account).epoch >= 1);
+    }
+}

@@ -1,0 +1,64 @@
+//! Geo-layer calibration constants.
+//!
+//! The paper measures one stamp from the inside; everything cross-stamp
+//! here is parameterisation, chosen to match the era's public numbers
+//! (inter-datacenter RTTs of tens of milliseconds, asynchronous
+//! replication with lag targets of seconds) and — more importantly —
+//! declared in one place so the failover anchors are closed-form
+//! functions of these constants.
+
+/// One-way network distance between stamps expressed as a full RTT
+/// added to any cross-stamp hop (redirects, remote ops, replication
+/// batches). ~35 ms: same-continent, different-region.
+pub const INTER_STAMP_RTT_S: f64 = 0.035;
+
+/// Bandwidth of the dedicated inter-stamp replication pipe, bytes/s.
+/// Batch shipping pays `RTT + bytes / bandwidth`.
+pub const INTER_STAMP_BW_BPS: f64 = 200e6;
+
+/// Bytes a shipped commit-log entry occupies on the replication pipe
+/// (payload plus framing; entries are benchmark-sized messages).
+pub const REPL_ENTRY_BYTES: f64 = 1024.0;
+
+/// Replication shipper tick: pending commits are batched and shipped
+/// every this many virtual seconds — the configured lag target. RPO
+/// under clean operation stays below one tick plus ship time.
+pub const REPL_BATCH_INTERVAL_S: f64 = 5.0;
+
+/// Health-monitor probe period per stamp, seconds.
+pub const PROBE_INTERVAL_S: f64 = 2.0;
+
+/// Consecutive missed probes before a stamp is declared dead.
+pub const DOWN_AFTER_MISSES: u32 = 3;
+
+/// Grace between declaring a stamp dead and completing secondary
+/// promotion (drain of in-flight redirects, metadata epoch bump).
+pub const PROMOTE_GRACE_S: f64 = 5.0;
+
+/// Measured RTO implied by the detection + promotion parameters: from
+/// the first missed probe, `DOWN_AFTER_MISSES - 1` further probe
+/// periods elapse before the death verdict, then the promotion grace.
+/// The geo campaign's RTO anchor checks the measurement against this.
+pub const EXPECTED_RTO_S: f64 =
+    (DOWN_AFTER_MISSES as f64 - 1.0) * PROBE_INTERVAL_S + PROMOTE_GRACE_S;
+
+/// Front-door location-cache TTL: a cached account→stamp entry older
+/// than this is revalidated against the authoritative map.
+pub const CACHE_TTL_S: f64 = 60.0;
+
+/// Rebalancer tick period, seconds.
+pub const REBALANCE_INTERVAL_S: f64 = 5.0;
+
+/// Shed fraction (sheds / arrivals over one rebalance tick) above
+/// which a stamp is considered hot and offloads its busiest account.
+pub const SHED_HOT_THRESHOLD: f64 = 0.05;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expected_rto_matches_parameters() {
+        assert_eq!(EXPECTED_RTO_S, 9.0);
+    }
+}

@@ -1,0 +1,48 @@
+//! # azgeo — multi-stamp storage with geo-replication and failover
+//!
+//! Everything below this crate simulates *one* storage stamp; azgeo
+//! turns the reproduction into a platform: N [`azstore`] stamps behind
+//! a deterministic location service, asynchronous inter-stamp
+//! geo-replication with continuous RPO tracking, cross-stamp partition
+//! load balancing, and stamp-level failover driven by `simfault`'s
+//! stamp-scoped fault episodes.
+//!
+//! * [`placement`] — the location service: weighted-capacity
+//!   account→stamp assignment (pure function of the placement seed),
+//!   per-account epochs, promotion and migration.
+//! * [`replicate`] — per-account commit logs with monotone
+//!   appended/shipped/applied watermarks; the lost tail at a promotion
+//!   is the measured RPO.
+//! * [`set`] — the [`GeoSet`](set::GeoSet) of RNG-scoped stamps, the
+//!   [`GeoClient`](set::GeoClient) front door (TTL location cache,
+//!   stale-epoch redirects, cross-stamp hops, down-stamp timeouts) and
+//!   the replication shipper.
+//! * [`failover`] — probe-based death detection and secondary
+//!   promotion; RTO is closed-form in the [`calib`] constants.
+//! * [`balance`] — shed-pressure-driven migration of hot accounts to
+//!   cold stamps, with a byte-reproducible decision log.
+//! * [`run`] — one open-loop measurement cell over the whole set (the
+//!   `geo` campaign's unit of work).
+//!
+//! ## Determinism
+//!
+//! Replication lag, RPO and RTO are all virtual-time quantities: the
+//! shipper and health monitor tick on fixed virtual-time grids, stamps
+//! draw from RNG streams scoped per stamp (`s0.`, `s1.`, …), and the
+//! arrival schedule comes from its own stream — so every geo artifact
+//! is byte-identical for any `--shards N`, like every other campaign.
+
+#![warn(missing_docs)]
+
+pub mod balance;
+pub mod calib;
+pub mod failover;
+pub mod placement;
+pub mod replicate;
+pub mod run;
+pub mod set;
+
+pub use placement::{LocationService, Placement};
+pub use replicate::ReplLog;
+pub use run::{run_geo, GeoConfig, GeoResult};
+pub use set::{GeoClient, GeoSet};

@@ -1,0 +1,263 @@
+//! The location service: authoritative account→stamp placement.
+//!
+//! Azure's real location service maps a storage account's DNS name to
+//! the stamp (cluster) hosting it, with a secondary stamp for
+//! geo-replication. This model keeps the part that matters for
+//! platform behaviour: a *deterministic* weighted-capacity assignment
+//! (a pure function of the placement seed, the stamp weights and the
+//! account index), an authoritative map front doors consult, and
+//! per-account epochs so cached entries can be detected stale after a
+//! migration or failover.
+//!
+//! Assignment is rendezvous hashing under capacity quotas: each stamp
+//! gets a quota of accounts proportional to its weight (largest-
+//! remainder apportionment, so quotas sum exactly to the account
+//! count); accounts are placed in index order on their highest-scoring
+//! stamp with quota remaining, and their secondary is the best-scoring
+//! *other* stamp. Same seed ⇒ byte-identical map; any weight change
+//! moves only the accounts it must.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+
+/// One account's placement record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// Stamp serving reads and writes.
+    pub primary: usize,
+    /// Asynchronously-replicated standby stamp.
+    pub secondary: usize,
+    /// Bumped on every change (migration, promotion); cached front-door
+    /// entries carry the epoch they were fetched at.
+    pub epoch: u64,
+}
+
+/// FNV-1a 64-bit over a few words — the placement score hash.
+fn score(seed: u64, account: u32, stamp: usize) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for w in [seed, account as u64, stamp as u64 ^ 0x9e3779b97f4a7c15] {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+/// Largest-remainder apportionment of `total` slots over `weights`.
+fn quotas(weights: &[f64], total: usize) -> Vec<usize> {
+    let sum: f64 = weights.iter().sum();
+    assert!(sum > 0.0, "weights must have positive sum");
+    let exact: Vec<f64> = weights.iter().map(|w| total as f64 * w / sum).collect();
+    let mut q: Vec<usize> = exact.iter().map(|e| e.floor() as usize).collect();
+    let mut rest: usize = total - q.iter().sum::<usize>();
+    // Hand out remainders by descending fractional part, stamp index as
+    // the deterministic tiebreak.
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&a, &b| {
+        let (fa, fb) = (exact[a] - exact[a].floor(), exact[b] - exact[b].floor());
+        fb.partial_cmp(&fa).unwrap().then(a.cmp(&b))
+    });
+    for &i in &order {
+        if rest == 0 {
+            break;
+        }
+        q[i] += 1;
+        rest -= 1;
+    }
+    q
+}
+
+/// Authoritative placement map plus the mutation surface failover and
+/// rebalancing drive.
+pub struct LocationService {
+    seed: u64,
+    stamps: usize,
+    map: RefCell<BTreeMap<u32, Placement>>,
+    /// Total placement changes since construction (for decision logs).
+    changes: Cell<u64>,
+}
+
+impl LocationService {
+    /// Place `accounts` accounts over stamps with the given capacity
+    /// `weights`. Pure function of `(seed, weights, accounts)`.
+    pub fn new(seed: u64, weights: &[f64], accounts: u32) -> LocationService {
+        let stamps = weights.len();
+        assert!(stamps >= 2, "a geo set needs at least two stamps");
+        let mut quota = quotas(weights, accounts as usize);
+        let mut map = BTreeMap::new();
+        for a in 0..accounts {
+            let mut ranked: Vec<usize> = (0..stamps).collect();
+            ranked.sort_by_key(|&s| std::cmp::Reverse(score(seed, a, s)));
+            let primary = *ranked
+                .iter()
+                .find(|&&s| quota[s] > 0)
+                .expect("quotas sum to the account count");
+            quota[primary] -= 1;
+            let secondary = *ranked
+                .iter()
+                .find(|&&s| s != primary)
+                .expect("at least two stamps");
+            map.insert(
+                a,
+                Placement {
+                    primary,
+                    secondary,
+                    epoch: 0,
+                },
+            );
+        }
+        LocationService {
+            seed,
+            stamps,
+            map: RefCell::new(map),
+            changes: Cell::new(0),
+        }
+    }
+
+    /// Number of stamps placed over.
+    pub fn stamps(&self) -> usize {
+        self.stamps
+    }
+
+    /// The placement seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Authoritative record for `account`.
+    pub fn placement_of(&self, account: u32) -> Placement {
+        self.map.borrow()[&account]
+    }
+
+    /// Accounts whose primary is `stamp`, in account order.
+    pub fn primaries_on(&self, stamp: usize) -> Vec<u32> {
+        self.map
+            .borrow()
+            .iter()
+            .filter(|(_, p)| p.primary == stamp)
+            .map(|(a, _)| *a)
+            .collect()
+    }
+
+    /// Primary-account count per stamp.
+    pub fn counts(&self) -> Vec<usize> {
+        let mut c = vec![0; self.stamps];
+        for p in self.map.borrow().values() {
+            c[p.primary] += 1;
+        }
+        c
+    }
+
+    /// Promote `account`'s secondary to primary (failover). The dead
+    /// primary becomes the secondary-of-record so replication resumes
+    /// toward it when it returns. Returns `(old_primary, new_primary)`.
+    pub fn promote(&self, account: u32) -> (usize, usize) {
+        let mut map = self.map.borrow_mut();
+        let p = map.get_mut(&account).expect("placed account");
+        std::mem::swap(&mut p.primary, &mut p.secondary);
+        p.epoch += 1;
+        self.changes.set(self.changes.get() + 1);
+        (p.secondary, p.primary)
+    }
+
+    /// Move `account`'s primary to `to` (rebalancing); the old primary
+    /// becomes the secondary. No-op if already there.
+    pub fn move_primary(&self, account: u32, to: usize) {
+        let mut map = self.map.borrow_mut();
+        let p = map.get_mut(&account).expect("placed account");
+        if p.primary == to {
+            return;
+        }
+        p.secondary = p.primary;
+        p.primary = to;
+        p.epoch += 1;
+        self.changes.set(self.changes.get() + 1);
+    }
+
+    /// Total placement changes so far.
+    pub fn changes(&self) -> u64 {
+        self.changes.get()
+    }
+
+    /// Order-insensitive-free digest of the whole map (accounts are
+    /// iterated in key order): the determinism fingerprint proptests
+    /// compare across runs.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for (a, p) in self.map.borrow().iter() {
+            for w in [*a as u64, p.primary as u64, p.secondary as u64, p.epoch] {
+                for b in w.to_le_bytes() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x100000001b3);
+                }
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quotas_apportion_exactly() {
+        assert_eq!(quotas(&[1.0, 1.0, 1.0, 1.0], 64), vec![16, 16, 16, 16]);
+        let q = quotas(&[2.0, 1.0, 1.0], 10);
+        assert_eq!(q.iter().sum::<usize>(), 10);
+        assert_eq!(q[0], 5);
+    }
+
+    #[test]
+    fn equal_weights_balance_exactly() {
+        let ls = LocationService::new(42, &[1.0; 4], 64);
+        assert_eq!(ls.counts(), vec![16, 16, 16, 16]);
+    }
+
+    #[test]
+    fn same_seed_is_identical_different_seed_diverges() {
+        let a = LocationService::new(7, &[1.0; 4], 128);
+        let b = LocationService::new(7, &[1.0; 4], 128);
+        let c = LocationService::new(8, &[1.0; 4], 128);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn secondary_is_always_distinct() {
+        let ls = LocationService::new(3, &[3.0, 1.0, 1.0, 1.0], 100);
+        for a in 0..100 {
+            let p = ls.placement_of(a);
+            assert_ne!(p.primary, p.secondary, "account {a}");
+        }
+    }
+
+    #[test]
+    fn promote_swaps_and_bumps_epoch() {
+        let ls = LocationService::new(1, &[1.0; 2], 4);
+        let before = ls.placement_of(0);
+        let (from, to) = ls.promote(0);
+        let after = ls.placement_of(0);
+        assert_eq!(from, before.primary);
+        assert_eq!(to, before.secondary);
+        assert_eq!(after.primary, before.secondary);
+        assert_eq!(after.secondary, before.primary);
+        assert_eq!(after.epoch, before.epoch + 1);
+        assert_eq!(ls.changes(), 1);
+    }
+
+    #[test]
+    fn move_primary_retargets_and_keeps_old_as_secondary() {
+        let ls = LocationService::new(1, &[1.0; 3], 9);
+        let before = ls.placement_of(2);
+        let to = (0..3).find(|&s| s != before.primary).unwrap();
+        ls.move_primary(2, to);
+        let after = ls.placement_of(2);
+        assert_eq!(after.primary, to);
+        assert_eq!(after.secondary, before.primary);
+        // Moving to where it already is changes nothing.
+        ls.move_primary(2, to);
+        assert_eq!(ls.placement_of(2).epoch, after.epoch);
+    }
+}

@@ -1,0 +1,471 @@
+//! The geo set: N storage stamps behind the location-service front
+//! door.
+//!
+//! Each stamp is a full [`StorageStamp`] with its own private network
+//! and an RNG scope (`"s0."`, `"s1."`, …) so stamps draw *independent*
+//! jitter and fault sequences from the shared simulation seed — two
+//! unscoped stamps on one `Sim` would replay identical streams.
+//!
+//! Client VMs live outside the stamps (they are compute-cluster VMs);
+//! [`GeoClient`] is a VM's front door. An operation resolves its
+//! account through the VM's location cache (TTL revalidation against
+//! the authoritative [`LocationService`], stale entries detected by
+//! epoch and bounced with one inter-stamp redirect), times out against
+//! a partitioned stamp, pays one inter-stamp RTT when the resolved
+//! primary is not the VM's home stamp, and finally fires the workload
+//! op through a lazily-attached per-(VM, stamp) storage client.
+//! Successful mutations append to the account's replication log.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+
+use azstore::{StampConfig, StorageAccountClient, StorageError, StorageStamp};
+use simcore::prelude::*;
+use simtrace::Layer;
+
+use crate::calib;
+use crate::placement::LocationService;
+use crate::replicate::ReplLog;
+
+/// Shared mutable counters for one geo run.
+#[derive(Debug, Default)]
+pub struct GeoStats {
+    /// Cache entries refreshed because their TTL expired.
+    pub revalidations: Cell<u64>,
+    /// Ops bounced off a stale placement (epoch mismatch after a
+    /// migration or failover) — each pays one inter-stamp RTT.
+    pub redirects: Cell<u64>,
+    /// Ops served by a stamp other than the VM's home stamp.
+    pub remote_ops: Cell<u64>,
+    /// Ops that timed out against a down stamp.
+    pub unavailable_ops: Cell<u64>,
+    /// Replication batches shipped.
+    pub ship_batches: Cell<u64>,
+    /// Replication entries shipped.
+    pub ship_entries: Cell<u64>,
+    /// Worst recovery-point exposure observed at any shipper tick (s).
+    pub rpo_max_s: Cell<f64>,
+    /// Worst per-account lost-tail age at a promotion (s).
+    pub rpo_at_promotion_s: Cell<f64>,
+    /// Total commit-log entries lost at promotions.
+    pub lost_entries: Cell<u64>,
+    /// Accounts promoted to their secondary.
+    pub promotions: Cell<u64>,
+    /// Measured recovery time of the first stamp failover (s).
+    pub rto_s: Cell<f64>,
+}
+
+/// One cached front-door entry.
+#[derive(Clone, Copy)]
+struct CacheEntry {
+    stamp: usize,
+    epoch: u64,
+    fetched_s: f64,
+}
+
+/// N stamps, the location service, per-account replication logs, and
+/// the run's shared counters.
+pub struct GeoSet {
+    sim: Sim,
+    stamps: Vec<Rc<StorageStamp>>,
+    ls: Rc<LocationService>,
+    logs: RefCell<BTreeMap<u32, ReplLog>>,
+    /// Lazily-attached per-(VM, stamp) storage clients.
+    clients: RefCell<HashMap<(usize, usize), Rc<StorageAccountClient>>>,
+    /// Successful-op counts: per stamp, and per account (the
+    /// rebalancer's heat signal).
+    stamp_ops: Vec<Cell<u64>>,
+    account_ops: RefCell<BTreeMap<u32, u64>>,
+    /// Byte-reproducible rebalance/failover decision log.
+    decisions: RefCell<Vec<String>>,
+    /// Shared counters.
+    pub stats: GeoStats,
+}
+
+impl GeoSet {
+    /// Build `weights.len()` stamps from `base` (each gets its own
+    /// network and RNG scope) and place `accounts` accounts over them
+    /// with `placement_seed`.
+    pub fn new(
+        sim: &Sim,
+        base: &StampConfig,
+        weights: &[f64],
+        accounts: u32,
+        placement_seed: u64,
+    ) -> Rc<GeoSet> {
+        let stamps: Vec<Rc<StorageStamp>> = (0..weights.len())
+            .map(|i| {
+                let cfg = StampConfig {
+                    rng_scope: format!("s{i}."),
+                    ..base.clone()
+                };
+                StorageStamp::standalone(sim, cfg)
+            })
+            .collect();
+        let ls = Rc::new(LocationService::new(placement_seed, weights, accounts));
+        let logs = (0..accounts).map(|a| (a, ReplLog::new())).collect();
+        Rc::new(GeoSet {
+            sim: sim.clone(),
+            stamp_ops: (0..stamps.len()).map(|_| Cell::new(0)).collect(),
+            stamps,
+            ls,
+            logs: RefCell::new(logs),
+            clients: RefCell::new(HashMap::new()),
+            account_ops: RefCell::new(BTreeMap::new()),
+            decisions: RefCell::new(Vec::new()),
+            stats: GeoStats::default(),
+        })
+    }
+
+    /// The simulation.
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// Number of stamps.
+    pub fn len(&self) -> usize {
+        self.stamps.len()
+    }
+
+    /// True for a zero-stamp set (never constructed; clippy insists).
+    pub fn is_empty(&self) -> bool {
+        self.stamps.is_empty()
+    }
+
+    /// The stamps.
+    pub fn stamps(&self) -> &[Rc<StorageStamp>] {
+        &self.stamps
+    }
+
+    /// The authoritative location service.
+    pub fn location(&self) -> &Rc<LocationService> {
+        &self.ls
+    }
+
+    /// Successful ops served per stamp so far.
+    pub fn stamp_ops(&self) -> Vec<u64> {
+        self.stamp_ops.iter().map(Cell::get).collect()
+    }
+
+    /// Run a closure over one account's replication log.
+    pub fn with_log<T>(&self, account: u32, f: impl FnOnce(&mut ReplLog) -> T) -> T {
+        f(self.logs.borrow_mut().get_mut(&account).expect("placed"))
+    }
+
+    /// Accounts in placement order (the shipper/failover iteration set).
+    pub fn accounts(&self) -> Vec<u32> {
+        self.logs.borrow().keys().copied().collect()
+    }
+
+    /// Append a decision-log line (rebalance moves, failover
+    /// promotions) — the byte-reproducible audit trail.
+    pub fn log_decision(&self, line: String) {
+        self.decisions.borrow_mut().push(line);
+    }
+
+    /// The decision log so far.
+    pub fn decisions(&self) -> Vec<String> {
+        self.decisions.borrow().clone()
+    }
+
+    /// Stamp-wide `(admission shed + latch shed, arrivals)` totals for
+    /// stamp `s` — the rebalancer's pressure signal.
+    pub fn shed_totals(&self, s: usize) -> (u64, u64) {
+        let stamp = &self.stamps[s];
+        let (accepted, shed) = stamp.admission_stats();
+        let latch = stamp.latch_shed_total();
+        (shed + latch, accepted + shed)
+    }
+
+    /// Hottest account primaried on `s`, by successful-op count with
+    /// the account id as deterministic tiebreak. The rebalancer drains
+    /// the account's residual replication tail as part of the move, so
+    /// pending entries don't pin an account in place.
+    pub fn hottest_account(&self, s: usize) -> Option<u32> {
+        let ops = self.account_ops.borrow();
+        self.ls
+            .primaries_on(s)
+            .into_iter()
+            .max_by_key(|a| (ops.get(a).copied().unwrap_or(0), std::cmp::Reverse(*a)))
+    }
+
+    /// The per-(VM, stamp) storage client, attached on first use.
+    fn client_for(&self, vm: usize, stamp: usize) -> Rc<StorageAccountClient> {
+        if let Some(c) = self.clients.borrow().get(&(vm, stamp)) {
+            return Rc::clone(c);
+        }
+        let c = Rc::new(self.stamps[stamp].attach_small_client());
+        self.clients.borrow_mut().insert((vm, stamp), Rc::clone(&c));
+        c
+    }
+
+    fn note_success(&self, account: u32, stamp: usize) {
+        self.stamp_ops[stamp].set(self.stamp_ops[stamp].get() + 1);
+        *self.account_ops.borrow_mut().entry(account).or_insert(0) += 1;
+    }
+}
+
+/// One client VM's front door to the geo set.
+pub struct GeoClient {
+    set: Rc<GeoSet>,
+    vm: usize,
+    /// The VM's home stamp (where its own account was placed at t=0):
+    /// ops resolved elsewhere pay the inter-stamp RTT.
+    home: usize,
+    cache: RefCell<HashMap<u32, CacheEntry>>,
+}
+
+impl GeoClient {
+    /// Front door for VM `vm`, homed on the primary of `home_account`.
+    pub fn new(set: &Rc<GeoSet>, vm: usize, home_account: u32) -> GeoClient {
+        let home = set.ls.placement_of(home_account).primary;
+        GeoClient {
+            set: Rc::clone(set),
+            vm,
+            home,
+            cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The VM's home stamp.
+    pub fn home(&self) -> usize {
+        self.home
+    }
+
+    /// Resolve `account` through the VM's cache; returns the cached
+    /// placement (possibly stale) to route against.
+    fn resolve(&self, account: u32, now_s: f64) -> CacheEntry {
+        let mut cache = self.cache.borrow_mut();
+        let cached = cache.get(&account).copied();
+        if let Some(e) = cached {
+            if now_s - e.fetched_s <= calib::CACHE_TTL_S {
+                return e;
+            }
+            // Expired: refresh against the authority.
+            self.set
+                .stats
+                .revalidations
+                .set(self.set.stats.revalidations.get() + 1);
+        }
+        let p = self.set.ls.placement_of(account);
+        let e = CacheEntry {
+            stamp: p.primary,
+            epoch: p.epoch,
+            fetched_s: now_s,
+        };
+        cache.insert(account, e);
+        e
+    }
+
+    /// Fire one workload op for `account` (`i` is the arrival index,
+    /// which picks the concrete blob/entity/message like
+    /// [`simload::fire`]). `deadline_abs_s`, when set, is declared to
+    /// the target stamp's front door right before the op enters (after
+    /// any redirect/cross-stamp hops, so the stash cannot leak across
+    /// interleaved tasks). Returns when the op completes or fails.
+    pub async fn op(
+        &self,
+        account: u32,
+        workload: simload::Workload,
+        i: usize,
+        deadline_abs_s: Option<f64>,
+    ) -> Result<(), StorageError> {
+        let set = &self.set;
+        let sim = set.sim.clone();
+        let now = sim.now().as_secs_f64();
+        let mut entry = self.resolve(account, now);
+
+        // Stale placement: the contacted stamp bounces us to the
+        // authoritative primary — one inter-stamp round trip.
+        let auth = set.ls.placement_of(account);
+        if entry.epoch != auth.epoch {
+            set.stats.redirects.set(set.stats.redirects.get() + 1);
+            simtrace::counter("geo.redirects", 1);
+            sim.delay(SimDuration::from_secs_f64(calib::INTER_STAMP_RTT_S))
+                .await;
+            entry = CacheEntry {
+                stamp: auth.primary,
+                epoch: auth.epoch,
+                fetched_s: sim.now().as_secs_f64(),
+            };
+            self.cache.borrow_mut().insert(account, entry);
+        }
+        let target = entry.stamp;
+
+        // A partitioned/crashed stamp is unreachable, not slow: the op
+        // hangs for the client timeout and the cache entry is dropped
+        // so the next op re-resolves (post-promotion it will find the
+        // new primary).
+        if simfault::stamp_down(target as u64, sim.now().as_secs_f64()) {
+            let timeout = set.stamps[target].config().op_timeout;
+            sim.delay(timeout).await;
+            self.cache.borrow_mut().remove(&account);
+            set.stats
+                .unavailable_ops
+                .set(set.stats.unavailable_ops.get() + 1);
+            simtrace::counter("geo.unavailable", 1);
+            return Err(StorageError::Timeout);
+        }
+
+        // Cross-stamp hop from the VM's home region.
+        if target != self.home {
+            set.stats.remote_ops.set(set.stats.remote_ops.get() + 1);
+            sim.delay(SimDuration::from_secs_f64(calib::INTER_STAMP_RTT_S))
+                .await;
+        }
+
+        let client = set.client_for(self.vm, target);
+        if let Some(d) = deadline_abs_s {
+            azstore::admit::stash_deadline(d);
+        }
+        let res = simload::fire(client, workload, i).await;
+        if res.is_ok() {
+            set.note_success(account, target);
+            if matches!(workload, simload::Workload::QueueAdd { .. }) {
+                let t = sim.now().as_secs_f64();
+                set.with_log(account, |log| log.append(t));
+            }
+        }
+        res
+    }
+}
+
+/// Spawn the replication shipper: every
+/// [`REPL_BATCH_INTERVAL_S`](calib::REPL_BATCH_INTERVAL_S) it records
+/// the recovery-point gauge (age of the oldest unshipped entry across
+/// accounts), then drains each account's pending batch — skipping
+/// accounts whose primary or secondary stamp is down — and ships the
+/// batches sequentially over the inter-stamp pipe.
+pub fn spawn_shipper(set: &Rc<GeoSet>, end_s: f64) {
+    let set = Rc::clone(set);
+    let sim = set.sim.clone();
+    let s = sim.clone();
+    sim.spawn(async move {
+        loop {
+            s.delay(SimDuration::from_secs_f64(calib::REPL_BATCH_INTERVAL_S))
+                .await;
+            let now = s.now().as_secs_f64();
+            if now >= end_s {
+                break;
+            }
+            // Gauge first: the sawtooth peak right before shipping.
+            let mut rpo = 0.0f64;
+            for a in set.accounts() {
+                if let Some(t) = set.with_log(a, |log| log.oldest_pending_s()) {
+                    rpo = rpo.max(now - t);
+                }
+            }
+            set.stats.rpo_max_s.set(set.stats.rpo_max_s.get().max(rpo));
+            simtrace::gauge("geo.rpo_s", rpo);
+
+            // Collect shippable batches without holding borrows across
+            // awaits, then ship them in account order.
+            let mut batches: Vec<(u32, u64, usize)> = Vec::new();
+            for a in set.accounts() {
+                let p = set.ls.placement_of(a);
+                if simfault::stamp_down(p.primary as u64, now)
+                    || simfault::stamp_down(p.secondary as u64, now)
+                {
+                    continue;
+                }
+                let batch = set.with_log(a, |log| log.take_batch());
+                if let Some(&(last, _)) = batch.last() {
+                    batches.push((a, last, batch.len()));
+                }
+            }
+            for (a, last, n) in batches {
+                let bytes = n as f64 * calib::REPL_ENTRY_BYTES;
+                let ship_s = calib::INTER_STAMP_RTT_S + bytes / calib::INTER_STAMP_BW_BPS;
+                let sp = simtrace::span(Layer::Geo, "geo.ship", || format!("repl:a{a:04}"));
+                sp.attr("entries", n.to_string());
+                s.delay(SimDuration::from_secs_f64(ship_s)).await;
+                sp.end();
+                set.with_log(a, |log| log.apply_through(last));
+                set.stats.ship_batches.set(set.stats.ship_batches.get() + 1);
+                set.stats
+                    .ship_entries
+                    .set(set.stats.ship_entries.get() + n as u64);
+                simtrace::counter("geo.ship.entries", n as i64);
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simload::Workload;
+
+    fn small_set(sim: &Sim) -> Rc<GeoSet> {
+        GeoSet::new(sim, &StampConfig::default(), &[1.0, 1.0], 8, 0xA11)
+    }
+
+    #[test]
+    fn scoped_stamps_draw_divergent_streams() {
+        let sim = Sim::new(5);
+        let set = small_set(&sim);
+        assert_eq!(set.len(), 2);
+        assert_eq!(
+            set.stamps()[0].config().rng_scope,
+            "s0.",
+            "stamps are RNG-scoped"
+        );
+        assert_ne!(
+            set.stamps()[0].config().rng_scope,
+            set.stamps()[1].config().rng_scope
+        );
+    }
+
+    #[test]
+    fn ops_route_to_the_account_primary_and_mutations_append() {
+        let sim = Sim::new(6);
+        let set = small_set(&sim);
+        for i in 0..set.len() {
+            simload::seed_workload(
+                &set.stamps()[i],
+                Workload::QueueAdd {
+                    message_bytes: 512.0,
+                },
+            );
+        }
+        let client = Rc::new(GeoClient::new(&set, 0, 3));
+        let s2 = Rc::clone(&set);
+        let c2 = Rc::clone(&client);
+        sim.spawn(async move {
+            c2.op(
+                3,
+                Workload::QueueAdd {
+                    message_bytes: 512.0,
+                },
+                0,
+                None,
+            )
+            .await
+            .expect("queue add on a healthy stamp");
+            let primary = s2.location().placement_of(3).primary;
+            assert_eq!(s2.stamp_ops()[primary], 1);
+            assert_eq!(s2.with_log(3, |l| l.appended()), 1);
+        });
+        sim.run();
+        assert_eq!(set.stats.redirects.get(), 0);
+        assert_eq!(set.stats.unavailable_ops.get(), 0);
+    }
+
+    #[test]
+    fn shipper_drains_pending_and_tracks_rpo() {
+        let sim = Sim::new(7);
+        let set = small_set(&sim);
+        set.with_log(2, |log| {
+            log.append(0.5);
+            log.append(1.0);
+        });
+        spawn_shipper(&set, 20.0);
+        sim.run();
+        assert_eq!(set.with_log(2, |l| (l.applied(), l.appended())), (2, 2));
+        assert_eq!(set.stats.ship_batches.get(), 1);
+        assert_eq!(set.stats.ship_entries.get(), 2);
+        // First tick at t=5 sees an entry appended at 0.5 → RPO 4.5 s.
+        assert!((set.stats.rpo_max_s.get() - 4.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for the geo layer: placement determinism,
+//! replication-log watermark monotonicity, and single-promotion
+//! failover — over arbitrary seeds and operation sequences.
+
+use azgeo::{LocationService, ReplLog};
+use proptest::prelude::*;
+
+/// One step against a [`ReplLog`], driven at a monotone virtual clock.
+#[derive(Debug, Clone)]
+enum LogOp {
+    /// Append one entry after this many (scaled) seconds.
+    Append(u8),
+    /// Ship everything pending.
+    TakeBatch,
+    /// Apply the shipped prefix on the secondary.
+    ApplyShipped,
+    /// Promote: abandon the unshipped tail.
+    AbandonTail,
+}
+
+fn log_ops() -> impl Strategy<Value = Vec<LogOp>> {
+    // The vendored prop_oneof! is unweighted; repeating an arm skews
+    // the draw toward it (3:2:2:1 append:ship:apply:abandon).
+    prop::collection::vec(
+        prop_oneof![
+            (0u8..=u8::MAX).prop_map(LogOp::Append),
+            (0u8..=u8::MAX).prop_map(LogOp::Append),
+            (0u8..=u8::MAX).prop_map(LogOp::Append),
+            Just(LogOp::TakeBatch),
+            Just(LogOp::TakeBatch),
+            Just(LogOp::ApplyShipped),
+            Just(LogOp::ApplyShipped),
+            Just(LogOp::AbandonTail),
+        ],
+        0..64,
+    )
+}
+
+proptest! {
+    /// Same placement seed: byte-identical account→stamp maps (equal
+    /// fingerprints, placements, and balanced counts); different
+    /// seeds diverge.
+    #[test]
+    fn placement_is_a_pure_function_of_the_seed(
+        seed_a in 0u64..=u64::MAX,
+        seed_b in 0u64..=u64::MAX,
+        accounts in 4u32..128,
+    ) {
+        let weights = [1.0, 1.0, 1.0, 1.0];
+        let x = LocationService::new(seed_a, &weights, accounts);
+        let y = LocationService::new(seed_a, &weights, accounts);
+        prop_assert_eq!(x.fingerprint(), y.fingerprint());
+        for a in 0..accounts {
+            prop_assert_eq!(x.placement_of(a), y.placement_of(a));
+        }
+        // Equal weights: largest-remainder quotas keep every stamp
+        // within one account of every other.
+        let counts = x.counts();
+        let (min, max) = (
+            *counts.iter().min().unwrap(),
+            *counts.iter().max().unwrap(),
+        );
+        prop_assert!(max - min <= 1, "unbalanced counts {counts:?}");
+        if seed_a != seed_b {
+            let z = LocationService::new(seed_b, &weights, accounts);
+            prop_assert_ne!(
+                x.fingerprint(),
+                z.fingerprint(),
+                "distinct seeds produced an identical placement map"
+            );
+        }
+    }
+
+    /// Watermarks never regress under any operation sequence: appended
+    /// >= shipped >= applied at every step, the shipped LSN is
+    /// monotone, and the RPO gauge quantity (now minus the oldest
+    /// pending append) is never negative.
+    #[test]
+    fn replication_watermarks_are_monotone(ops in log_ops()) {
+        let mut log = ReplLog::new();
+        let mut now = 0.0f64;
+        let mut last_shipped = 0u64;
+        for op in ops {
+            match op {
+                LogOp::Append(dt) => {
+                    now += dt as f64 * 0.1;
+                    log.append(now);
+                }
+                LogOp::TakeBatch => {
+                    log.take_batch();
+                }
+                LogOp::ApplyShipped => {
+                    let shipped = log.shipped();
+                    log.apply_through(shipped);
+                }
+                LogOp::AbandonTail => {
+                    let (_, rpo) = log.abandon_tail(now);
+                    prop_assert!(rpo >= 0.0, "negative rpo {rpo}");
+                }
+            }
+            prop_assert!(log.shipped() >= last_shipped, "shipped regressed");
+            last_shipped = log.shipped();
+            prop_assert!(log.appended() >= log.shipped());
+            prop_assert!(log.shipped() >= log.applied());
+            if let Some(oldest) = log.oldest_pending_s() {
+                prop_assert!(now - oldest >= 0.0, "negative pending age");
+            }
+        }
+    }
+
+    /// A failover promotes exactly one secondary: the account's
+    /// primary and secondary swap, the epoch bumps exactly once, and
+    /// no other account's placement moves.
+    #[test]
+    fn promote_swaps_exactly_one_secondary(
+        seed in 0u64..=u64::MAX,
+        accounts in 2u32..64,
+        victim in 0u32..64,
+    ) {
+        let victim = victim % accounts;
+        let weights = [1.0, 1.0, 1.0];
+        let ls = LocationService::new(seed, &weights, accounts);
+        let before: Vec<_> = (0..accounts).map(|a| ls.placement_of(a)).collect();
+        let (from, to) = ls.promote(victim);
+        for a in 0..accounts {
+            let b = &before[a as usize];
+            let p = ls.placement_of(a);
+            if a == victim {
+                prop_assert_eq!(from, b.primary);
+                prop_assert_eq!(to, b.secondary);
+                prop_assert_eq!(p.primary, b.secondary);
+                prop_assert_eq!(p.secondary, b.primary);
+                prop_assert_eq!(p.epoch, b.epoch + 1);
+            } else {
+                prop_assert_eq!(&p, b, "bystander account {} moved", a);
+            }
+        }
+    }
+}

@@ -93,7 +93,7 @@ impl BlobService {
                 next_etag: 1,
             }),
             egress_links: RefCell::new(HashMap::new()),
-            rng: RefCell::new(sim.rng("blob.service")),
+            rng: RefCell::new(sim.rng(&cfg.scoped("blob.service"))),
             gets: std::cell::Cell::new(0),
             puts: std::cell::Cell::new(0),
             door: crate::admit::FrontDoor::build(sim, &cfg.admission),

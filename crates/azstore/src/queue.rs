@@ -110,7 +110,7 @@ impl QueueService {
             queues: RefCell::new(HashMap::new()),
             perf: RefCell::new(HashMap::new()),
             next_id: Cell::new(1),
-            rng: RefCell::new(sim.rng("queue.service")),
+            rng: RefCell::new(sim.rng(&cfg.scoped("queue.service"))),
             ops: Cell::new(0),
             door: crate::admit::FrontDoor::build(sim, &cfg.admission),
         })
@@ -278,7 +278,10 @@ impl QueueClient {
     pub(crate) fn new(svc: &Rc<QueueService>, client_id: u64) -> Self {
         QueueClient {
             svc: Rc::clone(svc),
-            rng: RefCell::new(svc.sim.rng(&format!("queue.client.{client_id}"))),
+            rng: RefCell::new(
+                svc.sim
+                    .rng(&svc.cfg.scoped(&format!("queue.client.{client_id}"))),
+            ),
         }
     }
 

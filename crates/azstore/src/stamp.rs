@@ -98,6 +98,26 @@ pub struct StampConfig {
     /// config shares the dial. Defaults to the calibrated reference
     /// capacity (`r = 1`), which leaves every formula bit-identical.
     pub capacity: crate::station::CapacityScale,
+    /// Prefix for this stamp's named RNG streams. `Sim::rng` derives a
+    /// stream purely from `(seed, label)`, so two stamps on one `Sim`
+    /// would otherwise draw *identical* jitter/fault sequences. A geo
+    /// set gives each stamp a distinct scope (`"s0."`, `"s1."`, …); the
+    /// default empty scope leaves every existing stream label — and
+    /// therefore every single-stamp artifact — byte-identical.
+    pub rng_scope: String,
+}
+
+impl StampConfig {
+    /// Apply this stamp's [`StampConfig::rng_scope`] to a stream label.
+    /// The empty scope returns the label unchanged, preserving every
+    /// pre-geo stream name byte for byte.
+    pub fn scoped(&self, label: &str) -> String {
+        if self.rng_scope.is_empty() {
+            label.to_string()
+        } else {
+            format!("{}{}", self.rng_scope, label)
+        }
+    }
 }
 
 impl Default for StampConfig {
@@ -110,6 +130,7 @@ impl Default for StampConfig {
             ablate_no_latch_inflation: false,
             admission: crate::admit::AdmissionConfig::None,
             capacity: crate::station::CapacityScale::unit(),
+            rng_scope: String::new(),
         }
     }
 }

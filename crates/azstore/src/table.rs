@@ -189,7 +189,7 @@ impl TableService {
                 j,
             )
             .with_capacity(cfg.capacity.clone()),
-            rng: RefCell::new(sim.rng("table.service")),
+            rng: RefCell::new(sim.rng(&cfg.scoped("table.service"))),
             ops: Cell::new(0),
             door: crate::admit::FrontDoor::build(sim, &cfg.admission),
         })
@@ -348,7 +348,10 @@ impl TableClient {
     pub(crate) fn new(svc: &Rc<TableService>, client_id: u64) -> Self {
         TableClient {
             svc: Rc::clone(svc),
-            rng: RefCell::new(svc.sim.rng(&format!("table.client.{client_id}"))),
+            rng: RefCell::new(
+                svc.sim
+                    .rng(&svc.cfg.scoped(&format!("table.client.{client_id}"))),
+            ),
         }
     }
 

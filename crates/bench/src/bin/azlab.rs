@@ -20,9 +20,11 @@
 //! (exit 2) that prints the same list.
 //!
 //! `bench` times the quick campaign set and the ModisAzure campaign at
-//! 1 vs 4 shards, writing a `BENCH_pr8.json` wall-clock report. Times
-//! are recorded in microseconds: several quick campaigns finish in
-//! well under a millisecond, where ms-resolution rows read `0`.
+//! 1 vs 4 shards, writing a `BENCH_pr9.json` wall-clock report with
+//! each campaign's planned cell count in both modes (quick and full)
+//! next to its quick wall-clock. Times are recorded in microseconds:
+//! several quick campaigns finish in well under a millisecond, where
+//! ms-resolution rows read `0`.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -30,7 +32,7 @@ use std::time::Instant;
 use bench::campaigns;
 use simlab::{CampaignEntry, Manifest, RunOpts, TraceSpec};
 
-const USAGE: &str = "azlab <run|bench> [target] [--quick] [--shards N] [--faults <preset>] [--trace <path>] [--out <path>] [--list]\n  targets: all fig1 fig2 fig3 fig4 fig5 table1 table2 fig7 modis frontier shedding elastic faas ablations  (azlab run --list enumerates them)";
+const USAGE: &str = "azlab <run|bench> [target] [--quick] [--shards N] [--faults <preset>] [--trace <path>] [--out <path>] [--list]\n  targets: all fig1 fig2 fig3 fig4 fig5 table1 table2 fig7 modis frontier geo shedding elastic faas ablations  (azlab run --list enumerates them)";
 
 fn usage_exit(msg: &str) -> ! {
     eprintln!("error: {msg}");
@@ -162,8 +164,9 @@ fn cmd_bench(flags: simlab::Flags) {
     json.push_str(&format!("  \"modis_speedup_4shards\": {speedup:.2},\n"));
     json.push_str("  \"campaigns\": [\n");
     for (i, (name, cells, us)) in rows.iter().enumerate() {
+        let cells_full = campaigns::cell_count(name, false).expect("canonical name");
         json.push_str(&format!(
-            "    {{\"name\": \"{name}\", \"cells\": {cells}, \"wall_us\": {us}}}{}\n",
+            "    {{\"name\": \"{name}\", \"cells_quick\": {cells}, \"cells_full\": {cells_full}, \"wall_us\": {us}}}{}\n",
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -173,7 +176,7 @@ fn cmd_bench(flags: simlab::Flags) {
     let path = flags.out.unwrap_or_else(|| {
         PathBuf::from(env!("CARGO_MANIFEST_DIR"))
             .join("../..")
-            .join("BENCH_pr8.json")
+            .join("BENCH_pr9.json")
     });
     match std::fs::write(&path, &json) {
         Ok(()) => println!(

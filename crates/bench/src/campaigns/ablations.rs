@@ -152,6 +152,11 @@ fn modis_variant(name: &'static str, cfg: ModisConfig, ctx: &CellCtx) -> Ablatio
     })
 }
 
+/// Planned cell count for one mode (recorded by `azlab bench`).
+pub fn cell_count(_quick: bool) -> usize {
+    6
+}
+
 /// Run the ablation campaign.
 pub fn run(quick: bool, opts: &RunOpts) -> CampaignOutput {
     eprintln!("ablations: 3 micro ablations + 3 ModisAzure configurations ...");

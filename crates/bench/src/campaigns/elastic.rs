@@ -169,6 +169,11 @@ struct Point {
     r: ElasticResult,
 }
 
+/// Planned cell count for one mode (recorded by `azlab bench`).
+pub fn cell_count(quick: bool) -> usize {
+    Plan::new(quick).cells().len()
+}
+
 /// Run the elastic campaign.
 pub fn run(quick: bool, opts: &RunOpts) -> CampaignOutput {
     let plan = Plan::new(quick);

@@ -116,6 +116,11 @@ struct Point {
     r: FaasResult,
 }
 
+/// Planned cell count for one mode (recorded by `azlab bench`).
+pub fn cell_count(quick: bool) -> usize {
+    Plan::new(quick).cells().len()
+}
+
 /// Run the faas campaign.
 pub fn run(quick: bool, opts: &RunOpts) -> CampaignOutput {
     let plan = Plan::new(quick);

@@ -8,6 +8,17 @@ use simlab::{anchor, run_cells, RunOpts};
 
 use super::{check, CampaignOutput};
 
+/// Planned cell count for one mode (recorded by `azlab bench`).
+pub fn cell_count(quick: bool) -> usize {
+    if quick {
+        BlobScalingConfig::quick()
+    } else {
+        BlobScalingConfig::default()
+    }
+    .client_counts
+    .len()
+}
+
 /// Run the Fig 1 campaign.
 pub fn run(quick: bool, opts: &RunOpts) -> CampaignOutput {
     let cfg = if quick {

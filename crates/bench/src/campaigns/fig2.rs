@@ -10,6 +10,16 @@ use super::CampaignOutput;
 
 const CLIFF_COUNTS: [usize; 3] = [64, 128, 192];
 
+/// Planned cell count for one mode (recorded by `azlab bench`).
+pub fn cell_count(quick: bool) -> usize {
+    let base = if quick {
+        TableScalingConfig::quick()
+    } else {
+        TableScalingConfig::default()
+    };
+    base.client_counts.len() + CLIFF_COUNTS.len()
+}
+
 /// Run the Fig 2 campaign.
 pub fn run(quick: bool, opts: &RunOpts) -> CampaignOutput {
     let base = if quick {

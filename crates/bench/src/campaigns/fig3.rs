@@ -14,6 +14,16 @@ enum Fig3Cell {
     InvarianceRate(f64),
 }
 
+/// Planned cell count for one mode (recorded by `azlab bench`).
+pub fn cell_count(quick: bool) -> usize {
+    let cfg = if quick {
+        QueueScalingConfig::quick()
+    } else {
+        QueueScalingConfig::default()
+    };
+    QueueOp::ALL.len() * cfg.client_counts.len() + 2
+}
+
 /// Run the Fig 3 campaign.
 pub fn run(quick: bool, opts: &RunOpts) -> CampaignOutput {
     let cfg = if quick {

@@ -15,6 +15,15 @@ use simlab::{anchor, run_cells, RunOpts};
 
 use super::{check, CampaignOutput};
 
+/// Planned cell count for one mode (recorded by `azlab bench`).
+pub fn cell_count(quick: bool) -> usize {
+    if quick {
+        10
+    } else {
+        TcpLatencyConfig::default().pairs
+    }
+}
+
 /// Run the Fig 4 campaign.
 pub fn run(quick: bool, opts: &RunOpts) -> CampaignOutput {
     let cfg = if quick {

@@ -10,6 +10,16 @@ use simlab::{anchor, run_cells, RunOpts};
 
 use super::{check, CampaignOutput};
 
+/// Planned cell count for one mode (recorded by `azlab bench`).
+pub fn cell_count(quick: bool) -> usize {
+    if quick {
+        TcpBandwidthConfig::quick()
+    } else {
+        TcpBandwidthConfig::default()
+    }
+    .rounds
+}
+
 /// Run the Fig 5 campaign.
 pub fn run(quick: bool, opts: &RunOpts) -> CampaignOutput {
     let cfg = if quick {

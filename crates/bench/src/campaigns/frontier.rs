@@ -178,6 +178,11 @@ impl Point {
     }
 }
 
+/// Planned cell count for one mode (recorded by `azlab bench`).
+pub fn cell_count(quick: bool) -> usize {
+    Plan::new(quick).points().len()
+}
+
 /// Run the frontier campaign.
 pub fn run(quick: bool, opts: &RunOpts) -> CampaignOutput {
     let plan = Plan::new(quick);

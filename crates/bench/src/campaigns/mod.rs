@@ -28,6 +28,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod frontier;
+pub mod geo;
 pub mod modis;
 pub mod shedding;
 pub mod table1;
@@ -52,7 +53,7 @@ pub struct CampaignOutput {
 }
 
 /// Canonical campaign names, in `azlab run all` execution order.
-pub const ALL: [&str; 12] = [
+pub const ALL: [&str; 13] = [
     "fig1",
     "fig2",
     "fig3",
@@ -61,6 +62,7 @@ pub const ALL: [&str; 12] = [
     "table1",
     "modis",
     "frontier",
+    "geo",
     "shedding",
     "elastic",
     "faas",
@@ -87,10 +89,33 @@ pub fn run(name: &str, quick: bool, opts: &RunOpts) -> Option<CampaignOutput> {
         "table1" => table1::run(quick, opts),
         "modis" => modis::run(quick, opts),
         "frontier" => frontier::run(quick, opts),
+        "geo" => geo::run(quick, opts),
         "shedding" => shedding::run(quick, opts),
         "elastic" => elastic::run(quick, opts),
         "faas" => faas::run(quick, opts),
         "ablations" => ablations::run(quick, opts),
+        _ => unreachable!("canonical() returned an unknown name"),
+    })
+}
+
+/// Planned cell count of one campaign in one mode, without running it
+/// (the `azlab bench` report records quick and full counts side by
+/// side).
+pub fn cell_count(name: &str, quick: bool) -> Option<usize> {
+    Some(match canonical(name)? {
+        "fig1" => fig1::cell_count(quick),
+        "fig2" => fig2::cell_count(quick),
+        "fig3" => fig3::cell_count(quick),
+        "fig4" => fig4::cell_count(quick),
+        "fig5" => fig5::cell_count(quick),
+        "table1" => table1::cell_count(quick),
+        "modis" => modis::cell_count(quick),
+        "frontier" => frontier::cell_count(quick),
+        "geo" => geo::cell_count(quick),
+        "shedding" => shedding::cell_count(quick),
+        "elastic" => elastic::cell_count(quick),
+        "faas" => faas::cell_count(quick),
+        "ablations" => ablations::cell_count(quick),
         _ => unreachable!("canonical() returned an unknown name"),
     })
 }

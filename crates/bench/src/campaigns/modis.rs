@@ -60,6 +60,16 @@ fn segment_days(days: u64, segments: usize) -> Vec<u64> {
         .collect()
 }
 
+/// Planned cell count for one mode (recorded by `azlab bench`).
+pub fn cell_count(quick: bool) -> usize {
+    let cfg = if quick {
+        ModisConfig::quick()
+    } else {
+        ModisConfig::default()
+    };
+    segment_days(cfg.days, if quick { 4 } else { 8 }).len()
+}
+
 /// Run the combined Table 2 + Fig 7 campaign.
 pub fn run(quick: bool, opts: &RunOpts) -> CampaignOutput {
     let mut cfg = if quick {

@@ -252,6 +252,11 @@ struct Point {
     cell: LoadCellResult,
 }
 
+/// Planned cell count for one mode (recorded by `azlab bench`).
+pub fn cell_count(quick: bool) -> usize {
+    Plan::new(quick).cells().len()
+}
+
 /// Run the shedding campaign.
 pub fn run(quick: bool, opts: &RunOpts) -> CampaignOutput {
     let plan = Plan::new(quick);

@@ -12,6 +12,11 @@ use simlab::{anchor, run_cells, RunOpts};
 
 use super::{check, CampaignOutput};
 
+/// Planned cell count for one mode (recorded by `azlab bench`).
+pub fn cell_count(_quick: bool) -> usize {
+    1
+}
+
 /// Run the Table 1 campaign.
 pub fn run(quick: bool, opts: &RunOpts) -> CampaignOutput {
     let cfg = if quick {

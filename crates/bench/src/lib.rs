@@ -17,6 +17,7 @@
 //! | `shedding` | admission control past the knee | ~30 s |
 //! | `elastic` | autoscaling vs the provisioning tax | ~90 s |
 //! | `faas` | serverless keepalive frontier | ~10 s (18 cells, ~60 k invocations each) |
+//! | `geo` | multi-stamp scale-out, geo-replication, failover | ~20 s (16 cells, 4 stamps, 10⁴ clients) |
 //! | `ablations` | the DESIGN.md mechanism ablations | ~10 s |
 //!
 //! Run everything with `azlab run all [--quick] [--shards N]`, or one

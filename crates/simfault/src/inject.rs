@@ -103,6 +103,7 @@ fn layer_of(ep: &FaultEpisode) -> Layer {
         FaultKind::LinkDegrade { .. } | FaultKind::NetPartition => Layer::Net,
         FaultKind::FrontendStorm { .. } | FaultKind::PartitionStall { .. } => Layer::Store,
         FaultKind::HostCrash { .. } | FaultKind::GrayFailure { .. } => Layer::Fabric,
+        FaultKind::StampPartition { .. } | FaultKind::StampCrash { .. } => Layer::Geo,
     }
 }
 
@@ -259,6 +260,36 @@ pub fn frontend_fault(t_s: f64) -> Option<FrontendFault> {
     .flatten()
 }
 
+/// True while a stamp-scoped episode ([`FaultKind::StampPartition`] or
+/// [`FaultKind::StampCrash`]) for `stamp` is active at `t_s`. The geo
+/// layer's front door and replication shippers poll this; per-stamp
+/// request paths never do (a partitioned stamp is unreachable, not
+/// slow).
+pub fn stamp_down(stamp: u64, t_s: f64) -> bool {
+    with_active(|inj| {
+        inj.inner.plan.episodes.iter().any(|ep| {
+            ep.active_at(t_s)
+                && matches!(
+                    ep.kind,
+                    FaultKind::StampPartition { stamp: s } | FaultKind::StampCrash { stamp: s }
+                        if s == stamp
+                )
+        })
+    })
+    .unwrap_or(false)
+}
+
+/// True while a [`FaultKind::StampCrash`] episode for `stamp` is active
+/// at `t_s` — the losing kind of down: unshipped writes are gone.
+pub fn stamp_crashed(stamp: u64, t_s: f64) -> bool {
+    with_active(|inj| {
+        inj.inner.plan.episodes.iter().any(|ep| {
+            ep.active_at(t_s) && matches!(ep.kind, FaultKind::StampCrash { stamp: s } if s == stamp)
+        })
+    })
+    .unwrap_or(false)
+}
+
 /// Added mutation-commit stall from an active partition-reassignment
 /// episode at `t_s`.
 pub fn partition_stall(t_s: f64) -> Option<f64> {
@@ -369,6 +400,37 @@ mod tests {
         assert_eq!(frontend_fault(68.0), None);
         assert_eq!(partition_stall(72.0), Some(3.0));
         assert_eq!(partition_stall(78.0), None);
+    }
+
+    #[test]
+    fn stamp_down_tracks_stamp_scoped_windows() {
+        assert!(!stamp_down(0, 15.0), "inert without an injector");
+        let sim = Sim::new(7);
+        let plan = FaultPlan {
+            name: "test",
+            storage: crate::plan::StorageFaults::clean(),
+            episodes: vec![
+                FaultEpisode {
+                    start_s: 10.0,
+                    duration_s: 10.0,
+                    kind: FaultKind::StampPartition { stamp: 0 },
+                },
+                FaultEpisode {
+                    start_s: 30.0,
+                    duration_s: 10.0,
+                    kind: FaultKind::StampCrash { stamp: 2 },
+                },
+            ],
+        };
+        let _g = install(&sim, &plan);
+        assert!(!stamp_down(0, 5.0));
+        assert!(stamp_down(0, 15.0));
+        assert!(!stamp_crashed(0, 15.0), "partition is not a crash");
+        assert!(!stamp_down(1, 15.0), "other stamps unaffected");
+        assert!(!stamp_down(0, 25.0));
+        assert!(stamp_down(2, 35.0));
+        assert!(stamp_crashed(2, 35.0));
+        assert!(!stamp_down(2, 45.0));
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub mod retry;
 
 pub use inject::{
     enabled, frontend_fault, host_speed, install, net_rtt_multiplier, partition_stall,
-    FrontendFault, InstallGuard,
+    stamp_crashed, stamp_down, FrontendFault, InstallGuard,
 };
 pub use plan::{rates, FaultEpisode, FaultKind, FaultPlan, StorageFaults};
 pub use retry::{Backoff, BackoffSeq, GiveUp, Jitter, RetryBudget, RetryPolicy, FOREVER};

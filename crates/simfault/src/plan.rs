@@ -126,6 +126,20 @@ pub enum FaultKind {
         /// Residual speed multiplier in (0, 1).
         speed: f64,
     },
+    /// Whole-stamp network partition: every request to the stamp (and
+    /// its inter-stamp replication traffic) times out while the window
+    /// is active; the stamp itself keeps running and rejoins intact.
+    StampPartition {
+        /// Index of the partitioned stamp in the geo set.
+        stamp: u64,
+    },
+    /// Whole-stamp crash: as [`FaultKind::StampPartition`] from the
+    /// outside, but state written only to this stamp during the window
+    /// is lost (the geo layer's RPO tail).
+    StampCrash {
+        /// Index of the crashed stamp in the geo set.
+        stamp: u64,
+    },
 }
 
 /// The RTT multiplier a [`FaultKind::NetPartition`] applies: large
@@ -165,6 +179,8 @@ impl FaultEpisode {
             FaultKind::PartitionStall { .. } => "partition_stall",
             FaultKind::HostCrash { .. } => "host_crash",
             FaultKind::GrayFailure { .. } => "gray_failure",
+            FaultKind::StampPartition { .. } => "stamp_partition",
+            FaultKind::StampCrash { .. } => "stamp_crash",
         }
     }
 }

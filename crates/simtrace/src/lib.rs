@@ -86,11 +86,16 @@ pub enum Layer {
     /// underlying scaled VM lifecycle still traces as fabric, while
     /// pool decisions (warm hit, eviction, prewarm) trace here.
     Faas,
+    /// `azgeo` — multi-stamp geo layer (location service, replication
+    /// shipping, rebalance and failover decisions). Separate from
+    /// [`Layer::Store`]: per-stamp request handling still traces as
+    /// store, while cross-stamp control-plane activity traces here.
+    Geo,
 }
 
 impl Layer {
     /// All layers in display order.
-    pub const ALL: [Layer; 7] = [
+    pub const ALL: [Layer; 8] = [
         Layer::Kernel,
         Layer::Net,
         Layer::Store,
@@ -98,6 +103,7 @@ impl Layer {
         Layer::App,
         Layer::Load,
         Layer::Faas,
+        Layer::Geo,
     ];
 
     /// Short lowercase name (used as the Chrome `cat` and in tables).
@@ -110,6 +116,7 @@ impl Layer {
             Layer::App => "app",
             Layer::Load => "load",
             Layer::Faas => "faas",
+            Layer::Geo => "geo",
         }
     }
 
@@ -123,6 +130,7 @@ impl Layer {
             Layer::App => "app (modis)",
             Layer::Load => "load (simload)",
             Layer::Faas => "faas",
+            Layer::Geo => "geo (azgeo)",
         }
     }
 
@@ -135,6 +143,7 @@ impl Layer {
             Layer::App => 5,
             Layer::Load => 6,
             Layer::Faas => 7,
+            Layer::Geo => 8,
         }
     }
 }

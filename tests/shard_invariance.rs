@@ -175,3 +175,32 @@ fn faas_quick_under_faults_is_shard_invariant() {
     let plan = FaultPlan::by_name("crash-partition").expect("preset");
     assert_shard_invariant("faas", Some(plan));
 }
+
+/// The geo campaign: every cell runs a whole multi-stamp set (stamps
+/// with scoped RNG streams, the replication shipper, the health
+/// monitor, the rebalancer) on its own `Sim`, and the merged output
+/// includes the failover/rebalance decision log — none of which may
+/// depend on which worker ran the cell.
+#[test]
+fn geo_quick_is_shard_invariant() {
+    assert_shard_invariant("geo", None);
+}
+
+/// Geo under a user-level stamp-partition plan: a whole-run stamp-1
+/// outage layers under the campaign's own per-cell stamp-0 partitions
+/// (failover cells merge both), and death detection, promotions and
+/// lost tails must replay identically on every shard layout.
+#[test]
+fn geo_quick_under_stamp_partition_is_shard_invariant() {
+    use simfault::{FaultEpisode, FaultKind, StorageFaults};
+    let plan = FaultPlan {
+        name: "stamp-partition",
+        storage: StorageFaults::clean(),
+        episodes: vec![FaultEpisode {
+            start_s: 4.0,
+            duration_s: 600.0,
+            kind: FaultKind::StampPartition { stamp: 1 },
+        }],
+    };
+    assert_shard_invariant("geo", Some(plan));
+}
