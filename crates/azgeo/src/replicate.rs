@@ -31,6 +31,10 @@ pub struct ReplLog {
     lost: u64,
     /// Committed-but-unshipped entries: `(lsn, append_time_s)`.
     pending: VecDeque<(u64, f64)>,
+    /// Shipped-but-unapplied entries, in LSN order: the in-flight batch
+    /// tail the staleness gauge needs (`pending` alone only covers the
+    /// unshipped part of the lag).
+    inflight: VecDeque<(u64, f64)>,
 }
 
 impl ReplLog {
@@ -74,12 +78,15 @@ impl ReplLog {
     }
 
     /// Drain everything pending into one batch and advance `shipped`.
-    /// Empty when nothing is pending.
+    /// Empty when nothing is pending. The batch entries stay tracked as
+    /// in-flight until [`apply_through`](Self::apply_through) covers
+    /// them.
     pub fn take_batch(&mut self) -> Vec<(u64, f64)> {
         let batch: Vec<(u64, f64)> = self.pending.drain(..).collect();
         if let Some(&(last, _)) = batch.last() {
             debug_assert!(last >= self.shipped);
             self.shipped = last;
+            self.inflight.extend(batch.iter().copied());
         }
         batch
     }
@@ -88,6 +95,31 @@ impl ReplLog {
     pub fn apply_through(&mut self, lsn: u64) {
         debug_assert!(lsn <= self.shipped);
         self.applied = self.applied.max(lsn);
+        while self.inflight.front().is_some_and(|&(l, _)| l <= lsn) {
+            self.inflight.pop_front();
+        }
+    }
+
+    /// Append time of the oldest entry the secondary has not applied —
+    /// in-flight entries are older than pending ones, so the front of
+    /// `inflight` wins when both exist. `None` when the secondary is
+    /// fully caught up.
+    pub fn oldest_unapplied_s(&self) -> Option<f64> {
+        self.inflight
+            .front()
+            .or_else(|| self.pending.front())
+            .map(|&(_, t)| t)
+    }
+
+    /// The secondary's applied-watermark lag at `now_s`: the age of the
+    /// oldest unapplied entry, `0` when fully applied. This is also the
+    /// *staleness* of a read answered by the secondary at `now_s` —
+    /// virtual time behind the primary's appended watermark — which is
+    /// why the consistency layer reads it at the serve instant.
+    pub fn applied_lag_s(&self, now_s: f64) -> f64 {
+        self.oldest_unapplied_s()
+            .map(|t| (now_s - t).max(0.0))
+            .unwrap_or(0.0)
     }
 
     /// Promotion: the secondary takes over with whatever it has
@@ -102,6 +134,7 @@ impl ReplLog {
             .map(|t| (now_s - t).max(0.0))
             .unwrap_or(0.0);
         self.pending.clear();
+        self.inflight.clear();
         self.lost += lost;
         self.shipped = self.appended;
         self.applied = self.appended;
@@ -156,5 +189,41 @@ mod tests {
         let mut log = ReplLog::new();
         let (lost, rpo) = log.abandon_tail(3.0);
         assert_eq!((lost, rpo), (0, 0.0));
+    }
+
+    #[test]
+    fn applied_lag_spans_pending_and_inflight() {
+        let mut log = ReplLog::new();
+        assert_eq!(log.applied_lag_s(5.0), 0.0, "fresh log is caught up");
+        log.append(1.0);
+        log.append(2.0);
+        // Unshipped: the lag is the oldest pending entry's age.
+        assert_eq!(log.applied_lag_s(3.0), 2.0);
+        log.take_batch();
+        // Shipped but unapplied: the same entries still count.
+        assert_eq!(log.oldest_unapplied_s(), Some(1.0));
+        assert_eq!(log.applied_lag_s(4.0), 3.0);
+        // A new append while the batch is in flight: the in-flight
+        // entry is older, so it still defines the lag.
+        log.append(3.5);
+        assert_eq!(log.applied_lag_s(4.0), 3.0);
+        log.apply_through(2);
+        // Only the fresh pending entry remains unapplied.
+        assert_eq!(log.oldest_unapplied_s(), Some(3.5));
+        assert_eq!(log.applied_lag_s(4.0), 0.5);
+        log.take_batch();
+        log.apply_through(3);
+        assert_eq!(log.applied_lag_s(9.0), 0.0, "fully applied");
+    }
+
+    #[test]
+    fn abandon_clears_inflight_lag() {
+        let mut log = ReplLog::new();
+        log.append(1.0);
+        log.take_batch();
+        log.append(2.0);
+        assert!(log.applied_lag_s(6.0) > 0.0);
+        log.abandon_tail(6.0);
+        assert_eq!(log.applied_lag_s(7.0), 0.0, "promotion resets the lag");
     }
 }

@@ -46,6 +46,9 @@ pub struct GeoStats {
     pub ship_entries: Cell<u64>,
     /// Worst recovery-point exposure observed at any shipper tick (s).
     pub rpo_max_s: Cell<f64>,
+    /// Worst applied-watermark lag (secondary staleness) observed at
+    /// any shipper tick (s).
+    pub applied_lag_max_s: Cell<f64>,
     /// Worst per-account lost-tail age at a promotion (s).
     pub rpo_at_promotion_s: Cell<f64>,
     /// Total commit-log entries lost at promotions.
@@ -191,13 +194,33 @@ impl GeoSet {
     }
 
     /// The per-(VM, stamp) storage client, attached on first use.
-    fn client_for(&self, vm: usize, stamp: usize) -> Rc<StorageAccountClient> {
+    /// Public so routing layers above (azroute) can serve reads from a
+    /// chosen replica stamp — the secondary included — through the same
+    /// lazily-attached clients the front door uses.
+    pub fn client_at(&self, vm: usize, stamp: usize) -> Rc<StorageAccountClient> {
         if let Some(c) = self.clients.borrow().get(&(vm, stamp)) {
             return Rc::clone(c);
         }
         let c = Rc::new(self.stamps[stamp].attach_small_client());
         self.clients.borrow_mut().insert((vm, stamp), Rc::clone(&c));
         c
+    }
+
+    /// Staleness a read served by `account`'s secondary at `now_s`
+    /// would observe: the secondary's applied-watermark lag behind the
+    /// primary's appended watermark (0 when fully caught up). Measured,
+    /// not assumed — it is the age of the oldest unapplied commit-log
+    /// entry, so the consistency layer's bounded-staleness guarantee is
+    /// checked against real replication state.
+    pub fn staleness_s(&self, account: u32, now_s: f64) -> f64 {
+        self.with_log(account, |log| log.applied_lag_s(now_s))
+    }
+
+    /// Record a successful read served by `account`'s replica on
+    /// `stamp` (the azroute secondary-read path; the front door's own
+    /// ops account through [`GeoClient::op`]).
+    pub fn note_replica_read(&self, account: u32, stamp: usize) {
+        self.note_success(account, stamp);
     }
 
     fn note_success(&self, account: u32, stamp: usize) {
@@ -315,7 +338,7 @@ impl GeoClient {
                 .await;
         }
 
-        let client = set.client_for(self.vm, target);
+        let client = set.client_at(self.vm, target);
         if let Some(d) = deadline_abs_s {
             azstore::admit::stash_deadline(d);
         }
@@ -334,7 +357,11 @@ impl GeoClient {
 /// Spawn the replication shipper: every
 /// [`REPL_BATCH_INTERVAL_S`](calib::REPL_BATCH_INTERVAL_S) it records
 /// the recovery-point gauge (age of the oldest unshipped entry across
-/// accounts), then drains each account's pending batch — skipping
+/// accounts) and the applied-watermark lag gauge (age of the oldest
+/// entry the secondary has not applied — the staleness a secondary
+/// read would observe, emitted per lagging account as `geo.applied_lag`
+/// instants and in aggregate as counters), then drains each account's
+/// pending batch — skipping
 /// accounts whose primary or secondary stamp is down — and ships the
 /// batches sequentially over the inter-stamp pipe.
 pub fn spawn_shipper(set: &Rc<GeoSet>, end_s: f64) {
@@ -350,14 +377,31 @@ pub fn spawn_shipper(set: &Rc<GeoSet>, end_s: f64) {
                 break;
             }
             // Gauge first: the sawtooth peak right before shipping.
+            // The RPO gauge reads unshipped exposure; the applied-lag
+            // gauge additionally covers shipped-but-unacknowledged
+            // entries — the staleness a secondary read would observe.
             let mut rpo = 0.0f64;
+            let mut lag = 0.0f64;
             for a in set.accounts() {
                 if let Some(t) = set.with_log(a, |log| log.oldest_pending_s()) {
                     rpo = rpo.max(now - t);
                 }
+                let account_lag = set.with_log(a, |log| log.applied_lag_s(now));
+                if account_lag > 0.0 {
+                    simtrace::instant(Layer::Geo, "geo.applied_lag", || {
+                        format!("a{a:04}:{account_lag:.3}s")
+                    });
+                }
+                lag = lag.max(account_lag);
             }
             set.stats.rpo_max_s.set(set.stats.rpo_max_s.get().max(rpo));
+            set.stats
+                .applied_lag_max_s
+                .set(set.stats.applied_lag_max_s.get().max(lag));
             simtrace::gauge("geo.rpo_s", rpo);
+            simtrace::gauge("geo.applied_lag_s", lag);
+            simtrace::counter("geo.rpo_ms", (rpo * 1e3).round() as i64);
+            simtrace::counter("geo.applied_lag_ms", (lag * 1e3).round() as i64);
 
             // Collect shippable batches without holding borrows across
             // awaits, then ship them in account order.
@@ -467,5 +511,26 @@ mod tests {
         assert_eq!(set.stats.ship_entries.get(), 2);
         // First tick at t=5 sees an entry appended at 0.5 → RPO 4.5 s.
         assert!((set.stats.rpo_max_s.get() - 4.5).abs() < 1e-9);
+        // The applied-lag gauge saw at least the same exposure (the
+        // batch was also unapplied at the tick instant).
+        assert!(set.stats.applied_lag_max_s.get() >= 4.5);
+    }
+
+    #[test]
+    fn staleness_follows_the_applied_watermark() {
+        let sim = Sim::new(8);
+        let set = small_set(&sim);
+        assert_eq!(set.staleness_s(3, 2.0), 0.0, "no writes, no lag");
+        set.with_log(3, |log| {
+            log.append(1.0);
+        });
+        assert!((set.staleness_s(3, 3.0) - 2.0).abs() < 1e-12);
+        // Shipping alone does not clear staleness; applying does.
+        set.with_log(3, |log| {
+            log.take_batch();
+        });
+        assert!((set.staleness_s(3, 4.0) - 3.0).abs() < 1e-12);
+        set.with_log(3, |log| log.apply_through(1));
+        assert_eq!(set.staleness_s(3, 5.0), 0.0);
     }
 }

@@ -1,0 +1,208 @@
+//! The consistency lattice: what a read is allowed to observe.
+//!
+//! Each mode is a *pure admission predicate* over the replication state
+//! visible at the serve instant — the secondary's applied-watermark lag
+//! and applied LSN, plus the client's session token. Purity is the
+//! point: the same `(lag, applied, token)` triple always routes the
+//! same way, so routing decisions are byte-reproducible and the
+//! proptests can drive the predicates over arbitrary interleavings
+//! without a simulation in the loop.
+//!
+//! The four modes order into the classic lattice:
+//!
+//! * [`Strong`] — primary only; never observes lag.
+//! * [`Session`] — read-your-writes: a secondary may serve iff its
+//!   applied LSN has caught up to the client's token (the largest LSN
+//!   the client has written or observed).
+//! * [`BoundedStaleness`] — a secondary may serve iff its applied
+//!   watermark lags the primary's appended watermark by at most τ
+//!   seconds of virtual time.
+//! * [`Eventual`] — any replica, any lag.
+//!
+//! The admission decision is made (and the observed staleness recorded)
+//! at the instant the serving replica answers, *after* the read has
+//! paid its region RTT — so a bound checked here is a bound on what the
+//! client actually observed, not on what was true when the read left.
+
+/// A read-admission policy: may this secondary serve this read?
+///
+/// `lag_s` is the secondary's applied-watermark lag behind the
+/// primary's appended watermark (seconds of virtual time; the staleness
+/// the read would observe). `applied_lsn` is the secondary's applied
+/// LSN and `session_lsn` the client's session token (0 for a client
+/// that never wrote or observed anything).
+pub trait ReadPolicy {
+    /// Short mode name for tables and trace labels.
+    fn name(&self) -> &'static str;
+    /// True iff a secondary in this state may answer the read.
+    fn allow_secondary(&self, lag_s: f64, applied_lsn: u64, session_lsn: u64) -> bool;
+}
+
+/// Primary only — reads never observe replication lag.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Strong;
+
+impl ReadPolicy for Strong {
+    fn name(&self) -> &'static str {
+        "strong"
+    }
+
+    fn allow_secondary(&self, _lag_s: f64, _applied_lsn: u64, _session_lsn: u64) -> bool {
+        false
+    }
+}
+
+/// Nearest replica, unconditionally — the latency floor of the lattice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Eventual;
+
+impl ReadPolicy for Eventual {
+    fn name(&self) -> &'static str {
+        "eventual"
+    }
+
+    fn allow_secondary(&self, _lag_s: f64, _applied_lsn: u64, _session_lsn: u64) -> bool {
+        true
+    }
+}
+
+/// Secondary iff its applied-watermark lag is at most τ seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundedStaleness(pub f64);
+
+impl ReadPolicy for BoundedStaleness {
+    fn name(&self) -> &'static str {
+        "bounded"
+    }
+
+    fn allow_secondary(&self, lag_s: f64, _applied_lsn: u64, _session_lsn: u64) -> bool {
+        lag_s <= self.0
+    }
+}
+
+/// Read-your-writes: secondary iff it has applied the client's token.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Session;
+
+impl ReadPolicy for Session {
+    fn name(&self) -> &'static str {
+        "session"
+    }
+
+    fn allow_secondary(&self, _lag_s: f64, applied_lsn: u64, session_lsn: u64) -> bool {
+        applied_lsn >= session_lsn
+    }
+}
+
+/// The four modes as one plumbable value (campaign grids, CLI flags).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Consistency {
+    /// Primary only.
+    Strong,
+    /// Nearest replica, any staleness.
+    Eventual,
+    /// Nearest secondary iff applied-watermark lag ≤ τ seconds.
+    BoundedStaleness(f64),
+    /// Read-your-writes via the per-client session token.
+    Session,
+}
+
+impl Consistency {
+    /// Bounded-staleness with a validated bound. τ ≤ 0 (or non-finite)
+    /// is a configuration error — the CLI rejects it at parse time with
+    /// exit 2, and programmatic construction panics the same way.
+    pub fn bounded(tau_s: f64) -> Consistency {
+        assert!(
+            tau_s.is_finite() && tau_s > 0.0,
+            "BoundedStaleness bound must be a finite positive number of seconds, got {tau_s}"
+        );
+        Consistency::BoundedStaleness(tau_s)
+    }
+
+    /// The bound, for bounded-staleness modes.
+    pub fn tau_s(&self) -> Option<f64> {
+        match self {
+            Consistency::BoundedStaleness(t) => Some(*t),
+            _ => None,
+        }
+    }
+}
+
+impl ReadPolicy for Consistency {
+    fn name(&self) -> &'static str {
+        match self {
+            Consistency::Strong => Strong.name(),
+            Consistency::Eventual => Eventual.name(),
+            Consistency::BoundedStaleness(_) => BoundedStaleness(0.0).name(),
+            Consistency::Session => Session.name(),
+        }
+    }
+
+    fn allow_secondary(&self, lag_s: f64, applied_lsn: u64, session_lsn: u64) -> bool {
+        match self {
+            Consistency::Strong => Strong.allow_secondary(lag_s, applied_lsn, session_lsn),
+            Consistency::Eventual => Eventual.allow_secondary(lag_s, applied_lsn, session_lsn),
+            Consistency::BoundedStaleness(t) => {
+                BoundedStaleness(*t).allow_secondary(lag_s, applied_lsn, session_lsn)
+            }
+            Consistency::Session => Session.allow_secondary(lag_s, applied_lsn, session_lsn),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_lattice_orders_permissiveness() {
+        // At any state, strong ⊆ session ⊆ eventual and
+        // strong ⊆ bounded ⊆ eventual.
+        for &(lag, applied, token) in &[(0.0, 0u64, 0u64), (1.5, 3, 5), (10.0, 7, 2)] {
+            assert!(!Strong.allow_secondary(lag, applied, token));
+            assert!(Eventual.allow_secondary(lag, applied, token));
+            if Session.allow_secondary(lag, applied, token) {
+                assert!(Eventual.allow_secondary(lag, applied, token));
+            }
+            if BoundedStaleness(2.0).allow_secondary(lag, applied, token) {
+                assert!(Eventual.allow_secondary(lag, applied, token));
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_admits_exactly_up_to_tau() {
+        let b = BoundedStaleness(2.0);
+        assert!(b.allow_secondary(0.0, 0, 0));
+        assert!(b.allow_secondary(2.0, 0, 0), "the bound is inclusive");
+        assert!(!b.allow_secondary(2.0 + 1e-9, 0, 0));
+    }
+
+    #[test]
+    fn session_requires_the_token_applied() {
+        assert!(Session.allow_secondary(100.0, 5, 5));
+        assert!(Session.allow_secondary(0.0, 6, 5));
+        assert!(!Session.allow_secondary(0.0, 4, 5));
+        assert!(
+            Session.allow_secondary(0.0, 0, 0),
+            "fresh client reads anywhere"
+        );
+    }
+
+    #[test]
+    fn enum_delegates_to_the_unit_policies() {
+        assert_eq!(Consistency::Strong.name(), "strong");
+        assert_eq!(Consistency::bounded(2.0).name(), "bounded");
+        assert!(Consistency::Eventual.allow_secondary(9.9, 0, 9));
+        assert!(!Consistency::BoundedStaleness(1.0).allow_secondary(1.5, 0, 0));
+        assert!(!Consistency::Session.allow_secondary(0.0, 1, 2));
+        assert_eq!(Consistency::bounded(2.5).tau_s(), Some(2.5));
+        assert_eq!(Consistency::Eventual.tau_s(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite positive")]
+    fn nonpositive_tau_is_rejected() {
+        let _ = Consistency::bounded(0.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! # azroute — region-aware read routing and tunable consistency
+//!
+//! `azgeo` gave the platform geo-replicated stamps; every read still
+//! went to the primary, paying a cross-stamp RTT from anywhere else.
+//! This crate adds the client-side layer that makes the replica
+//! worth having: a deterministic *region* model (client fleets pinned
+//! to regions, regions 1:1 with stamps, distances from a seed-pure
+//! [`dcnet::RegionRtt`] matrix) and a consistency lattice deciding
+//! which replica may answer a read — trading staleness for latency the
+//! same way the paper trades throughput for latency at the knee.
+//!
+//! * [`consistency`] — the four modes as pure admission predicates:
+//!   [`Strong`](consistency::Strong) (primary only),
+//!   [`Eventual`](consistency::Eventual) (nearest replica),
+//!   [`BoundedStaleness`](consistency::BoundedStaleness) (nearest
+//!   secondary iff applied-watermark lag ≤ τ), and
+//!   [`Session`](consistency::Session) (read-your-writes via a
+//!   per-client LSN token).
+//! * [`route`] — the [`RouteClient`](route::RouteClient): replica
+//!   selection by region RTT, down-stamp timeouts, policy-refused
+//!   secondaries escalating to the primary, and a session-token map.
+//! * [`run`] — one open-loop measurement cell (the `consistency`
+//!   campaign's unit of work): a region-pinned reader fleet plus a
+//!   background writer stream, with every successful read's observed
+//!   staleness recorded into the SLO tracker.
+//!
+//! ## Staleness is measured, not assumed
+//!
+//! The staleness a secondary read reports is the account's
+//! applied-watermark lag read from the real replication log *at the
+//! serve instant* — the same number the bounded-staleness predicate is
+//! checked against, which is what turns "never staler than τ" from a
+//! tolerance into a structural invariant.
+//!
+//! ## Determinism
+//!
+//! The region RTT matrix is a pure function of its seed (no `Sim` RNG
+//! stream is consumed building it), routing predicates are pure, and
+//! arrival/write schedules come from dedicated RNG streams — so every
+//! routing decision folds into a fingerprint that is byte-identical
+//! across runs and shard layouts.
+
+#![warn(missing_docs)]
+
+pub mod consistency;
+pub mod route;
+pub mod run;
+
+pub use consistency::{BoundedStaleness, Consistency, Eventual, ReadPolicy, Session, Strong};
+pub use route::{ReadOutcome, RouteClient, RouteStats};
+pub use run::{run_consistency, ReaderPlacement, RouteConfig, RouteResult};

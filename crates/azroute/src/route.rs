@@ -1,0 +1,446 @@
+//! The region-aware routing client: one compute VM's read/write front
+//! door over a geo set, with a consistency mode deciding which replica
+//! may answer.
+//!
+//! A [`RouteClient`] is pinned to a *region*; regions map 1:1 onto
+//! stamps (stamp `s` lives in region `s`), and the distance between any
+//! client region and any stamp comes from the seed-pure
+//! [`RegionRtt`] matrix — zero at home, tens of milliseconds across.
+//!
+//! ## The read path
+//!
+//! 1. Resolve the account's placement against the *authoritative*
+//!    location service (no TTL cache: the routing layer is evaluating
+//!    replica choice, and stale-placement redirects are azgeo's
+//!    [`GeoClient`](azgeo::GeoClient) story — measured there, not
+//!    re-measured here).
+//! 2. Pick the target replica: `Strong` goes to the primary; every
+//!    other mode starts at the *nearest* of {primary, secondary} by
+//!    region RTT (candidate order breaks ties).
+//! 3. A partitioned target hangs for the stamp's op timeout and fails —
+//!    unreachability is indistinguishable from slowness inside the
+//!    timeout, exactly like the azgeo front door.
+//! 4. Pay the region→target RTT, then — at the serve instant — read the
+//!    secondary's applied-watermark lag and LSN from the replication
+//!    log and ask the mode's [`ReadPolicy`]. An admitted secondary
+//!    serves the read and the *observed staleness is the lag just
+//!    measured* (which is why a bounded mode can never return a value
+//!    staler than τ: the bound is checked against the same number that
+//!    is recorded). A refused secondary escalates: the client turns
+//!    around and pays its region→primary RTT on top.
+//! 5. Serving from the primary (strong, home-nearest, or escalated)
+//!    observes staleness 0 by definition.
+//!
+//! ## Session tokens
+//!
+//! The client keeps one token per account: the largest LSN it has
+//! written or observed. A write moves it to the append LSN; a primary
+//! read moves it to the appended watermark; a secondary read moves it
+//! to the applied watermark. `Session` mode admits a secondary iff
+//! `applied ≥ token` — read-your-writes without coordination.
+//!
+//! Every routing decision folds into a per-run FNV fingerprint
+//! (arrival index, account, target, escalation, staleness bits), the
+//! purity witness the determinism tests compare across runs.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use azgeo::GeoSet;
+use azstore::StorageError;
+use dcnet::RegionRtt;
+use simcore::prelude::*;
+use simload::Workload;
+
+use crate::consistency::{Consistency, ReadPolicy};
+
+/// Shared mutable counters for one routed run.
+#[derive(Debug, Default)]
+pub struct RouteStats {
+    /// Reads answered by the account's primary (strong, home-nearest,
+    /// or escalated).
+    pub reads_primary: Cell<u64>,
+    /// Reads answered by the account's secondary replica.
+    pub reads_secondary: Cell<u64>,
+    /// Reads that probed the secondary, were refused by the policy, and
+    /// escalated to the primary.
+    pub escalations: Cell<u64>,
+    /// Reads or writes that timed out against a partitioned stamp.
+    pub unavailable: Cell<u64>,
+    /// Successful writes (primary appends).
+    pub writes: Cell<u64>,
+    /// FNV-1a fold of every routing decision (the purity witness).
+    pub fingerprint: Cell<u64>,
+}
+
+impl RouteStats {
+    /// Fresh counters with the fingerprint at the FNV offset basis.
+    pub fn new() -> RouteStats {
+        let s = RouteStats::default();
+        s.fingerprint.set(0xcbf29ce484222325);
+        s
+    }
+
+    fn fold(&self, words: &[u64]) {
+        let mut h = self.fingerprint.get();
+        for w in words {
+            for b in w.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        }
+        self.fingerprint.set(h);
+    }
+}
+
+/// What one successful routed read observed.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadOutcome {
+    /// Stamp that answered.
+    pub served_by: usize,
+    /// Virtual-time lag of the answer behind the primary's appended
+    /// watermark (0 for a primary answer).
+    pub staleness_s: f64,
+    /// True when the secondary was probed but the policy escalated.
+    pub escalated: bool,
+}
+
+/// One region-pinned VM's consistency-routed front door.
+pub struct RouteClient {
+    set: Rc<GeoSet>,
+    rtt: Rc<RegionRtt>,
+    vm: usize,
+    region: usize,
+    mode: Consistency,
+    /// Per-account session token: the largest LSN written or observed.
+    tokens: RefCell<HashMap<u32, u64>>,
+    stats: Rc<RouteStats>,
+}
+
+impl RouteClient {
+    /// A client in `region` (a stamp index — regions are 1:1 with
+    /// stamps), reading under `mode`. `vm` keys the lazily-attached
+    /// per-(VM, stamp) storage clients.
+    pub fn new(
+        set: &Rc<GeoSet>,
+        rtt: &Rc<RegionRtt>,
+        stats: &Rc<RouteStats>,
+        vm: usize,
+        region: usize,
+        mode: Consistency,
+    ) -> RouteClient {
+        assert!(region < set.len(), "region must name a stamp");
+        assert_eq!(
+            rtt.len(),
+            set.len(),
+            "the RTT map must cover every stamp's region"
+        );
+        RouteClient {
+            set: Rc::clone(set),
+            rtt: Rc::clone(rtt),
+            vm,
+            region,
+            mode,
+            tokens: RefCell::new(HashMap::new()),
+            stats: Rc::clone(stats),
+        }
+    }
+
+    /// The client's region.
+    pub fn region(&self) -> usize {
+        self.region
+    }
+
+    /// The client's session token for `account` (0 until it writes or
+    /// observes something).
+    pub fn token(&self, account: u32) -> u64 {
+        self.tokens.borrow().get(&account).copied().unwrap_or(0)
+    }
+
+    fn bump_token(&self, account: u32, lsn: u64) {
+        let mut t = self.tokens.borrow_mut();
+        let e = t.entry(account).or_insert(0);
+        *e = (*e).max(lsn);
+    }
+
+    /// Hang for the target stamp's op timeout and fail — the
+    /// partitioned-stamp path, identical to the azgeo front door.
+    async fn time_out_against(&self, stamp: usize) -> StorageError {
+        let timeout = self.set.stamps()[stamp].config().op_timeout;
+        self.set.sim().delay(timeout).await;
+        self.stats.unavailable.set(self.stats.unavailable.get() + 1);
+        simtrace::counter("route.unavailable", 1);
+        StorageError::Timeout
+    }
+
+    /// Serve `workload` from `stamp` for `account` (`i` picks the
+    /// concrete blob/entity like [`simload::fire`]).
+    async fn serve(
+        &self,
+        account: u32,
+        stamp: usize,
+        workload: Workload,
+        i: usize,
+    ) -> Result<(), StorageError> {
+        let client = self.set.client_at(self.vm, stamp);
+        let res = simload::fire(client, workload, i).await;
+        if res.is_ok() {
+            self.set.note_replica_read(account, stamp);
+        }
+        res
+    }
+
+    /// Fire one consistency-routed read. On success the outcome carries
+    /// the serving stamp and the observed staleness; the session token
+    /// advances to whatever the read observed.
+    pub async fn read(
+        &self,
+        account: u32,
+        workload: Workload,
+        i: usize,
+    ) -> Result<ReadOutcome, StorageError> {
+        let sim = self.set.sim().clone();
+        let p = self.set.location().placement_of(account);
+        let target = match self.mode {
+            Consistency::Strong => p.primary,
+            _ => self.rtt.nearest(self.region, &[p.primary, p.secondary]),
+        };
+
+        if simfault::stamp_down(target as u64, sim.now().as_secs_f64()) {
+            return Err(self.time_out_against(target).await);
+        }
+        sim.delay(SimDuration::from_secs_f64(
+            self.rtt.rtt_s(self.region, target),
+        ))
+        .await;
+
+        if target != p.primary {
+            // At the secondary, at the serve instant: measure the lag
+            // and ask the policy with the client's session token.
+            let now = sim.now().as_secs_f64();
+            let lag_s = self.set.staleness_s(account, now);
+            let applied = self.set.with_log(account, |log| log.applied());
+            if self
+                .mode
+                .allow_secondary(lag_s, applied, self.token(account))
+            {
+                self.serve(account, target, workload, i).await?;
+                self.bump_token(account, applied);
+                self.stats
+                    .reads_secondary
+                    .set(self.stats.reads_secondary.get() + 1);
+                simtrace::counter("route.reads.secondary", 1);
+                self.stats
+                    .fold(&[i as u64, account as u64, target as u64, 0, lag_s.to_bits()]);
+                return Ok(ReadOutcome {
+                    served_by: target,
+                    staleness_s: lag_s,
+                    escalated: false,
+                });
+            }
+            // Refused: escalate — turn around and go to the primary.
+            self.stats.escalations.set(self.stats.escalations.get() + 1);
+            simtrace::counter("route.escalations", 1);
+            if simfault::stamp_down(p.primary as u64, sim.now().as_secs_f64()) {
+                return Err(self.time_out_against(p.primary).await);
+            }
+            sim.delay(SimDuration::from_secs_f64(
+                self.rtt.rtt_s(self.region, p.primary),
+            ))
+            .await;
+        }
+
+        self.serve(account, p.primary, workload, i).await?;
+        let appended = self.set.with_log(account, |log| log.appended());
+        self.bump_token(account, appended);
+        self.stats
+            .reads_primary
+            .set(self.stats.reads_primary.get() + 1);
+        simtrace::counter("route.reads.primary", 1);
+        let escalated = target != p.primary;
+        self.stats.fold(&[
+            i as u64,
+            account as u64,
+            p.primary as u64,
+            1 + escalated as u64,
+            0,
+        ]);
+        Ok(ReadOutcome {
+            served_by: p.primary,
+            staleness_s: 0.0,
+            escalated,
+        })
+    }
+
+    /// Fire one write (a queue Add — the replicating mutation) at the
+    /// account's primary: pay the region RTT, append to the replication
+    /// log on success, and advance the session token to the new LSN.
+    pub async fn write(
+        &self,
+        account: u32,
+        message_bytes: f64,
+        i: usize,
+    ) -> Result<(), StorageError> {
+        let sim = self.set.sim().clone();
+        let p = self.set.location().placement_of(account);
+        if simfault::stamp_down(p.primary as u64, sim.now().as_secs_f64()) {
+            return Err(self.time_out_against(p.primary).await);
+        }
+        sim.delay(SimDuration::from_secs_f64(
+            self.rtt.rtt_s(self.region, p.primary),
+        ))
+        .await;
+        let workload = Workload::QueueAdd { message_bytes };
+        let client = self.set.client_at(self.vm, p.primary);
+        simload::fire(client, workload, i).await?;
+        let t = sim.now().as_secs_f64();
+        let lsn = self.set.with_log(account, |log| log.append(t));
+        self.bump_token(account, lsn);
+        self.stats.writes.set(self.stats.writes.get() + 1);
+        simtrace::counter("route.writes", 1);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use azstore::StampConfig;
+
+    fn rig(sim: &Sim, mode: Consistency) -> (Rc<GeoSet>, Rc<RouteClient>, Rc<RouteStats>) {
+        let set = GeoSet::new(sim, &StampConfig::default(), &[1.0, 1.0], 4, 0xA11);
+        for stamp in set.stamps() {
+            simload::seed_workload(
+                stamp,
+                Workload::TableQuery {
+                    entities: 16,
+                    entity_kb: 4,
+                },
+            );
+        }
+        let rtt = Rc::new(RegionRtt::new(0xBEEF, set.len(), 0.035, 0.5));
+        let stats = Rc::new(RouteStats::new());
+        // Pin the client to the secondary's region of account 0 so the
+        // nearest replica is the secondary.
+        let region = set.location().placement_of(0).secondary;
+        let client = Rc::new(RouteClient::new(&set, &rtt, &stats, 0, region, mode));
+        (set, client, stats)
+    }
+
+    fn read_workload() -> Workload {
+        Workload::TableQuery {
+            entities: 16,
+            entity_kb: 4,
+        }
+    }
+
+    #[test]
+    fn strong_reads_only_the_primary() {
+        let sim = Sim::new(11);
+        let (set, client, stats) = rig(&sim, Consistency::Strong);
+        let s2 = Rc::clone(&set);
+        sim.spawn(async move {
+            let out = client.read(0, read_workload(), 0).await.expect("healthy");
+            assert_eq!(out.served_by, s2.location().placement_of(0).primary);
+            assert_eq!(out.staleness_s, 0.0);
+            assert!(!out.escalated);
+        });
+        sim.run();
+        assert_eq!(stats.reads_primary.get(), 1);
+        assert_eq!(stats.reads_secondary.get(), 0);
+    }
+
+    #[test]
+    fn eventual_serves_the_nearest_secondary_and_observes_lag() {
+        let sim = Sim::new(12);
+        let (set, client, stats) = rig(&sim, Consistency::Eventual);
+        // An unapplied append from t=0 makes the secondary stale.
+        set.with_log(0, |log| {
+            log.append(0.0);
+        });
+        let s2 = Rc::clone(&set);
+        let s = sim.clone();
+        sim.spawn(async move {
+            // Let the appended-but-unapplied entry age before reading.
+            s.delay(SimDuration::from_secs_f64(1.0)).await;
+            let out = client.read(0, read_workload(), 0).await.expect("healthy");
+            assert_eq!(out.served_by, s2.location().placement_of(0).secondary);
+            assert!(out.staleness_s >= 1.0, "the read observed the lag");
+        });
+        sim.run();
+        assert_eq!(stats.reads_secondary.get(), 1);
+        assert_eq!(stats.escalations.get(), 0);
+    }
+
+    #[test]
+    fn bounded_escalates_past_tau_and_never_observes_more() {
+        let sim = Sim::new(13);
+        let (set, client, _stats) = rig(&sim, Consistency::bounded(2.0));
+        set.with_log(0, |log| {
+            log.append(0.0);
+        });
+        let c2 = Rc::clone(&client);
+        let s = sim.clone();
+        sim.spawn(async move {
+            // Early read: lag ≈ rtt < τ — the secondary serves.
+            let early = c2.read(0, read_workload(), 0).await.expect("healthy");
+            assert!(!early.escalated);
+            assert!(early.staleness_s <= 2.0, "hard bound");
+            // Much later the same unapplied entry exceeds τ — escalate.
+            s.delay(SimDuration::from_secs_f64(5.0)).await;
+            let late = c2.read(0, read_workload(), 1).await.expect("healthy");
+            assert!(late.escalated);
+            assert_eq!(late.staleness_s, 0.0, "the primary answered fresh");
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn session_reads_its_own_writes() {
+        let sim = Sim::new(14);
+        let (set, client, stats) = rig(&sim, Consistency::Session);
+        let c2 = Rc::clone(&client);
+        let s2 = Rc::clone(&set);
+        sim.spawn(async move {
+            // A fresh client (token 0) reads the secondary happily.
+            let before = c2.read(0, read_workload(), 0).await.expect("healthy");
+            assert!(!before.escalated);
+            // Write, then read: the secondary has not applied the write
+            // yet, so the read must escalate to the primary.
+            c2.write(0, 512.0, 0).await.expect("healthy write");
+            assert_eq!(c2.token(0), 1);
+            let after = c2.read(0, read_workload(), 1).await.expect("healthy");
+            assert!(after.escalated, "read-your-writes forces the primary");
+            // Once the secondary applies the write, it serves again.
+            s2.with_log(0, |log| {
+                let b = log.take_batch();
+                log.apply_through(b.last().unwrap().0);
+            });
+            let applied = c2.read(0, read_workload(), 2).await.expect("healthy");
+            assert!(!applied.escalated);
+        });
+        sim.run();
+        assert_eq!(stats.escalations.get(), 1);
+        assert_eq!(stats.writes.get(), 1);
+    }
+
+    #[test]
+    fn same_seed_same_fingerprint() {
+        let run = || {
+            let sim = Sim::new(15);
+            let (set, client, stats) = rig(&sim, Consistency::bounded(1.0));
+            set.with_log(0, |log| {
+                log.append(0.0);
+            });
+            sim.spawn(async move {
+                for i in 0..8 {
+                    let _ = client.read(0, read_workload(), i).await;
+                }
+            });
+            sim.run();
+            stats.fingerprint.get()
+        };
+        assert_eq!(run(), run(), "routing decisions must be seed-pure");
+    }
+}

@@ -1,0 +1,195 @@
+//! Property-based tests for the consistency layer: session monotonic
+//! reads, the bounded-staleness hard invariant, and routing purity —
+//! over arbitrary op/ship/apply interleavings and seeds.
+
+use azgeo::ReplLog;
+use azroute::{BoundedStaleness, Consistency, ReadPolicy, Session};
+use dcnet::RegionRtt;
+use proptest::prelude::*;
+
+/// One step of an interleaved client/replication history.
+#[derive(Debug, Clone)]
+enum Step {
+    /// The client (or anyone) appends a mutation on the primary after
+    /// this many scaled seconds; the client's token advances iff `own`.
+    Write { dt: u8, own: bool },
+    /// The shipper drains pending entries to the wire.
+    Ship,
+    /// The secondary applies everything shipped.
+    Apply,
+    /// The client reads under the mode being tested.
+    Read { dt: u8 },
+}
+
+fn steps() -> impl Strategy<Value = Vec<Step>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u8..=40, prop::bool::ANY).prop_map(|(dt, own)| Step::Write { dt, own }),
+            (0u8..=40, prop::bool::ANY).prop_map(|(dt, own)| Step::Write { dt, own }),
+            Just(Step::Ship),
+            Just(Step::Apply),
+            (0u8..=40).prop_map(|dt| Step::Read { dt }),
+            (0u8..=40).prop_map(|dt| Step::Read { dt }),
+        ],
+        0..96,
+    )
+}
+
+/// Resolve one read the way the router does: ask the policy with the
+/// lag/applied/token visible at the serve instant; an admitted
+/// secondary answers at its applied LSN with the measured lag, a
+/// refusal escalates to the primary (appended LSN, staleness 0).
+fn resolve(policy: &dyn ReadPolicy, log: &ReplLog, now: f64, token: u64) -> (u64, f64) {
+    let lag = log.applied_lag_s(now);
+    if policy.allow_secondary(lag, log.applied(), token) {
+        (log.applied(), lag)
+    } else {
+        (log.appended(), 0.0)
+    }
+}
+
+proptest! {
+    /// Session consistency: over any interleaving of writes, ships,
+    /// applies and reads, a client never observes an LSN older than
+    /// one it already observed, and always sees its own writes.
+    #[test]
+    fn session_reads_are_monotone_and_read_your_writes(ops in steps()) {
+        let mut log = ReplLog::new();
+        let mut now = 0.0f64;
+        let mut token = 0u64;
+        let mut last_observed = 0u64;
+        for op in ops {
+            match op {
+                Step::Write { dt, own } => {
+                    now += dt as f64 * 0.1;
+                    let lsn = log.append(now);
+                    if own {
+                        token = token.max(lsn);
+                    }
+                }
+                Step::Ship => {
+                    log.take_batch();
+                }
+                Step::Apply => {
+                    let shipped = log.shipped();
+                    log.apply_through(shipped);
+                }
+                Step::Read { dt } => {
+                    now += dt as f64 * 0.1;
+                    let (observed, _) = resolve(&Session, &log, now, token);
+                    prop_assert!(
+                        observed >= last_observed,
+                        "observed {observed} after {last_observed}"
+                    );
+                    prop_assert!(
+                        observed >= token,
+                        "read-your-writes: observed {observed} < own write {token}"
+                    );
+                    last_observed = observed;
+                    token = token.max(observed);
+                }
+            }
+        }
+    }
+
+    /// Bounded staleness: no read under `BoundedStaleness(τ)` ever
+    /// returns an answer staler than τ, for any τ and any interleaving
+    /// — the bound is structural, not statistical.
+    #[test]
+    fn bounded_reads_never_exceed_tau(ops in steps(), tau in 0.05f64..20.0) {
+        let policy = BoundedStaleness(tau);
+        let mut log = ReplLog::new();
+        let mut now = 0.0f64;
+        for op in ops {
+            match op {
+                Step::Write { dt, .. } => {
+                    now += dt as f64 * 0.1;
+                    log.append(now);
+                }
+                Step::Ship => {
+                    log.take_batch();
+                }
+                Step::Apply => {
+                    let shipped = log.shipped();
+                    log.apply_through(shipped);
+                }
+                Step::Read { dt } => {
+                    now += dt as f64 * 0.1;
+                    let (_, staleness) = resolve(&policy, &log, now, 0);
+                    prop_assert!(
+                        staleness <= tau,
+                        "served staleness {staleness} exceeds tau {tau}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Routing purity: the region RTT matrix — and therefore every
+    /// nearest-replica decision — is a pure function of its seed.
+    #[test]
+    fn routing_is_a_pure_function_of_the_seed(
+        seed_a in 0u64..=u64::MAX,
+        seed_b in 0u64..=u64::MAX,
+        regions in 3usize..8,
+        pairs in prop::collection::vec((0usize..8, 0usize..8), 1..32),
+    ) {
+        let x = RegionRtt::new(seed_a, regions, 0.035, 0.5);
+        let y = RegionRtt::new(seed_a, regions, 0.035, 0.5);
+        prop_assert_eq!(x.fingerprint(), y.fingerprint());
+        for &(from, other) in &pairs {
+            let (from, other) = (from % regions, other % regions);
+            prop_assert_eq!(
+                x.nearest(from, &[from, other]),
+                y.nearest(from, &[from, other])
+            );
+            prop_assert_eq!(
+                x.rtt_s(from, other).to_bits(),
+                y.rtt_s(from, other).to_bits()
+            );
+            // The nearest replica is never strictly farther than any
+            // other candidate.
+            let n = x.nearest(from, &[from, other]);
+            prop_assert!(x.rtt_s(from, n) <= x.rtt_s(from, other));
+            prop_assert!(x.rtt_s(from, n) <= x.rtt_s(from, from));
+        }
+        if seed_a != seed_b {
+            let z = RegionRtt::new(seed_b, regions, 0.035, 0.5);
+            prop_assert_ne!(
+                x.fingerprint(),
+                z.fingerprint(),
+                "distinct seeds produced identical distance maps"
+            );
+        }
+    }
+
+    /// The consistency predicates themselves are pure: the same
+    /// `(lag, applied, token)` state always routes the same way, and
+    /// the lattice ordering strong ⊆ {session, bounded} ⊆ eventual
+    /// holds at every state.
+    #[test]
+    fn predicates_are_pure_and_ordered(
+        lag in 0.0f64..30.0,
+        applied in 0u64..1000,
+        token in 0u64..1000,
+        tau in 0.01f64..30.0,
+    ) {
+        for mode in [
+            Consistency::Strong,
+            Consistency::Eventual,
+            Consistency::BoundedStaleness(tau),
+            Consistency::Session,
+        ] {
+            prop_assert_eq!(
+                mode.allow_secondary(lag, applied, token),
+                mode.allow_secondary(lag, applied, token)
+            );
+            if mode.allow_secondary(lag, applied, token) {
+                prop_assert!(Consistency::Eventual.allow_secondary(lag, applied, token));
+            }
+            if Consistency::Strong.allow_secondary(lag, applied, token) {
+                prop_assert!(mode.allow_secondary(lag, applied, token));
+            }
+        }
+    }
+}

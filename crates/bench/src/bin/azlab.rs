@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! azlab run all [--quick] [--shards N] [--faults <preset>]
-//! azlab run <target> [--quick] [--shards N] [--faults <preset>] [--trace <path>]
+//! azlab run <target> [--quick] [--shards N] [--faults <preset>] [--trace <path>] [--tau SECONDS]
 //! azlab run --list
 //! azlab bench [--shards N] [--out <path>]
 //! ```
@@ -20,7 +20,7 @@
 //! (exit 2) that prints the same list.
 //!
 //! `bench` times the quick campaign set and the ModisAzure campaign at
-//! 1 vs 4 shards, writing a `BENCH_pr9.json` wall-clock report with
+//! 1 vs 4 shards, writing a `BENCH_pr10.json` wall-clock report with
 //! each campaign's planned cell count in both modes (quick and full)
 //! next to its quick wall-clock. Times are recorded in microseconds:
 //! several quick campaigns finish in well under a millisecond, where
@@ -32,7 +32,7 @@ use std::time::Instant;
 use bench::campaigns;
 use simlab::{CampaignEntry, Manifest, RunOpts, TraceSpec};
 
-const USAGE: &str = "azlab <run|bench> [target] [--quick] [--shards N] [--faults <preset>] [--trace <path>] [--out <path>] [--list]\n  targets: all fig1 fig2 fig3 fig4 fig5 table1 table2 fig7 modis frontier geo shedding elastic faas ablations  (azlab run --list enumerates them)";
+const USAGE: &str = "azlab <run|bench> [target] [--quick] [--shards N] [--faults <preset>] [--trace <path>] [--tau SECONDS] [--out <path>] [--list]\n  targets: all fig1 fig2 fig3 fig4 fig5 table1 table2 fig7 modis frontier geo shedding elastic faas consistency ablations  (azlab run --list enumerates them)";
 
 fn usage_exit(msg: &str) -> ! {
     eprintln!("error: {msg}");
@@ -98,6 +98,7 @@ fn cmd_run(flags: simlab::Flags) {
             shards,
             faults: flags.faults.clone(),
             trace: flags.trace.clone().map(|path| TraceSpec { cell: 0, path }),
+            tau: flags.tau,
         };
         let t0 = Instant::now();
         let out = campaigns::run(name, flags.quick, &opts).expect("names are canonical");
@@ -127,6 +128,7 @@ fn cmd_bench(flags: simlab::Flags) {
             shards,
             faults: None,
             trace: None,
+            tau: None,
         };
         let t0 = Instant::now();
         let out = campaigns::run(name, true, &opts).expect("canonical name");
@@ -176,7 +178,7 @@ fn cmd_bench(flags: simlab::Flags) {
     let path = flags.out.unwrap_or_else(|| {
         PathBuf::from(env!("CARGO_MANIFEST_DIR"))
             .join("../..")
-            .join("BENCH_pr9.json")
+            .join("BENCH_pr10.json")
     });
     match std::fs::write(&path, &json) {
         Ok(()) => println!(

@@ -167,6 +167,7 @@ pub fn run(quick: bool, opts: &RunOpts) -> CampaignOutput {
         shards: opts.shards,
         faults: None,
         trace: opts.trace.clone(),
+        tau: None,
     };
     let base = ModisConfig::quick();
     let mut no_var = base.clone();

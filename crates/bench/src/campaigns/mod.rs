@@ -20,6 +20,7 @@ use cloudbench::Anchor;
 use simlab::{AnchorCheck, RunOpts};
 
 pub mod ablations;
+pub mod consistency;
 pub mod elastic;
 pub mod faas;
 pub mod fig1;
@@ -53,7 +54,7 @@ pub struct CampaignOutput {
 }
 
 /// Canonical campaign names, in `azlab run all` execution order.
-pub const ALL: [&str; 13] = [
+pub const ALL: [&str; 14] = [
     "fig1",
     "fig2",
     "fig3",
@@ -66,6 +67,7 @@ pub const ALL: [&str; 13] = [
     "shedding",
     "elastic",
     "faas",
+    "consistency",
     "ablations",
 ];
 
@@ -93,6 +95,7 @@ pub fn run(name: &str, quick: bool, opts: &RunOpts) -> Option<CampaignOutput> {
         "shedding" => shedding::run(quick, opts),
         "elastic" => elastic::run(quick, opts),
         "faas" => faas::run(quick, opts),
+        "consistency" => consistency::run(quick, opts),
         "ablations" => ablations::run(quick, opts),
         _ => unreachable!("canonical() returned an unknown name"),
     })
@@ -115,6 +118,7 @@ pub fn cell_count(name: &str, quick: bool) -> Option<usize> {
         "shedding" => shedding::cell_count(quick),
         "elastic" => elastic::cell_count(quick),
         "faas" => faas::cell_count(quick),
+        "consistency" => consistency::cell_count(quick),
         "ablations" => ablations::cell_count(quick),
         _ => unreachable!("canonical() returned an unknown name"),
     })
@@ -171,6 +175,7 @@ pub fn standalone_main(target: &str) {
         shards: flags.shards.unwrap_or_else(default_shards),
         faults: flags.faults,
         trace: flags.trace.map(|path| simlab::TraceSpec { cell: 0, path }),
+        tau: flags.tau,
     };
     let out = run(target, flags.quick, &opts).expect("wrapper binaries use canonical targets");
     emit(&out, &crate::results_dir_for(flags.quick));

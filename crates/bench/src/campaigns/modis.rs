@@ -112,6 +112,7 @@ pub fn run(quick: bool, opts: &RunOpts) -> CampaignOutput {
         shards: opts.shards,
         faults: None,
         trace: opts.trace.clone(),
+        tau: None,
     };
     let out = run_cells(seg_cfgs.len(), &cell_opts, |i, ctx| {
         let seg = seg_cfgs[i].clone();

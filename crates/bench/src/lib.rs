@@ -18,6 +18,7 @@
 //! | `elastic` | autoscaling vs the provisioning tax | ~90 s |
 //! | `faas` | serverless keepalive frontier | ~10 s (18 cells, ~60 k invocations each) |
 //! | `geo` | multi-stamp scale-out, geo-replication, failover | ~20 s (16 cells, 4 stamps, 10⁴ clients) |
+//! | `consistency` | region-aware read routing, staleness-vs-latency frontier | ~40 s (30 cells, 4 modes × 3 placements) |
 //! | `ablations` | the DESIGN.md mechanism ablations | ~10 s |
 //!
 //! Run everything with `azlab run all [--quick] [--shards N]`, or one
@@ -34,7 +35,10 @@
 //! `crash-partition`), and `--trace <path>` to dump a Chrome
 //! trace-event JSON of the campaign's representative cell. Fault and
 //! trace installation happen on whichever worker thread runs each cell,
-//! so the flags apply to sharded sweeps exactly as to serial runs.
+//! so the flags apply to sharded sweeps exactly as to serial runs. The
+//! `consistency` campaign additionally accepts `--tau SECONDS` to
+//! override the clean-cell bounded-staleness bound (τ ≤ 0 is rejected
+//! at parse with exit 2).
 
 use std::fs;
 use std::path::PathBuf;

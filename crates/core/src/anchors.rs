@@ -379,6 +379,54 @@ pub const GEO_FAILOVER_RPO_POSITIVE: Anchor = Anchor {
     rel_tol: 0.25,
 };
 
+/// Route: strong reads from the home region must be indistinguishable
+/// from the PR 9 geo front door — the routing layer adds a policy
+/// decision, not a service. Measured as the ratio of the strong/home
+/// p50 read latency to the geo-baseline p50 in the same campaign
+/// (same service, same load, same seeds); reference 1.0.
+pub const ROUTE_STRONG_MATCHES_GEO: Anchor = Anchor {
+    name: "route.strong.home_p50_vs_geo",
+    paper: 1.0,
+    rel_tol: 0.1,
+};
+
+/// Route: for a fleet pinned to the secondary's region, eventual reads
+/// must be cheaper than strong reads by exactly the region-RTT saving
+/// the seed-pure distance matrix promises: rtt(region, primary) −
+/// rtt(region, secondary). Measured as (strong mean − eventual mean) /
+/// expected saving; reference 1.0 — the routing layer may not invent
+/// or eat latency beyond the modelled distances.
+pub const ROUTE_EVENTUAL_RTT_DROP: Anchor = Anchor {
+    name: "route.eventual.secondary_rtt_drop_ratio",
+    paper: 1.0,
+    rel_tol: 0.1,
+};
+
+/// Route: the bounded-staleness hard invariant. In *every* bounded
+/// cell of the campaign (clean and partitioned), the maximum observed
+/// staleness over all served reads must be ≤ the cell's τ — the bound
+/// is checked against the same applied-watermark lag that is recorded,
+/// so a single violation is a routing bug, not noise. Indicator
+/// encoding: measured `1.0` when every cell holds, `0.0` otherwise.
+pub const ROUTE_BOUNDED_WITHIN_TAU: Anchor = Anchor {
+    name: "route.bounded.within_tau",
+    paper: 1.0,
+    rel_tol: 0.25,
+};
+
+/// Route: availability split during the failover window. In the
+/// mid-window stamp-partition cell, reads scheduled inside the
+/// `azgeo::calib::EXPECTED_RTO_S`-long detection+promotion window
+/// must produce zero goodput under strong (the primary is gone) while
+/// eventual and bounded keep serving from the surviving secondary —
+/// the availability argument for relaxed reads. Indicator encoding:
+/// measured `1.0` when both sides hold, `0.0` otherwise.
+pub const ROUTE_PARTITION_AVAILABILITY: Anchor = Anchor {
+    name: "route.partition.relaxed_reads_survive",
+    paper: 1.0,
+    rel_tol: 0.25,
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -12,6 +12,7 @@
 //! * [`net`] — the live [`net::Network`]: links, flows, rescheduling
 //! * [`topology`] — two-tier rack/core fabric and path selection
 //! * [`latency`] — topology-mixture RTT model (paper Fig 4)
+//! * [`region`] — seed-pure region↔region RTT map (cross-region routing)
 //! * [`background`] — co-tenant traffic generators (paper Fig 5's tail)
 //!
 //! ## Example
@@ -42,10 +43,12 @@ pub mod background;
 pub mod fluid;
 pub mod latency;
 pub mod net;
+pub mod region;
 pub mod topology;
 
 pub use background::{BackgroundConfig, BackgroundTraffic, ClassMix};
 pub use fluid::{FlowSpec, LinkModel};
 pub use latency::{LatencyModel, PairPlacement};
 pub use net::{LinkId, Network, TransferStats};
+pub use region::RegionRtt;
 pub use topology::{HostId, Topology, TopologyConfig};

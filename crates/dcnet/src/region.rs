@@ -1,0 +1,151 @@
+//! Deterministic region↔region round-trip map for cross-region
+//! routing.
+//!
+//! The intra-datacenter [`LatencyModel`](crate::latency::LatencyModel)
+//! samples per-op jitter because rack placement and queueing dominate
+//! inside a stamp. Between *regions* the picture inverts: propagation
+//! delay dominates, so the RTT between two fixed regions is effectively
+//! a constant of geography. [`RegionRtt`] models exactly that — a
+//! symmetric, zero-diagonal matrix of per-pair RTTs, each pair drawn
+//! once from a seed-pure hash around a configured base — so routing
+//! layers above (azroute) can rank replicas by distance and the anchors
+//! that subtract "the configured cross-region RTT" stay closed-form.
+//!
+//! Determinism: the matrix is a pure function of `(seed, regions,
+//! base_s, spread)`; no `Sim` RNG stream is consumed, so layering a
+//! region map onto an existing experiment cannot shift any other draw.
+
+/// FNV-1a 64-bit over a few words — the per-pair distance hash.
+fn pair_hash(seed: u64, a: usize, b: usize) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for w in [seed, a as u64, b as u64 ^ 0x9e3779b97f4a7c15] {
+        for byte in w.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+/// A symmetric region↔region RTT matrix, pure in its seed.
+#[derive(Debug, Clone)]
+pub struct RegionRtt {
+    regions: usize,
+    /// Row-major `regions × regions` RTTs in seconds (diagonal zero).
+    rtt_s: Vec<f64>,
+}
+
+impl RegionRtt {
+    /// Build the map for `regions` regions. Each unordered pair's RTT
+    /// is `base_s · (1 + spread · (2u − 1))` with `u ∈ [0, 1)` hashed
+    /// from `(seed, pair)` — i.e. uniform in `base_s · [1 − spread,
+    /// 1 + spread)` — symmetric, and exactly zero within a region.
+    pub fn new(seed: u64, regions: usize, base_s: f64, spread: f64) -> RegionRtt {
+        assert!(regions >= 1, "need at least one region");
+        assert!(base_s > 0.0, "base RTT must be positive");
+        assert!(
+            (0.0..1.0).contains(&spread),
+            "spread must lie in [0, 1) so every RTT stays positive"
+        );
+        let mut rtt_s = vec![0.0; regions * regions];
+        for a in 0..regions {
+            for b in (a + 1)..regions {
+                let u = (pair_hash(seed, a, b) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                let rtt = base_s * (1.0 + spread * (2.0 * u - 1.0));
+                rtt_s[a * regions + b] = rtt;
+                rtt_s[b * regions + a] = rtt;
+            }
+        }
+        RegionRtt { regions, rtt_s }
+    }
+
+    /// Number of regions in the map.
+    pub fn len(&self) -> usize {
+        self.regions
+    }
+
+    /// True for a zero-region map (never constructed; clippy insists).
+    pub fn is_empty(&self) -> bool {
+        self.regions == 0
+    }
+
+    /// Round trip between two regions, seconds (zero when `a == b`).
+    pub fn rtt_s(&self, a: usize, b: usize) -> f64 {
+        assert!(a < self.regions && b < self.regions, "region out of range");
+        self.rtt_s[a * self.regions + b]
+    }
+
+    /// The candidate nearest to `from` (smallest RTT, candidate order
+    /// as the deterministic tiebreak). Panics on an empty candidate
+    /// list.
+    pub fn nearest(&self, from: usize, candidates: &[usize]) -> usize {
+        *candidates
+            .iter()
+            .min_by(|&&a, &&b| {
+                self.rtt_s(from, a)
+                    .partial_cmp(&self.rtt_s(from, b))
+                    .unwrap()
+            })
+            .expect("nearest() needs at least one candidate")
+    }
+
+    /// FNV-1a digest of the whole matrix — two maps with equal
+    /// fingerprints carry bit-identical RTTs.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for v in &self.rtt_s {
+            for byte in v.to_bits().to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_zero_diagonal_and_within_band() {
+        let m = RegionRtt::new(0xA5, 5, 0.035, 0.5);
+        for a in 0..5 {
+            assert_eq!(m.rtt_s(a, a), 0.0);
+            for b in 0..5 {
+                assert_eq!(m.rtt_s(a, b).to_bits(), m.rtt_s(b, a).to_bits());
+                if a != b {
+                    let r = m.rtt_s(a, b);
+                    assert!((0.0175..0.0525).contains(&r), "rtt {r} out of band");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pure_in_the_seed() {
+        let a = RegionRtt::new(7, 4, 0.035, 0.5);
+        let b = RegionRtt::new(7, 4, 0.035, 0.5);
+        let c = RegionRtt::new(8, 4, 0.035, 0.5);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint(), "seed must matter");
+    }
+
+    #[test]
+    fn nearest_prefers_home_then_smallest_rtt() {
+        let m = RegionRtt::new(0xA5, 4, 0.035, 0.5);
+        // Home region is distance zero, so it always wins when offered.
+        assert_eq!(m.nearest(2, &[0, 2, 3]), 2);
+        let far = m.nearest(0, &[1, 2, 3]);
+        for c in [1, 2, 3] {
+            assert!(m.rtt_s(0, far) <= m.rtt_s(0, c));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "spread")]
+    fn full_spread_is_rejected() {
+        // spread = 1 would allow a zero cross-region RTT.
+        let _ = RegionRtt::new(1, 3, 0.035, 1.0);
+    }
+}

@@ -22,6 +22,10 @@ pub struct Flags {
     pub trace: Option<PathBuf>,
     /// `--out <path>`: output file override (used by `azlab bench`).
     pub out: Option<PathBuf>,
+    /// `--tau <seconds>`: bounded-staleness bound override for the
+    /// consistency campaign. Validated here — τ ≤ 0 (an empty
+    /// consistency guarantee) is a usage error, not a config to run.
+    pub tau: Option<f64>,
     /// `--list`: enumerate the known targets instead of running.
     pub list: bool,
     /// Positional words (subcommand + target for `azlab`).
@@ -90,6 +94,20 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Flags, String> {
                     .next()
                     .ok_or_else(|| "--out: missing output path".to_string())?;
                 flags.out = Some(PathBuf::from(p));
+            }
+            "--tau" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--tau: missing value (seconds)".to_string())?;
+                let tau: f64 = v
+                    .parse()
+                    .map_err(|_| format!("--tau {v:?}: expected a number of seconds"))?;
+                if !tau.is_finite() || tau <= 0.0 {
+                    return Err(format!(
+                        "--tau {v}: staleness bound must be a finite positive number of seconds"
+                    ));
+                }
+                flags.tau = Some(tau);
             }
             other if other.starts_with('-') && other.len() > 1 => {
                 return Err(format!("unknown flag {other:?}"));
@@ -167,6 +185,21 @@ mod tests {
         // Single-dash spellings are errors too, not positional words.
         assert!(p(&["-quick"]).unwrap_err().contains("-quick"));
         assert!(p(&["-q"]).unwrap_err().contains("-q"));
+    }
+
+    #[test]
+    fn tau_rejects_nonpositive_and_garbage() {
+        assert_eq!(p(&["--tau", "2.5"]).unwrap().tau, Some(2.5));
+        assert_eq!(p(&["--tau=0.5"]).unwrap().tau, Some(0.5));
+        assert!(p(&["--tau", "0"]).unwrap_err().contains("positive"));
+        assert!(p(&["--tau", "-3"]).unwrap_err().contains("positive"));
+        assert!(p(&["--tau", "inf"]).unwrap_err().contains("finite"));
+        assert!(p(&["--tau", "nan"])
+            .unwrap_err()
+            .contains("finite positive"));
+        assert!(p(&["--tau", "soon"]).unwrap_err().contains("number"));
+        assert!(p(&["--tau"]).unwrap_err().contains("missing value"));
+        assert_eq!(p(&[]).unwrap().tau, None);
     }
 
     #[test]

@@ -45,6 +45,9 @@ pub struct RunOpts {
     pub faults: Option<FaultPlan>,
     /// Optional trace capture of one cell.
     pub trace: Option<TraceSpec>,
+    /// Bounded-staleness bound override (seconds) for campaigns with a
+    /// consistency sweep (`--tau`). Pre-validated positive by the CLI.
+    pub tau: Option<f64>,
 }
 
 impl RunOpts {

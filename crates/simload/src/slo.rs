@@ -39,6 +39,12 @@ pub struct SloTracker {
     pub deadline_s: f64,
     /// Latency of successful operations, seconds from scheduled instant.
     pub latency: StreamSummary,
+    /// Observed staleness of successful read answers (seconds of
+    /// virtual time the serving replica lagged the primary's appended
+    /// watermark; 0 for reads answered by the primary). Populated only
+    /// by read layers that measure it (azroute) — empty otherwise, so
+    /// pre-consistency campaigns are unaffected.
+    pub staleness: StreamSummary,
     /// Arrivals scheduled inside the measurement window.
     pub scheduled: u64,
     /// Operations that completed successfully.
@@ -64,6 +70,7 @@ impl SloTracker {
         SloTracker {
             deadline_s,
             latency: StreamSummary::new(),
+            staleness: StreamSummary::new(),
             scheduled: 0,
             completed: 0,
             failed: 0,
@@ -91,6 +98,15 @@ impl SloTracker {
         if completion_s > self.last_completion_s {
             self.last_completion_s = completion_s;
         }
+    }
+
+    /// Record the observed staleness of one successful read answer
+    /// (seconds behind the primary's appended watermark; 0 when the
+    /// primary itself served it). Kept separate from
+    /// [`record_ok`](Self::record_ok) so layers without a staleness
+    /// notion never touch the stream.
+    pub fn record_staleness(&mut self, staleness_s: f64) {
+        self.staleness.push(staleness_s);
     }
 
     /// Record a failed operation (its latency does not enter the
@@ -153,6 +169,7 @@ impl SloTracker {
             "merging SLO trackers with different deadlines"
         );
         self.latency.merge(&other.latency);
+        self.staleness.merge(&other.staleness);
         self.scheduled += other.scheduled;
         self.completed += other.completed;
         self.failed += other.failed;
@@ -325,6 +342,25 @@ mod tests {
             assert!((t.latency.mean() - single.latency.mean()).abs() < 1e-12);
         }
         assert_eq!(a.latency.hist, left.latency.hist);
+    }
+
+    #[test]
+    fn staleness_stream_merges_like_latency() {
+        let mut a = SloTracker::new(1.0);
+        let mut b = SloTracker::new(1.0);
+        for s in [0.0, 0.5, 2.0] {
+            a.record_staleness(s);
+        }
+        b.record_staleness(4.0);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.staleness.count(), 4);
+        assert_eq!(merged.staleness.max(), 4.0);
+        // Trackers that never record staleness stay empty through a
+        // merge of empties — the pre-consistency campaigns' state.
+        let mut clean = SloTracker::new(1.0);
+        clean.merge(&SloTracker::new(1.0));
+        assert_eq!(clean.staleness.count(), 0);
     }
 
     #[test]

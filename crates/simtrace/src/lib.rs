@@ -91,11 +91,17 @@ pub enum Layer {
     /// [`Layer::Store`]: per-stamp request handling still traces as
     /// store, while cross-stamp control-plane activity traces here.
     Geo,
+    /// `azroute` — client-side read routing and consistency decisions
+    /// (replica selection, staleness checks, escalations). Separate
+    /// from [`Layer::Geo`]: the geo layer traces the platform's
+    /// control plane, while per-read client policy decisions trace
+    /// here.
+    Route,
 }
 
 impl Layer {
     /// All layers in display order.
-    pub const ALL: [Layer; 8] = [
+    pub const ALL: [Layer; 9] = [
         Layer::Kernel,
         Layer::Net,
         Layer::Store,
@@ -104,6 +110,7 @@ impl Layer {
         Layer::Load,
         Layer::Faas,
         Layer::Geo,
+        Layer::Route,
     ];
 
     /// Short lowercase name (used as the Chrome `cat` and in tables).
@@ -117,6 +124,7 @@ impl Layer {
             Layer::Load => "load",
             Layer::Faas => "faas",
             Layer::Geo => "geo",
+            Layer::Route => "route",
         }
     }
 
@@ -131,6 +139,7 @@ impl Layer {
             Layer::Load => "load (simload)",
             Layer::Faas => "faas",
             Layer::Geo => "geo (azgeo)",
+            Layer::Route => "route (azroute)",
         }
     }
 
@@ -144,6 +153,7 @@ impl Layer {
             Layer::Load => 6,
             Layer::Faas => 7,
             Layer::Geo => 8,
+            Layer::Route => 9,
         }
     }
 }

@@ -9,6 +9,10 @@
 //!   schedules) and the unified retry/backoff policies every layer uses
 //! * [`dcnet`] — fluid-flow datacenter network (max-min fair sharing)
 //! * [`azstore`] — the storage stamp: blob / table / queue services
+//! * [`azgeo`] — multi-stamp geo-replication: placement, async log
+//!   shipping, and stamp failover
+//! * [`azroute`] — region-aware read routing over the geo layer and the
+//!   tunable-consistency lattice (strong / session / bounded / eventual)
 //! * [`fabric`] — the fabric controller: deployments, roles, sizes,
 //!   lifecycle phases, host performance variation
 //! * [`cloudbench`] — the paper's measurement harness and its seven
@@ -31,6 +35,8 @@
 //! assert!(h.try_take().unwrap().rate_bps() > 10.0e6);
 //! ```
 
+pub use azgeo;
+pub use azroute;
 pub use azstore;
 pub use cloudbench;
 pub use dcnet;

@@ -12,6 +12,7 @@ fn run_at(name: &str, shards: usize, faults: Option<FaultPlan>) -> CampaignOutpu
         shards,
         faults,
         trace: None,
+        tau: None,
     };
     campaigns::run(name, true, &opts).expect("known campaign name")
 }
@@ -203,4 +204,35 @@ fn geo_quick_under_stamp_partition_is_shard_invariant() {
         }],
     };
     assert_shard_invariant("geo", Some(plan));
+}
+
+/// The consistency campaign: every cell routes tens of thousands of
+/// reads through the azroute policy layer (seed-pure RTT matrix,
+/// per-client session tokens, staleness measured from the replication
+/// logs) plus a front-door baseline cell — the merged frontier table,
+/// the bounded-staleness audit and the routing fingerprints in the CSV
+/// must not depend on which worker ran which cell.
+#[test]
+fn consistency_quick_is_shard_invariant() {
+    assert_shard_invariant("consistency", None);
+}
+
+/// Consistency under a user-level stamp-partition plan: a whole-run
+/// stamp-1 outage layers under the campaign's own per-cell stamp-0
+/// partitions (partition cells merge both), and timeouts, escalations,
+/// promotions and the RTO-window availability split must replay
+/// identically on every shard layout.
+#[test]
+fn consistency_quick_under_stamp_partition_is_shard_invariant() {
+    use simfault::{FaultEpisode, FaultKind, StorageFaults};
+    let plan = FaultPlan {
+        name: "stamp-partition",
+        storage: StorageFaults::clean(),
+        episodes: vec![FaultEpisode {
+            start_s: 4.0,
+            duration_s: 600.0,
+            kind: FaultKind::StampPartition { stamp: 1 },
+        }],
+    };
+    assert_shard_invariant("consistency", Some(plan));
 }
